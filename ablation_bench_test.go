@@ -1,0 +1,130 @@
+// Ablation benches for the design choices DESIGN.md calls out: each
+// target runs the pair (or sweep) of configurations whose difference
+// isolates one mechanism, and reports the speedup delta as a metric.
+package emissary_test
+
+import (
+	"testing"
+
+	"emissary/internal/core"
+	"emissary/internal/sim"
+	"emissary/internal/stats"
+	"emissary/internal/workload"
+)
+
+func ablationRun(b *testing.B, policy string, mutate func(*sim.Options)) sim.Result {
+	b.Helper()
+	prof, _ := workload.ProfileByName("tomcat")
+	opt := sim.Options{
+		Benchmark:     prof,
+		Policy:        core.MustParsePolicy(policy),
+		WarmupInstrs:  300_000,
+		MeasureInstrs: 1_500_000,
+		FDIP:          true,
+		NLP:           true,
+		Seed:          1,
+	}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	res, err := sim.Run(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationPersistence: insertion-only bimodality (M:S) vs the
+// persistent P(8):S treatment — the paper's line (a).
+func BenchmarkAblationPersistence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := ablationRun(b, "M:S", nil)
+		p := ablationRun(b, "P(8):S", nil)
+		b.ReportMetric(stats.Speedup(m.Cycles, p.Cycles)*100, "persistence-delta-%")
+	}
+}
+
+// BenchmarkAblationIQEmpty: requiring the empty-issue-queue conjunct —
+// the paper's line (b).
+func BenchmarkAblationIQEmpty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := ablationRun(b, "P(8):S", nil)
+		se := ablationRun(b, "P(8):S&E", nil)
+		b.ReportMetric(stats.Speedup(s.Cycles, se.Cycles)*100, "iq-empty-delta-%")
+	}
+}
+
+// BenchmarkAblationRandomFilter: the 1/32 selectivity filter — the
+// paper's line (c).
+func BenchmarkAblationRandomFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		se := ablationRun(b, "P(8):S&E", nil)
+		ser := ablationRun(b, "P(8):S&E&R(1/32)", nil)
+		b.ReportMetric(stats.Speedup(se.Cycles, ser.Cycles)*100, "random-filter-delta-%")
+	}
+}
+
+// BenchmarkAblationRecencyBase: dual-tree TPLRU vs exact LRU under
+// EMISSARY (§4.2: the TPLRU implementation is the hardware-realistic
+// one; exact LRU bounds its imprecision).
+func BenchmarkAblationRecencyBase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tplru := ablationRun(b, "P(8):S&E&R(1/32)", nil)
+		truelru := ablationRun(b, "P(8):S&E&R(1/32)+LRU", func(o *sim.Options) { o.TrueLRU = true })
+		b.ReportMetric(stats.Speedup(truelru.Cycles, tplru.Cycles)*100, "tplru-vs-truelru-%")
+	}
+}
+
+// BenchmarkAblationFTQDepth: the 24-entry FTQ against shallow and deep
+// variants; run-ahead depth determines which misses are tolerated
+// (§5.2's "right balance").
+func BenchmarkAblationFTQDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		shallow := ablationRun(b, "TPLRU", func(o *sim.Options) { o.FTQEntries = 8 })
+		std := ablationRun(b, "TPLRU", nil)
+		deep := ablationRun(b, "TPLRU", func(o *sim.Options) { o.FTQEntries = 64 })
+		b.ReportMetric(stats.Speedup(shallow.Cycles, std.Cycles)*100, "ftq24-vs-8-%")
+		b.ReportMetric(stats.Speedup(std.Cycles, deep.Cycles)*100, "ftq64-vs-24-%")
+	}
+}
+
+// BenchmarkAblationMSHRs: outstanding-miss parallelism in the
+// instruction fetch path.
+func BenchmarkAblationMSHRs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		few := ablationRun(b, "TPLRU", func(o *sim.Options) { o.MaxMSHRs = 4 })
+		std := ablationRun(b, "TPLRU", nil)
+		b.ReportMetric(stats.Speedup(few.Cycles, std.Cycles)*100, "mshr16-vs-4-%")
+	}
+}
+
+// BenchmarkAblationNLP: the next-line prefetchers' contribution to the
+// baseline (Table 4 has NLP at every level).
+func BenchmarkAblationNLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		off := ablationRun(b, "TPLRU", func(o *sim.Options) { o.NLP = false })
+		on := ablationRun(b, "TPLRU", nil)
+		b.ReportMetric(stats.Speedup(off.Cycles, on.Cycles)*100, "nlp-delta-%")
+	}
+}
+
+// BenchmarkAblationMRC: the §7.3 misprediction recovery cache on top
+// of the baseline — short-reuse re-steer relief, orthogonal to
+// EMISSARY's long-reuse protection.
+func BenchmarkAblationMRC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		off := ablationRun(b, "TPLRU", nil)
+		on := ablationRun(b, "TPLRU", func(o *sim.Options) { o.MRCEntries = 32 })
+		b.ReportMetric(stats.Speedup(off.Cycles, on.Cycles)*100, "mrc32-delta-%")
+	}
+}
+
+// BenchmarkAblationMRCPlusEmissary: the combination the paper's §7.3
+// predicts "can likely be used together with success".
+func BenchmarkAblationMRCPlusEmissary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		emis := ablationRun(b, "P(8):S&E&R(1/32)", nil)
+		both := ablationRun(b, "P(8):S&E&R(1/32)", func(o *sim.Options) { o.MRCEntries = 32 })
+		b.ReportMetric(stats.Speedup(emis.Cycles, both.Cycles)*100, "mrc-on-emissary-delta-%")
+	}
+}

@@ -1,0 +1,220 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation. Each bench regenerates its artifact at reduced
+// scale (two benchmarks, short windows) so `go test -bench=.` finishes
+// in minutes; the full-scale artifacts come from cmd/emissary-figures
+// with larger -warmup/-measure values (see EXPERIMENTS.md for the
+// recorded runs). ReportMetric exposes the artifact's headline number
+// so regressions in *shape*, not just speed, are visible.
+package emissary_test
+
+import (
+	"io"
+	"testing"
+
+	"emissary/internal/cache"
+	"emissary/internal/core"
+	"emissary/internal/experiments"
+	"emissary/internal/pipeline"
+	"emissary/internal/workload"
+)
+
+// benchConfig scales experiments down to benchmark-harness size.
+func benchConfig(benchNames ...string) experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Warmup = 200_000
+	cfg.Measure = 1_000_000
+	if len(benchNames) > 0 {
+		var ps []workload.Profile
+		for _, n := range benchNames {
+			p, ok := workload.ProfileByName(n)
+			if !ok {
+				panic("unknown benchmark " + n)
+			}
+			ps = append(ps, p)
+		}
+		cfg.Benchmarks = ps
+	}
+	return cfg
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[len(pts)-1].Speedup*100, "emissary-speedup-%")
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(benchConfig("tomcat", "verilator"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].StarvFrac[2]*100, "long-reuse-starvation-%")
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3(benchConfig("tomcat", "xapian"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].L2I, "tomcat-L2I-MPKI")
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := 0.0
+		for _, r := range rows {
+			avg += r.FootprintMB / float64(len(rows))
+		}
+		b.ReportMetric(avg, "avg-footprint-MB")
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	// The full grid is 77 policies x 13 benchmarks; the bench target
+	// exercises the machinery on two benchmarks.
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5(benchConfig("tomcat", "xapian"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Grid[3][9]*100, "P8-SER32-geomean-%")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig5(benchConfig("tomcat"), []int{4, 8, 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(benchConfig("tomcat", "verilator"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Total*100, "tomcat-stall-reduction-%")
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(benchConfig("tomcat", "xapian"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeomeanSpeedup[len(r.GeomeanSpeedup)-1]*100, "emissary-geomean-%")
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchConfig("tomcat", "verilator"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		saturated := 0.0
+		for c := 8; c < len(r.Dist[0]); c++ {
+			saturated += r.Dist[0][c]
+		}
+		b.ReportMetric(saturated*100, "SE-saturated-sets-%")
+	}
+}
+
+func BenchmarkIdeal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, captured, err := experiments.Ideal(benchConfig("tomcat", "verilator"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(captured*100, "headroom-captured-%")
+	}
+}
+
+func BenchmarkFDIP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, g, err := experiments.FDIP(benchConfig("tomcat", "xapian"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g*100, "fdip-geomean-%")
+	}
+}
+
+func BenchmarkReset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Reset(benchConfig("tomcat"), 500_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((rows[0].WithReset-rows[0].NoReset)*100, "reset-delta-%")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed in
+// instructions per second on the baseline configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prof, _ := workload.ProfileByName("tomcat")
+	prog, err := workload.NewProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := workload.NewEngine(prog)
+	hier := cache.NewHierarchy(cache.DefaultConfig(core.MustParsePolicy("TPLRU")))
+	c, err := pipeline.NewCore(pipeline.DefaultConfig(), eng, hier, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	c.RunCommitted(uint64(b.N))
+	b.ReportMetric(float64(b.N), "instructions")
+}
+
+// BenchmarkWorkloadEngine measures the oracle generator alone.
+func BenchmarkWorkloadEngine(b *testing.B) {
+	prof, _ := workload.ProfileByName("tomcat")
+	prog, err := workload.NewProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := workload.NewEngine(prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := eng.NextBlock(); !ok {
+			b.Fatal("stream ended")
+		}
+	}
+}
+
+var sink io.Writer // prevent dead-code elimination of renderers
+
+// BenchmarkRenderTable5 exercises the table renderer.
+func BenchmarkRenderTable5(b *testing.B) {
+	r := &experiments.Table5Result{}
+	for range experiments.Table5Ns {
+		row := make([]float64, len(experiments.Table5Columns))
+		r.Grid = append(r.Grid, row)
+	}
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTable5(io.Discard, r)
+	}
+	_ = sink
+}

@@ -1,0 +1,180 @@
+// Command emissary-figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	emissary-figures [flags] <artifact>...
+//	emissary-figures -measure 20000000 fig1 fig7
+//	emissary-figures all
+//
+// Artifacts: fig1 fig2 fig3 fig4 tab5 fig5 fig6 fig7 fig8 ideal fdip
+// reset all. The paper simulates 5M+100M instructions per point; the
+// defaults here are sized for minutes — pass -warmup/-measure to scale
+// up (EMISSARY's gains grow with horizon as priority marks accumulate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"emissary/internal/experiments"
+	"emissary/internal/workload"
+)
+
+func main() {
+	var (
+		warmup   = flag.Uint64("warmup", 2_000_000, "warm-up instructions per simulation")
+		measure  = flag.Uint64("measure", 8_000_000, "measured instructions per simulation")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		benches  = flag.String("benchmarks", "", "comma-separated subset of benchmarks (default: all 13)")
+		progress = flag.Bool("progress", false, "print one line per completed simulation")
+		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: emissary-figures [flags] fig1|fig2|fig3|fig4|tab5|fig5|fig6|fig7|fig8|ideal|fdip|reset|horizon|all")
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Warmup = *warmup
+	cfg.Measure = *measure
+	cfg.Seed = *seed
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+	if *benches != "" {
+		var ps []workload.Profile
+		for _, name := range strings.Split(*benches, ",") {
+			p, ok := workload.ProfileByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+				os.Exit(1)
+			}
+			ps = append(ps, p)
+		}
+		cfg.Benchmarks = ps
+	}
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"fig1", "fig2", "fig3", "fig4", "tab5", "fig5", "fig6", "fig7", "fig8", "ideal", "fdip", "reset", "horizon"}
+	}
+
+	benchNames := make([]string, len(cfg.Benchmarks))
+	for i, b := range cfg.Benchmarks {
+		benchNames[i] = b.Name
+	}
+	if len(benchNames) == 0 {
+		benchNames = workload.ProfileNames()
+	}
+
+	writeCSV := func(name string, fn func(io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	for _, name := range names {
+		var err error
+		switch name {
+		case "fig1":
+			var pts []experiments.Fig1Point
+			if pts, err = experiments.Fig1(cfg); err == nil {
+				experiments.WriteFig1(os.Stdout, pts)
+			}
+		case "fig2":
+			var rows []experiments.Fig2Row
+			if rows, err = experiments.Fig2(cfg); err == nil {
+				experiments.WriteFig2(os.Stdout, rows)
+				writeCSV("fig2", func(w io.Writer) error { return experiments.CSVFig2(w, rows) })
+			}
+		case "fig3":
+			var rows []experiments.Fig3Row
+			if rows, err = experiments.Fig3(cfg); err == nil {
+				experiments.WriteFig3(os.Stdout, rows)
+				writeCSV("fig3", func(w io.Writer) error { return experiments.CSVFig3(w, rows) })
+			}
+		case "fig4":
+			var rows []experiments.Fig4Row
+			if rows, err = experiments.Fig4(cfg); err == nil {
+				experiments.WriteFig4(os.Stdout, rows)
+				writeCSV("fig4", func(w io.Writer) error { return experiments.CSVFig4(w, rows) })
+			}
+		case "tab5":
+			var r *experiments.Table5Result
+			if r, err = experiments.Table5(cfg); err == nil {
+				experiments.WriteTable5(os.Stdout, r)
+				writeCSV("tab5", func(w io.Writer) error { return experiments.CSVTable5(w, r) })
+			}
+		case "fig5":
+			var series []experiments.Fig5Series
+			if series, err = experiments.Fig5(cfg, nil); err == nil {
+				experiments.WriteFig5(os.Stdout, series)
+				writeCSV("fig5", func(w io.Writer) error { return experiments.CSVFig5(w, series) })
+			}
+		case "fig6":
+			var rows []experiments.Fig6Row
+			if rows, err = experiments.Fig6(cfg); err == nil {
+				experiments.WriteFig6(os.Stdout, rows)
+			}
+		case "fig7":
+			var r *experiments.Fig7Result
+			if r, err = experiments.Fig7(cfg); err == nil {
+				experiments.WriteFig7(os.Stdout, r, benchNames)
+				writeCSV("fig7", func(w io.Writer) error { return experiments.CSVFig7(w, r, benchNames) })
+			}
+		case "fig8":
+			var r *experiments.Fig8Result
+			if r, err = experiments.Fig8(cfg); err == nil {
+				experiments.WriteFig8(os.Stdout, r)
+			}
+		case "ideal":
+			var rows []experiments.IdealRow
+			var captured float64
+			if rows, captured, err = experiments.Ideal(cfg); err == nil {
+				experiments.WriteIdeal(os.Stdout, rows, captured)
+			}
+		case "fdip":
+			var rows []experiments.FDIPRow
+			var g float64
+			if rows, g, err = experiments.FDIP(cfg); err == nil {
+				experiments.WriteFDIP(os.Stdout, rows, g)
+			}
+		case "horizon":
+			var rows []experiments.HorizonResult
+			win := cfg.Measure
+			if rows, err = experiments.Horizon(cfg, "tomcat",
+				[]string{"P(8):S&E&R(1/32)", "P(8):S&E&R(1/32)+GHRP"}, 5, win); err == nil {
+				experiments.WriteHorizon(os.Stdout, "tomcat", rows, win)
+				writeCSV("horizon", func(w io.Writer) error { return experiments.CSVHorizon(w, rows) })
+			}
+		case "reset":
+			var rows []experiments.ResetRow
+			if rows, err = experiments.Reset(cfg, 0); err == nil {
+				experiments.WriteReset(os.Stdout, rows)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", name)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,112 @@
+// Command emissary-sim runs a single simulation: one benchmark, one
+// L2 replacement policy, and prints the metrics the paper reports.
+//
+// Examples:
+//
+//	emissary-sim -bench tomcat -policy "P(8):S&E&R(1/32)"
+//	emissary-sim -bench verilator -policy TPLRU -instructions 10000000
+//	emissary-sim -bench tomcat -policy TPLRU -fdip=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emissary/internal/core"
+	"emissary/internal/sim"
+	"emissary/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "tomcat", "benchmark name (see -list)")
+		policy    = flag.String("policy", "TPLRU", "L2 replacement policy notation, e.g. P(8):S&E&R(1/32)")
+		warmup    = flag.Uint64("warmup", 1_000_000, "warm-up instructions")
+		measure   = flag.Uint64("instructions", 5_000_000, "measured instructions")
+		fdip      = flag.Bool("fdip", true, "enable the FDIP decoupled prefetcher")
+		nlp       = flag.Bool("nlp", true, "enable next-line prefetchers")
+		trueLRU   = flag.Bool("truelru", false, "use exact LRU recency state (Figure 1 config)")
+		ideal     = flag.Bool("ideal", false, "zero-cycle-miss ideal L2-I model (§5.6)")
+		reuseFlag = flag.Bool("reuse", false, "track reuse distances (Figure 2 data)")
+		reset     = flag.Uint64("priority-reset", 0, "reset P bits every N instructions (§6); 0 = never")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		tracePath = flag.String("trace", "", "replay a recorded trace file instead of a synthetic benchmark")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.ProfileNames() {
+			p, _ := workload.ProfileByName(n)
+			fmt.Printf("%-16s footprint %.2f MB, %d services\n", n, p.FootprintMB, p.NumServices)
+		}
+		return
+	}
+
+	var bench workload.Profile
+	if *tracePath == "" {
+		var ok bool
+		bench, ok = workload.ProfileByName(*benchName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *benchName)
+			os.Exit(1)
+		}
+	}
+	spec, err := core.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	opt := sim.Options{
+		Benchmark:             bench,
+		Policy:                spec,
+		WarmupInstrs:          *warmup,
+		MeasureInstrs:         *measure,
+		FDIP:                  *fdip,
+		NLP:                   *nlp,
+		TrueLRU:               *trueLRU,
+		IdealL2I:              *ideal,
+		TrackReuse:            *reuseFlag,
+		PriorityResetInterval: *reset,
+		TracePath:             *tracePath,
+		Seed:                  *seed,
+	}
+	res, err := sim.Run(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark            %s\n", res.Benchmark)
+	fmt.Printf("policy               %s\n", res.Policy)
+	fmt.Printf("instructions         %d\n", res.Instructions)
+	fmt.Printf("cycles               %d\n", res.Cycles)
+	fmt.Printf("IPC                  %.4f\n", res.IPC)
+	fmt.Printf("decode rate          %.4f\n", res.DecodeRate)
+	fmt.Printf("footprint            %.2f MB\n", float64(res.FootprintBytes)/(1<<20))
+	fmt.Printf("L1I MPKI             %.2f\n", res.L1IMPKI)
+	fmt.Printf("L1D MPKI             %.2f\n", res.L1DMPKI)
+	fmt.Printf("L2 Instr MPKI        %.2f\n", res.L2IMPKI)
+	fmt.Printf("L2 Data MPKI         %.2f\n", res.L2DMPKI)
+	fmt.Printf("L3 MPKI              %.2f\n", res.L3MPKI)
+	fmt.Printf("branch MPKI          %.2f (rate %.4f)\n", res.BranchMPKI, res.BranchMispredictRate)
+	fmt.Printf("starvation cycles    %d (IQ-empty %d)\n", res.Starvation, res.StarvationIQE)
+	fmt.Printf("commit-path starv    %d (IQ-empty %d)\n", res.CommitStarvation, res.CommitStarvationIQE)
+	fmt.Printf("fetch stalls         %d\n", res.FetchStalls)
+	fmt.Printf("FE/BE/total stalls   %d / %d / %d\n", res.FrontEndStalls, res.BackEndStalls, res.TotalStalls)
+	fmt.Printf("BTB MPKI             %.2f\n", res.BTBMPKI)
+	fmt.Printf("wrong-path ops       %d (flushes %d)\n", res.WrongPathOps, res.Flushes)
+	fmt.Printf("commit-active cycles %d\n", res.CommitActiveCycles)
+	fmt.Printf("DRAM reads           %d\n", res.MemReads)
+	fmt.Printf("energy               %.3f mJ\n", res.EnergyPJ/1e9)
+	if res.PriorityCensus != nil {
+		fmt.Printf("L2 priority census   %v\n", res.PriorityCensus)
+	}
+	if opt.TrackReuse {
+		fmt.Printf("accesses S/M/L       %v\n", res.AccessByBucket)
+		fmt.Printf("L2 misses S/M/L      %v\n", res.L2MissByBucket)
+		fmt.Printf("starvation S/M/L     %v\n", res.StarvByBucket)
+	}
+}

@@ -1,0 +1,104 @@
+// Command emissary-sweep runs custom policy sweeps: a set of policies
+// against a set of benchmarks, reporting per-benchmark speedups and
+// geomeans versus the TPLRU+FDIP baseline. It is the free-form
+// companion to emissary-figures' fixed artifacts.
+//
+// Examples:
+//
+//	emissary-sweep -policies "P(4):S&E,P(8):S&E,P(12):S&E"
+//	emissary-sweep -benchmarks tomcat,verilator -policies "DRRIP,P(8):S&E&R(1/32)" -measure 30000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"emissary/internal/core"
+	"emissary/internal/sim"
+	"emissary/internal/stats"
+	"emissary/internal/workload"
+)
+
+func main() {
+	var (
+		policies = flag.String("policies", "P(8):S&E,P(8):S&E&R(1/32),DRRIP", "comma-separated policy list")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 13)")
+		warmup   = flag.Uint64("warmup", 2_000_000, "warm-up instructions")
+		measure  = flag.Uint64("measure", 8_000_000, "measured instructions")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		verbose  = flag.Bool("v", false, "print progress to stderr")
+	)
+	flag.Parse()
+
+	var specs []core.Spec
+	for _, p := range strings.Split(*policies, ",") {
+		spec, err := core.ParsePolicy(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = append(specs, spec)
+	}
+
+	var profiles []workload.Profile
+	if *benches == "" {
+		profiles = workload.Profiles()
+	} else {
+		for _, name := range strings.Split(*benches, ",") {
+			p, ok := workload.ProfileByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+				os.Exit(1)
+			}
+			profiles = append(profiles, p)
+		}
+	}
+
+	run := func(bench workload.Profile, spec core.Spec) sim.Result {
+		opt := sim.Options{
+			Benchmark:     bench,
+			Policy:        spec,
+			WarmupInstrs:  *warmup,
+			MeasureInstrs: *measure,
+			FDIP:          true,
+			NLP:           true,
+			Seed:          *seed,
+		}
+		res, err := sim.Run(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "done %-16s %-20s IPC %.4f\n", bench.Name, spec.String(), res.IPC)
+		}
+		return res
+	}
+
+	// Header.
+	fmt.Printf("%-16s", "benchmark")
+	for _, s := range specs {
+		fmt.Printf("  %18s", s.String())
+	}
+	fmt.Println()
+
+	speedups := make([][]float64, len(specs))
+	for _, bench := range profiles {
+		base := run(bench, core.Spec{})
+		fmt.Printf("%-16s", bench.Name)
+		for i, spec := range specs {
+			res := run(bench, spec)
+			s := stats.Speedup(base.Cycles, res.Cycles)
+			speedups[i] = append(speedups[i], s)
+			fmt.Printf("  %17.2f%%", s*100)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-16s", "geomean")
+	for i := range specs {
+		fmt.Printf("  %17.2f%%", stats.Geomean(speedups[i])*100)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,233 @@
+// Command emissary-trace generates, inspects and analyzes the
+// synthetic workloads' dynamic instruction traces.
+//
+// Subcommands:
+//
+//	emissary-trace gen -bench tomcat -instructions 1000000 -o tomcat.trc
+//	emissary-trace info tomcat.trc
+//	emissary-trace reuse -bench tomcat -instructions 5000000
+//	emissary-trace stats -bench tomcat -instructions 5000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"emissary/internal/branch"
+	"emissary/internal/reuse"
+	"emissary/internal/trace"
+	"emissary/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "reuse":
+		cmdReuse(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: emissary-trace gen|info|reuse|stats [flags]")
+	os.Exit(2)
+}
+
+func mustProfile(name string) workload.Profile {
+	p, ok := workload.ProfileByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+		os.Exit(1)
+	}
+	return p
+}
+
+func mustEngine(name string) *workload.Engine {
+	prog, err := workload.NewProgram(mustProfile(name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return workload.NewEngine(prog)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "tomcat", "benchmark name")
+	n := fs.Uint64("instructions", 1_000_000, "instructions to trace")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eng := mustEngine(*bench)
+	for eng.Instructions() < *n {
+		ev, ok := eng.NextBlock()
+		if !ok {
+			break
+		}
+		if err := tw.WriteEvent(ev); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d block events (%d instructions)\n", tw.Events(), eng.Instructions())
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: emissary-trace info <file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var blocks, instrs, mems, taken uint64
+	kinds := map[branch.Kind]uint64{}
+	for {
+		ev, err := r.ReadEvent()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		blocks++
+		instrs += uint64(ev.NumInstrs)
+		mems += uint64(len(ev.Mem))
+		kinds[ev.EndKind]++
+		if ev.Taken {
+			taken++
+		}
+	}
+	fmt.Printf("blocks        %d\n", blocks)
+	fmt.Printf("instructions  %d\n", instrs)
+	fmt.Printf("memory refs   %d (%.3f per instr)\n", mems, float64(mems)/float64(instrs))
+	fmt.Printf("avg block     %.2f instructions\n", float64(instrs)/float64(blocks))
+	for k := branch.KindFallthrough; k <= branch.KindIndirectCall; k++ {
+		if kinds[k] > 0 {
+			fmt.Printf("  end %-14s %d\n", k, kinds[k])
+		}
+	}
+}
+
+func cmdReuse(args []string) {
+	fs := flag.NewFlagSet("reuse", flag.ExitOnError)
+	bench := fs.String("bench", "tomcat", "benchmark name")
+	n := fs.Uint64("instructions", 5_000_000, "instructions to analyze")
+	fs.Parse(args)
+
+	eng := mustEngine(*bench)
+	tr := reuse.NewTracker(1 << 18)
+	var buckets [3]uint64
+	var lastLine uint64 = ^uint64(0)
+	for eng.Instructions() < *n {
+		ev, ok := eng.NextBlock()
+		if !ok {
+			break
+		}
+		line := ev.Addr >> 6
+		if line != lastLine {
+			buckets[reuse.Classify(tr.Access(line))]++
+			lastLine = line
+		}
+	}
+	total := buckets[0] + buckets[1] + buckets[2]
+	fmt.Printf("benchmark      %s\n", *bench)
+	fmt.Printf("line accesses  %d over %d distinct lines\n", total, tr.Distinct())
+	fmt.Printf("short  [0,100)    %6.2f%%\n", 100*float64(buckets[0])/float64(total))
+	fmt.Printf("mid    [100,5000) %6.2f%%\n", 100*float64(buckets[1])/float64(total))
+	fmt.Printf("long   [5000,inf) %6.2f%%\n", 100*float64(buckets[2])/float64(total))
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	bench := fs.String("bench", "tomcat", "benchmark name")
+	n := fs.Uint64("instructions", 5_000_000, "instructions to analyze")
+	fs.Parse(args)
+
+	prof := mustProfile(*bench)
+	prog, err := workload.NewProgram(prof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eng := workload.NewEngine(prog)
+	var blocks, loads, stores, conds, condTaken uint64
+	depth, maxDepth := 0, 0
+	for eng.Instructions() < *n {
+		ev, ok := eng.NextBlock()
+		if !ok {
+			break
+		}
+		blocks++
+		for _, m := range ev.Mem {
+			if m.Store {
+				stores++
+			} else {
+				loads++
+			}
+		}
+		switch ev.EndKind {
+		case branch.KindCond:
+			conds++
+			if ev.Taken {
+				condTaken++
+			}
+		case branch.KindCall, branch.KindIndirectCall:
+			depth++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		case branch.KindReturn:
+			depth--
+		}
+	}
+	instrs := eng.Instructions()
+	fmt.Printf("benchmark       %s\n", prof.Name)
+	fmt.Printf("static blocks   %d (%d instrs, %.2f MB)\n", prog.NumBlocks(), prog.TotalInstrs(), float64(prog.FootprintBytes())/(1<<20))
+	fmt.Printf("dyn blocks      %d (avg %.2f instrs)\n", blocks, float64(instrs)/float64(blocks))
+	fmt.Printf("requests        %d (avg %.0f instrs each)\n", eng.Requests(), float64(instrs)/float64(eng.Requests()))
+	fmt.Printf("loads/stores    %.3f / %.3f per instr\n", float64(loads)/float64(instrs), float64(stores)/float64(instrs))
+	fmt.Printf("cond branches   %.3f per instr (%.1f%% taken)\n", float64(conds)/float64(instrs), 100*float64(condTaken)/float64(conds))
+	fmt.Printf("max call depth  %d\n", maxDepth)
+}

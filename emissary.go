@@ -1,0 +1,92 @@
+// Package emissary is a from-scratch reproduction of "EMISSARY:
+// Enhanced Miss Awareness Replacement Policy for L2 Instruction
+// Caching" (ISCA 2023): a trace-driven, cycle-level processor
+// simulator with a decoupled FDIP front-end, an approximate
+// out-of-order back-end, a four-level cache hierarchy with pluggable
+// replacement policies — including the EMISSARY P(N) family and every
+// baseline the paper compares against — and synthetic datacenter
+// workloads calibrated to the paper's benchmark characteristics.
+//
+// This file is the public facade: everything a downstream user needs
+// to parse policy notation, pick a workload, run simulations, and
+// regenerate the paper's experiments, re-exported from the internal
+// packages.
+//
+// Quick start:
+//
+//	bench, _ := emissary.Benchmark("tomcat")
+//	base, _ := emissary.Simulate(emissary.Options{
+//	    Benchmark: bench, Policy: emissary.MustPolicy("TPLRU"),
+//	    WarmupInstrs: 2e6, MeasureInstrs: 10e6, FDIP: true, NLP: true,
+//	})
+//	emis, _ := emissary.Simulate(emissary.Options{
+//	    Benchmark: bench, Policy: emissary.MustPolicy("P(8):S&E&R(1/32)"),
+//	    WarmupInstrs: 2e6, MeasureInstrs: 10e6, FDIP: true, NLP: true,
+//	})
+//	fmt.Printf("speedup: %+.2f%%\n", 100*emissary.Speedup(base.Cycles, emis.Cycles))
+package emissary
+
+import (
+	"fmt"
+
+	"emissary/internal/core"
+	"emissary/internal/sim"
+	"emissary/internal/stats"
+	"emissary/internal/workload"
+)
+
+// Policy is a parsed cache replacement policy specification in the
+// paper's notation (Table 3), e.g. "P(8):S&E&R(1/32)" or "DRRIP".
+type Policy = core.Spec
+
+// Selection is a mode-selection equation (Table 1).
+type Selection = core.Selection
+
+// Profile parameterizes a synthetic benchmark.
+type Profile = workload.Profile
+
+// Options selects what one simulation runs.
+type Options = sim.Options
+
+// Result is a finished simulation's metrics.
+type Result = sim.Result
+
+// ParsePolicy parses the paper's policy notation: "LRU", "TPLRU",
+// "LIP", "BIP", "M:S&E", "P(8):S&E&R(1/32)", "SRRIP", "BRRIP",
+// "DRRIP", "PDP", "DCLIP", and friends.
+func ParsePolicy(text string) (Policy, error) { return core.ParsePolicy(text) }
+
+// MustPolicy is ParsePolicy for literals; it panics on bad input.
+func MustPolicy(text string) Policy { return core.MustParsePolicy(text) }
+
+// Benchmarks returns the 13 datacenter workload profiles of §5.3.
+func Benchmarks() []Profile { return workload.Profiles() }
+
+// BenchmarkNames lists the built-in benchmarks in paper order.
+func BenchmarkNames() []string { return workload.ProfileNames() }
+
+// Benchmark finds a built-in workload profile by name.
+func Benchmark(name string) (Profile, error) {
+	p, ok := workload.ProfileByName(name)
+	if !ok {
+		return Profile{}, fmt.Errorf("emissary: unknown benchmark %q (see BenchmarkNames)", name)
+	}
+	return p, nil
+}
+
+// Simulate runs one simulation.
+func Simulate(opt Options) (Result, error) { return sim.Run(opt) }
+
+// DefaultOptions returns a baseline configuration (FDIP + NLP on,
+// moderate instruction counts) for the benchmark and policy.
+func DefaultOptions(bench Profile, policy Policy) Options {
+	return sim.DefaultOptions(bench, policy)
+}
+
+// Speedup returns base/test - 1 for two cycle counts.
+func Speedup(baseCycles, testCycles uint64) float64 {
+	return stats.Speedup(baseCycles, testCycles)
+}
+
+// Geomean aggregates speedup fractions the way the paper does.
+func Geomean(speedups []float64) float64 { return stats.Geomean(speedups) }

@@ -1,0 +1,59 @@
+package emissary_test
+
+import (
+	"testing"
+
+	"emissary"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	bench, err := emissary.Benchmark("xapian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := emissary.DefaultOptions(bench, emissary.MustPolicy("TPLRU"))
+	opt.WarmupInstrs = 100_000
+	opt.MeasureInstrs = 200_000
+	res, err := emissary.Simulate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC = %v", res.IPC)
+	}
+}
+
+func TestFacadeBenchmarkLookup(t *testing.T) {
+	if _, err := emissary.Benchmark("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	names := emissary.BenchmarkNames()
+	if len(names) != 13 {
+		t.Errorf("got %d benchmarks", len(names))
+	}
+	if len(emissary.Benchmarks()) != 13 {
+		t.Error("Benchmarks() wrong length")
+	}
+}
+
+func TestFacadePolicyParsing(t *testing.T) {
+	p, err := emissary.ParsePolicy("P(8):S&E&R(1/32)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "P(8):S&E&R(1/32)" {
+		t.Errorf("round trip gave %q", p.String())
+	}
+	if _, err := emissary.ParsePolicy("???"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestFacadeMath(t *testing.T) {
+	if s := emissary.Speedup(110, 100); s < 0.099 || s > 0.101 {
+		t.Errorf("Speedup = %v", s)
+	}
+	if g := emissary.Geomean([]float64{0.1, 0.1}); g < 0.099 || g > 0.101 {
+		t.Errorf("Geomean = %v", g)
+	}
+}

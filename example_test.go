@@ -1,0 +1,70 @@
+package emissary_test
+
+import (
+	"fmt"
+
+	"emissary"
+)
+
+// ExampleParsePolicy shows the paper's policy notation round-tripping
+// through the parser.
+func ExampleParsePolicy() {
+	for _, text := range []string{
+		"LRU",
+		"BIP",
+		"M:S&E",
+		"P(8):S&E&R(1/32)",
+		"P(8):S&E&R(1/32)+GHRP",
+		"DRRIP",
+	} {
+		spec, err := emissary.ParsePolicy(text)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Println(spec.String())
+	}
+	// Output:
+	// LRU
+	// M:R(1/32)
+	// M:S&E
+	// P(8):S&E&R(1/32)
+	// P(8):S&E&R(1/32)+GHRP
+	// DRRIP
+}
+
+// ExampleBenchmarkNames lists the 13 datacenter workloads of §5.3.
+func ExampleBenchmarkNames() {
+	for _, name := range emissary.BenchmarkNames() {
+		fmt.Println(name)
+	}
+	// Output:
+	// specjbb
+	// xapian
+	// finagle-http
+	// finagle-chirper
+	// tomcat
+	// kafka
+	// tpcc
+	// wikipedia
+	// media-stream
+	// web-search
+	// data-serving
+	// verilator
+	// speedometer2.0
+}
+
+// ExampleGeomean aggregates speedups the way the paper reports them.
+func ExampleGeomean() {
+	speedups := []float64{0.021, 0.037, -0.002}
+	fmt.Printf("%.4f\n", emissary.Geomean(speedups))
+	// Output:
+	// 0.0185
+}
+
+// ExampleSpeedup computes a relative speedup from cycle counts.
+func ExampleSpeedup() {
+	fmt.Printf("%+.2f%%\n", 100*emissary.Speedup(1_030_000, 1_000_000))
+	// Output:
+	// +3.00%
+}

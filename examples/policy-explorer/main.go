@@ -1,0 +1,65 @@
+// Policy explorer: sweep the EMISSARY design space on one benchmark —
+// the N (protected ways) axis and the mode-selection axis — the way
+// §5.4 of the paper narrows its parameterization, and print a compact
+// speedup matrix against the TPLRU baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"emissary"
+)
+
+func main() {
+	benchName := flag.String("bench", "tomcat", "benchmark to explore")
+	warmup := flag.Uint64("warmup", 1_000_000, "warm-up instructions")
+	measure := flag.Uint64("measure", 6_000_000, "measured instructions")
+	flag.Parse()
+
+	bench, err := emissary.Benchmark(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(policy emissary.Policy) emissary.Result {
+		opt := emissary.DefaultOptions(bench, policy)
+		opt.WarmupInstrs = *warmup
+		opt.MeasureInstrs = *measure
+		res, err := emissary.Simulate(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(emissary.MustPolicy("TPLRU"))
+	fmt.Printf("benchmark %s: baseline IPC %.4f, L2-I MPKI %.2f\n\n",
+		bench.Name, base.IPC, base.L2IMPKI)
+
+	selections := []string{"S", "S&E", "S&E&R(1/32)", "R(1/32)"}
+	ns := []int{2, 4, 8, 12}
+
+	fmt.Printf("%-8s", "P(N)")
+	for _, sel := range selections {
+		fmt.Printf("  %14s", sel)
+	}
+	fmt.Println()
+	for _, n := range ns {
+		fmt.Printf("%-8d", n)
+		for _, sel := range selections {
+			p := emissary.MustPolicy(fmt.Sprintf("P(%d):%s", n, sel))
+			res := run(p)
+			fmt.Printf("  %+13.2f%%", 100*emissary.Speedup(base.Cycles, res.Cycles))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ncomparison policies:")
+	for _, text := range []string{"LIP", "BIP", "SRRIP", "DRRIP", "PDP", "DCLIP"} {
+		res := run(emissary.MustPolicy(text))
+		fmt.Printf("  %-8s %+7.2f%%  (L2-I MPKI %.2f)\n",
+			text, 100*emissary.Speedup(base.Cycles, res.Cycles), res.L2IMPKI)
+	}
+}

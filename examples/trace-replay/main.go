@@ -1,0 +1,76 @@
+// Trace replay: capture a workload's dynamic instruction stream to a
+// compact binary trace, then drive the simulator from the file — the
+// workflow for evaluating policies against externally produced traces
+// without re-running the workload generator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"emissary"
+	"emissary/internal/trace"
+	"emissary/internal/workload"
+)
+
+func main() {
+	// 1. Capture: stream 3M instructions of kafka into a trace file.
+	prof, err := emissary.Benchmark("kafka")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := workload.NewProgram(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := workload.NewEngine(prog)
+
+	path := filepath.Join(os.TempDir(), "kafka.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for eng.Instructions() < 3_000_000 {
+		ev, ok := eng.NextBlock()
+		if !ok {
+			break
+		}
+		if err := w.WriteEvent(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("captured %d block events (%d instructions) to %s (%.1f MB)\n",
+		w.Events(), eng.Instructions(), path, float64(info.Size())/(1<<20))
+
+	// 2. Replay the file through two policies.
+	for _, policy := range []string{"TPLRU", "P(8):S&E&R(1/32)"} {
+		opt := emissary.Options{
+			Policy:        emissary.MustPolicy(policy),
+			WarmupInstrs:  500_000,
+			MeasureInstrs: 2_000_000,
+			FDIP:          true,
+			NLP:           true,
+			TracePath:     path,
+		}
+		res, err := emissary.Simulate(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s IPC %.4f  L2-I MPKI %.2f  starvation %d\n",
+			policy, res.IPC, res.L2IMPKI, res.CommitStarvation)
+	}
+	os.Remove(path)
+}

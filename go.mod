@@ -1,0 +1,3 @@
+module emissary
+
+go 1.22

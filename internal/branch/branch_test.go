@@ -1,0 +1,304 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emissary/internal/rng"
+)
+
+func TestKindHelpers(t *testing.T) {
+	if !KindCall.IsCall() || !KindIndirectCall.IsCall() {
+		t.Error("call kinds not recognized")
+	}
+	if KindJump.IsCall() {
+		t.Error("jump is not a call")
+	}
+	if !KindIndirect.IsIndirect() || !KindIndirectCall.IsIndirect() {
+		t.Error("indirect kinds not recognized")
+	}
+	if KindReturn.IsIndirect() {
+		t.Error("return is not indirect-predicted")
+	}
+	for k := KindFallthrough; k <= KindIndirectCall; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestBTBEntryGeometry(t *testing.T) {
+	e := BTBEntry{Start: 0x1000, NumInstrs: 5, EndKind: KindCond, Target: 0x2000}
+	if e.BranchPC() != 0x1010 {
+		t.Errorf("BranchPC = %#x", e.BranchPC())
+	}
+	if e.FallThrough() != 0x1014 {
+		t.Errorf("FallThrough = %#x", e.FallThrough())
+	}
+}
+
+func TestBTBInsertLookup(t *testing.T) {
+	b := NewBTB(1024, 4)
+	e := BTBEntry{Start: 0x4000, NumInstrs: 3, EndKind: KindJump, Target: 0x8000}
+	if _, ok := b.Lookup(0x4000); ok {
+		t.Fatal("lookup hit on empty BTB")
+	}
+	b.Insert(e)
+	got, ok := b.Lookup(0x4000)
+	if !ok || got != e {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	if b.Hits != 1 || b.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", b.Hits, b.Misses)
+	}
+}
+
+func TestBTBUpdateInPlace(t *testing.T) {
+	b := NewBTB(64, 4)
+	b.Insert(BTBEntry{Start: 0x40, NumInstrs: 2, EndKind: KindCond, Target: 0x100})
+	b.Insert(BTBEntry{Start: 0x40, NumInstrs: 2, EndKind: KindCond, Target: 0x200})
+	e, ok := b.Lookup(0x40)
+	if !ok || e.Target != 0x200 {
+		t.Errorf("update-in-place failed: %+v %v", e, ok)
+	}
+}
+
+func TestBTBLRUReplacement(t *testing.T) {
+	b := NewBTB(16, 4) // 4 sets
+	// Five blocks mapping to set 0 (start>>2 % 4 == 0).
+	addrs := []uint64{0x00, 0x40, 0x80, 0xC0, 0x100}
+	for _, a := range addrs[:4] {
+		b.Insert(BTBEntry{Start: a, NumInstrs: 1})
+	}
+	b.Lookup(addrs[0]) // make entry 0 MRU
+	b.Insert(BTBEntry{Start: addrs[4], NumInstrs: 1})
+	if _, ok := b.Lookup(addrs[0]); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := b.Lookup(addrs[1]); ok {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestBTBGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad BTB geometry did not panic")
+		}
+	}()
+	NewBTB(100, 3)
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty RAS succeeded")
+	}
+	r.Push(1)
+	r.Push(2)
+	if v, ok := r.Pop(); !ok || v != 2 {
+		t.Errorf("Pop = %d,%v", v, ok)
+	}
+	if v, ok := r.Pop(); !ok || v != 1 {
+		t.Errorf("Pop = %d,%v", v, ok)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if v, _ := r.Pop(); v != 3 {
+		t.Errorf("Pop = %d, want 3", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Errorf("Pop = %d, want 2", v)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("RAS depth exceeded capacity")
+	}
+}
+
+func TestRASSnapshotRestore(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(10)
+	r.Push(20)
+	snap := r.Snapshot()
+	r.Push(30)
+	r.Pop()
+	r.Pop()
+	r.Restore(snap)
+	if v, ok := r.Pop(); !ok || v != 20 {
+		t.Errorf("after restore Pop = %d,%v want 20", v, ok)
+	}
+}
+
+func TestTAGELearnsBias(t *testing.T) {
+	p := NewTAGE(12)
+	pc := uint64(0x1000)
+	for i := 0; i < 100; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("TAGE did not learn an always-taken branch")
+	}
+}
+
+func TestTAGELearnsPattern(t *testing.T) {
+	// A global-history-correlated pattern: branch B taken iff branch A
+	// was taken. TAGE should get B nearly perfect; a bimodal cannot.
+	p := NewTAGE(12)
+	r := rng.NewXoshiro256(4)
+	correctB := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		aTaken := r.Bool(0.5)
+		p.Update(0x100, aTaken)
+		pred := p.Predict(0x200)
+		if pred == aTaken {
+			correctB++
+		}
+		p.Update(0x200, aTaken)
+	}
+	acc := float64(correctB) / n
+	if acc < 0.95 {
+		t.Errorf("TAGE accuracy on correlated branch = %v, want > 0.95", acc)
+	}
+}
+
+func TestTAGELoopBranch(t *testing.T) {
+	// An 8-iteration loop branch (7 taken, 1 not) is a classic
+	// history-predictable pattern.
+	p := NewTAGE(12)
+	pc := uint64(0x300)
+	warm := 0
+	correct := 0
+	total := 0
+	for iter := 0; iter < 2000; iter++ {
+		for i := 0; i < 8; i++ {
+			taken := i < 7
+			pred := p.Predict(pc)
+			if warm > 400 {
+				total++
+				if pred == taken {
+					correct++
+				}
+			}
+			p.Update(pc, taken)
+			warm++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.93 {
+		t.Errorf("TAGE accuracy on loop branch = %v, want > 0.93", acc)
+	}
+}
+
+func TestTAGERandomBranchBounded(t *testing.T) {
+	// A 50/50 random branch cannot be predicted; accuracy should sit
+	// near 0.5, proving we don't accidentally leak the oracle.
+	p := NewTAGE(12)
+	r := rng.NewXoshiro256(9)
+	correct := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		taken := r.Bool(0.5)
+		if p.Predict(0x500) == taken {
+			correct++
+		}
+		p.Update(0x500, taken)
+	}
+	acc := float64(correct) / n
+	if acc > 0.60 {
+		t.Errorf("TAGE accuracy on random branch = %v, implausibly high", acc)
+	}
+}
+
+func TestTAGEMispredictRate(t *testing.T) {
+	p := NewTAGE(10)
+	if p.MispredictRate() != 0 {
+		t.Error("fresh predictor has nonzero mispredict rate")
+	}
+	for i := 0; i < 10; i++ {
+		p.Predict(0x100)
+		p.Update(0x100, true)
+	}
+	if r := p.MispredictRate(); r < 0 || r > 1 {
+		t.Errorf("MispredictRate = %v", r)
+	}
+}
+
+func TestFoldHistoryProperties(t *testing.T) {
+	if err := quick.Check(func(h uint64, n8, w8 uint8) bool {
+		n := uint(n8%64) + 1
+		w := uint(w8%16) + 1
+		f := foldHistory(h, n, w)
+		return f < 1<<w
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if foldHistory(0, 64, 10) != 0 {
+		t.Error("fold of zero history nonzero")
+	}
+}
+
+func TestITTAGELearnsStableTarget(t *testing.T) {
+	p := NewITTAGE(10)
+	pc := uint64(0x700)
+	for i := 0; i < 50; i++ {
+		p.Update(pc, 0xAAAA)
+	}
+	if tgt, ok := p.Predict(pc); !ok || tgt != 0xAAAA {
+		t.Errorf("Predict = %#x,%v", tgt, ok)
+	}
+}
+
+func TestITTAGELearnsHistoryCorrelatedTargets(t *testing.T) {
+	// Target alternates A,B,A,B — path history disambiguates.
+	p := NewITTAGE(10)
+	pc := uint64(0x900)
+	targets := []uint64{0x1000, 0x2000}
+	correct, total := 0, 0
+	for i := 0; i < 8000; i++ {
+		want := targets[i%2]
+		if got, ok := p.Predict(pc); ok {
+			if i > 2000 {
+				total++
+				if got == want {
+					correct++
+				}
+			}
+		}
+		p.Update(pc, want)
+	}
+	if total == 0 {
+		t.Fatal("no predictions made")
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Errorf("ITTAGE alternating-target accuracy = %v", acc)
+	}
+}
+
+func TestITTAGEColdMiss(t *testing.T) {
+	p := NewITTAGE(10)
+	if _, ok := p.Predict(0xDEAD); ok {
+		t.Error("cold predict returned a target")
+	}
+	if p.MispredictRate() != 0 {
+		// A cold lookup is not a mispredict until Update says so.
+		t.Errorf("MispredictRate = %v", p.MispredictRate())
+	}
+}
+
+func BenchmarkTAGEPredictUpdate(b *testing.B) {
+	p := NewTAGE(13)
+	r := rng.NewXoshiro256(1)
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i%512) << 2
+		taken := r.Bool(0.7)
+		p.Predict(pc)
+		p.Update(pc, taken)
+	}
+}

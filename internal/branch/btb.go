@@ -1,0 +1,227 @@
+// Package branch implements the front-end prediction structures of the
+// paper's machine model (Table 4, §5.2): a 16K-entry branch target
+// buffer holding basic-block descriptors, a TAGE conditional-branch
+// predictor, an ITTAGE indirect-target predictor, and a return-address
+// stack.
+package branch
+
+// Kind classifies the control-flow instruction terminating a basic
+// block.
+type Kind uint8
+
+// Block-terminator kinds.
+const (
+	KindFallthrough  Kind = iota // block ends at a block-size cap, no branch
+	KindCond                     // conditional branch
+	KindJump                     // unconditional direct jump
+	KindCall                     // direct call
+	KindReturn                   // function return
+	KindIndirect                 // indirect jump (e.g. switch, virtual call)
+	KindIndirectCall             // indirect call
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindFallthrough:
+		return "fallthrough"
+	case KindCond:
+		return "cond"
+	case KindJump:
+		return "jump"
+	case KindCall:
+		return "call"
+	case KindReturn:
+		return "return"
+	case KindIndirect:
+		return "indirect"
+	case KindIndirectCall:
+		return "indirect-call"
+	default:
+		return "unknown"
+	}
+}
+
+// IsCall reports whether the terminator pushes a return address.
+func (k Kind) IsCall() bool { return k == KindCall || k == KindIndirectCall }
+
+// IsIndirect reports whether the target comes from the indirect
+// predictor.
+func (k Kind) IsIndirect() bool { return k == KindIndirect || k == KindIndirectCall }
+
+// BTBEntry describes one basic block (§5.2: "each entry corresponds to
+// a basic block", indexed by the block's starting address, holding the
+// size and terminating branch kind; with fixed-width instructions the
+// terminator PC is Start + 4*(NumInstrs-1)).
+type BTBEntry struct {
+	Start     uint64
+	NumInstrs int
+	EndKind   Kind
+	Target    uint64 // taken target (block start address); 0 for return/indirect
+}
+
+// BranchPC returns the terminating instruction's address.
+func (e BTBEntry) BranchPC() uint64 { return e.Start + 4*uint64(e.NumInstrs-1) }
+
+// FallThrough returns the address of the next sequential block.
+func (e BTBEntry) FallThrough() uint64 { return e.Start + 4*uint64(e.NumInstrs) }
+
+// BTB is a set-associative branch target buffer over basic blocks with
+// true-LRU replacement within each set.
+type BTB struct {
+	sets, ways int
+	entries    []BTBEntry
+	valid      []bool
+	stamps     []uint64
+	clock      uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewBTB builds a BTB with `entries` total capacity (a power of two)
+// and the given associativity.
+func NewBTB(entries, ways int) *BTB {
+	if entries <= 0 || entries%ways != 0 {
+		panic("branch: BTB entries must be a positive multiple of ways")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("branch: BTB set count must be a power of two")
+	}
+	return &BTB{
+		sets:    sets,
+		ways:    ways,
+		entries: make([]BTBEntry, entries),
+		valid:   make([]bool, entries),
+		stamps:  make([]uint64, entries),
+	}
+}
+
+func (b *BTB) set(start uint64) int {
+	// Blocks begin at 4-byte boundaries; drop the alignment bits.
+	return int((start >> 2) & uint64(b.sets-1))
+}
+
+// Lookup finds the block descriptor for a block starting at start.
+func (b *BTB) Lookup(start uint64) (BTBEntry, bool) {
+	s := b.set(start)
+	base := s * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.valid[base+w] && b.entries[base+w].Start == start {
+			b.clock++
+			b.stamps[base+w] = b.clock
+			b.Hits++
+			return b.entries[base+w], true
+		}
+	}
+	b.Misses++
+	return BTBEntry{}, false
+}
+
+// Probe reports presence without touching statistics or recency (used
+// by the proactive pre-decoder to avoid redundant installs).
+func (b *BTB) Probe(start uint64) bool {
+	s := b.set(start)
+	base := s * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.valid[base+w] && b.entries[base+w].Start == start {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs or updates a block descriptor.
+func (b *BTB) Insert(e BTBEntry) {
+	s := b.set(e.Start)
+	base := s * b.ways
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < b.ways; w++ {
+		if b.valid[base+w] && b.entries[base+w].Start == e.Start {
+			victim = w
+			oldest = 0
+			break
+		}
+		if !b.valid[base+w] {
+			victim = w
+			oldest = 0
+			break
+		}
+		if b.stamps[base+w] < oldest {
+			victim = w
+			oldest = b.stamps[base+w]
+		}
+	}
+	b.clock++
+	b.entries[base+victim] = e
+	b.valid[base+victim] = true
+	b.stamps[base+victim] = b.clock
+}
+
+// RAS is a fixed-depth return-address stack with wraparound on
+// overflow (matching hardware behavior: deep recursion corrupts the
+// oldest entries).
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+}
+
+// NewRAS builds a return-address stack with the given capacity.
+func NewRAS(capacity int) *RAS {
+	if capacity <= 0 {
+		panic("branch: RAS capacity must be positive")
+	}
+	return &RAS{stack: make([]uint64, capacity)}
+}
+
+// Push records a return address.
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.top] = addr
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Peek returns the top of stack without popping; ok is false when the
+// stack is empty.
+func (r *RAS) Peek() (uint64, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	return r.stack[(r.top-1+len(r.stack))%len(r.stack)], true
+}
+
+// Pop predicts a return target; ok is false when the stack is empty.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return r.stack[r.top], true
+}
+
+// Snapshot captures the stack state for mispredict recovery.
+func (r *RAS) Snapshot() RASSnapshot {
+	s := RASSnapshot{top: r.top, depth: r.depth, stack: make([]uint64, len(r.stack))}
+	copy(s.stack, r.stack)
+	return s
+}
+
+// Restore rolls the stack back to a snapshot.
+func (r *RAS) Restore(s RASSnapshot) {
+	r.top = s.top
+	r.depth = s.depth
+	copy(r.stack, s.stack)
+}
+
+// RASSnapshot is an opaque saved RAS state.
+type RASSnapshot struct {
+	top   int
+	depth int
+	stack []uint64
+}

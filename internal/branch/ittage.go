@@ -1,0 +1,171 @@
+package branch
+
+// ITTAGE predicts indirect-branch targets with the same tagged
+// geometric-history principle as TAGE: a PC-indexed base target table
+// backed by two history-tagged tables, each entry holding a full
+// target and a confidence counter.
+type ITTAGE struct {
+	base     []itEntry
+	baseMask uint64
+	tables   [numITTables]itTagged
+	hist     uint64 // path history of taken-target bits
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+const (
+	numITTables = 2
+	itSizeLg    = 11 // 2K entries per tagged table
+	itTagBits   = 11
+	itConfMax   = 3
+)
+
+var itHistLens = [numITTables]uint{6, 24}
+
+type itEntry struct {
+	target uint64
+	conf   uint8
+	valid  bool
+}
+
+type itTagEntry struct {
+	tag    uint16
+	target uint64
+	conf   uint8
+	u      uint8
+	valid  bool
+}
+
+type itTagged struct {
+	entries []itTagEntry
+	histLen uint
+}
+
+// NewITTAGE builds the indirect predictor with a 2^baseSizeLg-entry
+// base table.
+func NewITTAGE(baseSizeLg uint) *ITTAGE {
+	p := &ITTAGE{
+		base:     make([]itEntry, 1<<baseSizeLg),
+		baseMask: (1 << baseSizeLg) - 1,
+	}
+	for i := range p.tables {
+		p.tables[i] = itTagged{
+			entries: make([]itTagEntry, 1<<itSizeLg),
+			histLen: itHistLens[i],
+		}
+	}
+	return p
+}
+
+func (p *ITTAGE) index(table int, pc uint64) int {
+	h := foldHistory(p.hist, p.tables[table].histLen, itSizeLg)
+	return int(((pc >> 2) ^ (pc >> 11) ^ h) & ((1 << itSizeLg) - 1))
+}
+
+func (p *ITTAGE) tag(table int, pc uint64) uint16 {
+	h := foldHistory(p.hist, p.tables[table].histLen, itTagBits)
+	return uint16(((pc >> 2) ^ (h << 1)) & ((1 << itTagBits) - 1))
+}
+
+// Predict returns the predicted target for the indirect branch at pc;
+// ok is false when no component has a target yet.
+func (p *ITTAGE) Predict(pc uint64) (uint64, bool) {
+	p.Lookups++
+	for i := numITTables - 1; i >= 0; i-- {
+		e := &p.tables[i].entries[p.index(i, pc)]
+		if e.valid && e.tag == p.tag(i, pc) {
+			return e.target, true
+		}
+	}
+	b := &p.base[(pc>>2)&p.baseMask]
+	if b.valid {
+		return b.target, true
+	}
+	return 0, false
+}
+
+// Update trains the predictor with the actual target and advances the
+// path history.
+func (p *ITTAGE) Update(pc, target uint64) {
+	// Find the provider.
+	provider, provIdx := -1, 0
+	for i := numITTables - 1; i >= 0; i-- {
+		idx := p.index(i, pc)
+		e := &p.tables[i].entries[idx]
+		if e.valid && e.tag == p.tag(i, pc) {
+			provider, provIdx = i, idx
+			break
+		}
+	}
+
+	var predicted uint64
+	havePred := false
+	if provider >= 0 {
+		predicted = p.tables[provider].entries[provIdx].target
+		havePred = true
+	} else if b := &p.base[(pc>>2)&p.baseMask]; b.valid {
+		predicted = b.target
+		havePred = true
+	}
+	correct := havePred && predicted == target
+	if !correct {
+		p.Mispredicts++
+	}
+
+	if provider >= 0 {
+		e := &p.tables[provider].entries[provIdx]
+		if e.target == target {
+			if e.conf < itConfMax {
+				e.conf++
+			}
+			if e.u < uMax {
+				e.u++
+			}
+		} else if e.conf > 0 {
+			e.conf--
+		} else {
+			e.target = target
+		}
+	}
+
+	// Train the base table always.
+	b := &p.base[(pc>>2)&p.baseMask]
+	if !b.valid || b.target != target {
+		if b.valid && b.conf > 0 {
+			b.conf--
+		} else {
+			*b = itEntry{target: target, conf: 1, valid: true}
+		}
+	} else if b.conf < itConfMax {
+		b.conf++
+	}
+
+	// Allocate a longer-history entry on a wrong or missing prediction.
+	if !correct && provider < numITTables-1 {
+		for i := provider + 1; i < numITTables; i++ {
+			idx := p.index(i, pc)
+			e := &p.tables[i].entries[idx]
+			if !e.valid || e.u == 0 {
+				*e = itTagEntry{
+					tag:    p.tag(i, pc),
+					target: target,
+					conf:   1,
+					valid:  true,
+				}
+				break
+			}
+			e.u--
+		}
+	}
+
+	p.hist = p.hist<<2 | ((target>>2)^(target>>12)^(target>>22))&3
+}
+
+// MispredictRate returns the fraction of mispredicted lookups.
+func (p *ITTAGE) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}

@@ -1,0 +1,242 @@
+package branch
+
+// TAGE is a tagged-geometric-history conditional branch predictor
+// (Seznec & Michaud), the conditional predictor of the paper's machine
+// model. A bimodal base table backs four tagged tables indexed by
+// geometrically increasing global-history lengths.
+type TAGE struct {
+	base     []int8 // 2-bit bimodal counters, [-2,1]
+	baseMask uint64
+
+	tables [numTagged]tagged
+	hist   uint64 // global direction history, newest outcome in bit 0
+
+	// Statistics.
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+const (
+	numTagged    = 4
+	taggedSizeLg = 12 // 4K entries per tagged table
+	tagBits      = 11
+	ctrMax       = 3 // 3-bit signed counter in [-4,3]
+	ctrMin       = -4
+	uMax         = 3
+)
+
+// Geometric history lengths (bits of global history hashed into each
+// tagged table's index/tag).
+var histLens = [numTagged]uint{5, 15, 34, 60}
+
+type taggedEntry struct {
+	tag   uint16
+	ctr   int8
+	u     uint8
+	valid bool
+}
+
+type tagged struct {
+	entries []taggedEntry
+	histLen uint
+}
+
+// NewTAGE builds the predictor with a 2^baseSizeLg-entry bimodal base.
+func NewTAGE(baseSizeLg uint) *TAGE {
+	t := &TAGE{
+		base:     make([]int8, 1<<baseSizeLg),
+		baseMask: (1 << baseSizeLg) - 1,
+	}
+	for i := range t.tables {
+		t.tables[i] = tagged{
+			entries: make([]taggedEntry, 1<<taggedSizeLg),
+			histLen: histLens[i],
+		}
+	}
+	return t
+}
+
+// foldHistory compresses the low n bits of history into width bits.
+func foldHistory(hist uint64, n, width uint) uint64 {
+	if n < 64 {
+		hist &= (1 << n) - 1
+	}
+	var folded uint64
+	for n > 0 {
+		folded ^= hist & ((1 << width) - 1)
+		hist >>= width
+		if n >= width {
+			n -= width
+		} else {
+			n = 0
+		}
+	}
+	return folded
+}
+
+func (t *TAGE) taggedIndex(table int, pc uint64) int {
+	tb := &t.tables[table]
+	h := foldHistory(t.hist, tb.histLen, taggedSizeLg)
+	idx := (pc >> 2) ^ (pc >> (taggedSizeLg + 2)) ^ h
+	return int(idx & ((1 << taggedSizeLg) - 1))
+}
+
+func (t *TAGE) taggedTag(table int, pc uint64) uint16 {
+	tb := &t.tables[table]
+	h := foldHistory(t.hist, tb.histLen, tagBits)
+	h2 := foldHistory(t.hist, tb.histLen, tagBits-1)
+	return uint16(((pc >> 2) ^ h ^ (h2 << 1)) & ((1 << tagBits) - 1))
+}
+
+// predictComponents finds the longest-history matching table (provider)
+// and the next-longest (alternate).
+func (t *TAGE) predictComponents(pc uint64) (provider, alt int, provIdx, altIdx int) {
+	provider, alt = -1, -1
+	for i := numTagged - 1; i >= 0; i-- {
+		idx := t.taggedIndex(i, pc)
+		e := &t.tables[i].entries[idx]
+		if e.valid && e.tag == t.taggedTag(i, pc) {
+			if provider < 0 {
+				provider, provIdx = i, idx
+			} else {
+				alt, altIdx = i, idx
+				break
+			}
+		}
+	}
+	return
+}
+
+// Predict returns the predicted direction for the conditional branch
+// at pc.
+func (t *TAGE) Predict(pc uint64) bool {
+	t.Lookups++
+	provider, _, provIdx, _ := t.predictComponents(pc)
+	if provider >= 0 {
+		return t.tables[provider].entries[provIdx].ctr >= 0
+	}
+	return t.base[(pc>>2)&t.baseMask] >= 0
+}
+
+// Update trains the predictor with the branch's actual direction and
+// advances the global history.
+func (t *TAGE) Update(pc uint64, taken bool) {
+	provider, alt, provIdx, altIdx := t.predictComponents(pc)
+
+	var predicted bool
+	if provider >= 0 {
+		predicted = t.tables[provider].entries[provIdx].ctr >= 0
+	} else {
+		predicted = t.base[(pc>>2)&t.baseMask] >= 0
+	}
+	if predicted != taken {
+		t.Mispredicts++
+	}
+
+	// Update the provider (or base) counter.
+	if provider >= 0 {
+		e := &t.tables[provider].entries[provIdx]
+		e.ctr = bump(e.ctr, taken)
+		// Useful bit: provider correct where the alternate differs.
+		var altPred bool
+		if alt >= 0 {
+			altPred = t.tables[alt].entries[altIdx].ctr >= 0
+		} else {
+			altPred = t.base[(pc>>2)&t.baseMask] >= 0
+		}
+		if predicted != altPred {
+			if predicted == taken {
+				if e.u < uMax {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+	} else {
+		b := &t.base[(pc>>2)&t.baseMask]
+		*b = bump2(*b, taken)
+	}
+
+	// Allocate a longer-history entry on misprediction.
+	if predicted != taken && provider < numTagged-1 {
+		allocated := false
+		for i := provider + 1; i < numTagged; i++ {
+			idx := t.taggedIndex(i, pc)
+			e := &t.tables[i].entries[idx]
+			if !e.valid || e.u == 0 {
+				*e = taggedEntry{
+					tag:   t.taggedTag(i, pc),
+					ctr:   ctrInit(taken),
+					u:     0,
+					valid: true,
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// Decay usefulness so future allocations can succeed.
+			for i := provider + 1; i < numTagged; i++ {
+				idx := t.taggedIndex(i, pc)
+				if e := &t.tables[i].entries[idx]; e.u > 0 {
+					e.u--
+				}
+			}
+		}
+	}
+
+	t.hist = t.hist<<1 | b2u(taken)
+}
+
+// History exposes the global history register (for snapshots; wrong-
+// path recovery simply refrains from updating, so no restore needed).
+func (t *TAGE) History() uint64 { return t.hist }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func bump(c int8, up bool) int8 {
+	if up {
+		if c < ctrMax {
+			return c + 1
+		}
+		return c
+	}
+	if c > ctrMin {
+		return c - 1
+	}
+	return c
+}
+
+func bump2(c int8, up bool) int8 {
+	if up {
+		if c < 1 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -2 {
+		return c - 1
+	}
+	return c
+}
+
+func ctrInit(taken bool) int8 {
+	if taken {
+		return 0
+	}
+	return -1
+}
+
+// MispredictRate returns the fraction of mispredicted lookups.
+func (t *TAGE) MispredictRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Mispredicts) / float64(t.Lookups)
+}

@@ -1,0 +1,335 @@
+// Package cache implements the simulated memory hierarchy: generic
+// set-associative caches with pluggable replacement policies, and the
+// four-level hierarchy of the paper's Alderlake-like machine model
+// (Table 4): private L1I and L1D, a unified inclusive L2 running the
+// policy under study, an exclusive victim L3 with DRRIP and SFL-bit
+// MRU re-insertion, next-line prefetchers, and a fixed-latency DRAM.
+package cache
+
+import (
+	"fmt"
+
+	"emissary/internal/policy"
+	"emissary/internal/stats"
+)
+
+// Line is one cache line's bookkeeping state.
+type Line struct {
+	Tag      uint64
+	Valid    bool
+	Dirty    bool
+	Instr    bool // line was filled by an instruction fetch
+	Priority bool // EMISSARY P bit
+	SFL      bool // served-from-last-level (L2 only): filled from L3
+}
+
+// Cache is a set-associative cache. Addresses given to the cache are
+// line addresses (byte address >> lineShift); the cache derives the
+// set index and tag itself.
+type Cache struct {
+	name string
+	sets int
+	ways int
+
+	lines []Line
+	views []policy.LineView
+	pol   policy.Policy
+
+	// Demand statistics split by request class.
+	InstrStats stats.CacheCounters
+	DataStats  stats.CacheCounters
+	// Prefetch fills and inclusion-forced invalidations.
+	PrefetchFills uint64
+	BackInvals    uint64
+	Writebacks    uint64
+	// Priority-bit lifecycle statistics.
+	Promotions    uint64 // RaisePriority calls that set a new P bit
+	HighEvictions uint64 // victims that carried P=1
+	HighBackInval uint64 // P=1 lines removed by Invalidate
+}
+
+// NewCache builds a cache with the given geometry and policy. Sets
+// must be a power of two.
+func NewCache(name string, sets, ways int, pol policy.Policy) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: sets must be a power of two, got %d", name, sets))
+	}
+	if ways <= 0 || ways > 32 {
+		panic(fmt.Sprintf("cache %s: bad way count %d", name, ways))
+	}
+	return &Cache{
+		name:  name,
+		sets:  sets,
+		ways:  ways,
+		lines: make([]Line, sets*ways),
+		views: make([]policy.LineView, sets*ways),
+		pol:   pol,
+	}
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Policy returns the replacement policy.
+func (c *Cache) Policy() policy.Policy { return c.pol }
+
+func (c *Cache) set(lineAddr uint64) int {
+	return int(lineAddr & uint64(c.sets-1))
+}
+
+func (c *Cache) tag(lineAddr uint64) uint64 {
+	return lineAddr >> uint(log2(c.sets))
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}
+
+// find returns the way holding lineAddr, or -1.
+func (c *Cache) find(lineAddr uint64) int {
+	s, t := c.set(lineAddr), c.tag(lineAddr)
+	base := s * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w].Valid && c.lines[base+w].Tag == t {
+			return w
+		}
+	}
+	return -1
+}
+
+// Contains reports presence without side effects.
+func (c *Cache) Contains(lineAddr uint64) bool { return c.find(lineAddr) >= 0 }
+
+// Probe reports presence and the line state without side effects.
+func (c *Cache) Probe(lineAddr uint64) (Line, bool) {
+	if w := c.find(lineAddr); w >= 0 {
+		return c.lines[c.set(lineAddr)*c.ways+w], true
+	}
+	return Line{}, false
+}
+
+// Access performs a demand access: on hit it updates recency and
+// statistics and returns true; on miss it only counts the miss.
+// Callers fill the line separately (possibly later) via Fill.
+func (c *Cache) Access(lineAddr uint64, instr bool) bool {
+	w := c.find(lineAddr)
+	counters := &c.DataStats
+	if instr {
+		counters = &c.InstrStats
+	}
+	if w < 0 {
+		counters.Misses++
+		return false
+	}
+	counters.Hits++
+	s := c.set(lineAddr)
+	c.pol.OnHit(s, w, c.setViews(s))
+	return true
+}
+
+// Touch updates recency on a line known to be present, without
+// counting statistics (used when a store hits a line a load already
+// touched this cycle, and similar bookkeeping).
+func (c *Cache) Touch(lineAddr uint64) {
+	if w := c.find(lineAddr); w >= 0 {
+		s := c.set(lineAddr)
+		c.pol.OnHit(s, w, c.setViews(s))
+	}
+}
+
+// MarkDirty sets the dirty bit on a present line.
+func (c *Cache) MarkDirty(lineAddr uint64) {
+	if w := c.find(lineAddr); w >= 0 {
+		c.lines[c.set(lineAddr)*c.ways+w].Dirty = true
+	}
+}
+
+func (c *Cache) setViews(s int) []policy.LineView {
+	return c.views[s*c.ways : (s+1)*c.ways]
+}
+
+func (c *Cache) syncView(s, w int) {
+	l := &c.lines[s*c.ways+w]
+	c.views[s*c.ways+w] = policy.LineView{
+		Valid:    l.Valid,
+		Priority: l.Priority,
+		Instr:    l.Instr,
+	}
+}
+
+// FillSpec describes the line being installed by Fill.
+type FillSpec struct {
+	Instr    bool
+	Priority bool // selection outcome (M-treatment) or inherited P bit
+	SFL      bool
+	Dirty    bool
+	Prefetch bool // fill initiated by a prefetcher (statistics only)
+}
+
+// Eviction describes a line displaced by Fill, when Victim is true.
+type Eviction struct {
+	Victim   bool
+	LineAddr uint64
+	Line     Line
+}
+
+// Fill installs lineAddr, evicting a victim if the set is full.
+// If the line is already present, its metadata is refreshed instead
+// (a fill racing a fill; the priority bit is only ever raised).
+func (c *Cache) Fill(lineAddr uint64, spec FillSpec) Eviction {
+	s := c.set(lineAddr)
+	base := s * c.ways
+	if spec.Prefetch {
+		c.PrefetchFills++
+	}
+
+	if w := c.find(lineAddr); w >= 0 {
+		l := &c.lines[base+w]
+		l.Dirty = l.Dirty || spec.Dirty
+		l.Priority = l.Priority || spec.Priority
+		c.syncView(s, w)
+		return Eviction{}
+	}
+
+	// Prefer an invalid way.
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[base+w].Valid {
+			way = w
+			break
+		}
+	}
+	var ev Eviction
+	if way < 0 {
+		incoming := policy.LineView{Valid: true, Priority: spec.Priority, Instr: spec.Instr}
+		way = c.pol.Victim(s, c.setViews(s), incoming)
+		if way < 0 || way >= c.ways {
+			panic(fmt.Sprintf("cache %s: policy %s returned bad victim %d", c.name, c.pol.Name(), way))
+		}
+		old := c.lines[base+way]
+		ev = Eviction{Victim: true, LineAddr: c.lineAddr(s, old.Tag), Line: old}
+		if old.Dirty {
+			c.Writebacks++
+		}
+		if old.Priority {
+			c.HighEvictions++
+		}
+		c.pol.OnInvalidate(s, way)
+	}
+
+	c.lines[base+way] = Line{
+		Tag:      c.tag(lineAddr),
+		Valid:    true,
+		Dirty:    spec.Dirty,
+		Instr:    spec.Instr,
+		Priority: spec.Priority,
+		SFL:      spec.SFL,
+	}
+	c.syncView(s, way)
+	c.pol.OnFill(s, way, c.setViews(s))
+	return ev
+}
+
+// lineAddr reconstructs a line address from set and tag.
+func (c *Cache) lineAddr(s int, tag uint64) uint64 {
+	return tag<<uint(log2(c.sets)) | uint64(s)
+}
+
+// Invalidate removes a line (back-invalidation / exclusive-move),
+// returning its state.
+func (c *Cache) Invalidate(lineAddr uint64) (Line, bool) {
+	w := c.find(lineAddr)
+	if w < 0 {
+		return Line{}, false
+	}
+	s := c.set(lineAddr)
+	l := c.lines[s*c.ways+w]
+	if l.Priority {
+		c.HighBackInval++
+	}
+	c.lines[s*c.ways+w] = Line{}
+	c.syncView(s, w)
+	c.pol.OnInvalidate(s, w)
+	c.BackInvals++
+	return l, true
+}
+
+// RaisePriority sets the P bit on a present line (an L1I eviction
+// communicating its priority to the L2 copy). The bit is never
+// lowered while the line is resident.
+func (c *Cache) RaisePriority(lineAddr uint64) {
+	w := c.find(lineAddr)
+	if w < 0 {
+		return
+	}
+	s := c.set(lineAddr)
+	l := &c.lines[s*c.ways+w]
+	if l.Priority {
+		return
+	}
+	l.Priority = true
+	c.Promotions++
+	c.syncView(s, w)
+	c.pol.OnPriorityUpdate(s, w, c.setViews(s))
+}
+
+// PromoteMRU makes a present line the most recently used of its class
+// (used for the SFL-bit MRU insertion into L3).
+func (c *Cache) PromoteMRU(lineAddr uint64) {
+	if w := c.find(lineAddr); w >= 0 {
+		s := c.set(lineAddr)
+		c.pol.OnHit(s, w, c.setViews(s))
+	}
+}
+
+// ResetPriorities clears every P bit (§6's periodic reset mechanism).
+func (c *Cache) ResetPriorities() {
+	for i := range c.lines {
+		if c.lines[i].Priority {
+			c.lines[i].Priority = false
+			c.views[i].Priority = false
+		}
+	}
+}
+
+// PriorityCensus returns, for each possible count 0..ways, how many
+// sets currently hold that many high-priority lines (Figure 8).
+func (c *Cache) PriorityCensus() []int {
+	census := make([]int, c.ways+1)
+	for s := 0; s < c.sets; s++ {
+		n := 0
+		base := s * c.ways
+		for w := 0; w < c.ways; w++ {
+			if c.lines[base+w].Valid && c.lines[base+w].Priority {
+				n++
+			}
+		}
+		census[n]++
+	}
+	return census
+}
+
+// ValidLines counts resident lines, split by class.
+func (c *Cache) ValidLines() (instr, data int) {
+	for i := range c.lines {
+		if !c.lines[i].Valid {
+			continue
+		}
+		if c.lines[i].Instr {
+			instr++
+		} else {
+			data++
+		}
+	}
+	return
+}

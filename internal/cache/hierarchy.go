@@ -1,0 +1,365 @@
+package cache
+
+import (
+	"emissary/internal/core"
+	"emissary/internal/policy"
+)
+
+// Source identifies the level that serves a request.
+type Source int
+
+// Request sources, nearest first.
+const (
+	SrcL1 Source = iota
+	SrcL2
+	SrcL3
+	SrcMem
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SrcL1:
+		return "L1"
+	case SrcL2:
+		return "L2"
+	case SrcL3:
+		return "L3"
+	default:
+		return "Mem"
+	}
+}
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	SizeKB     int
+	Ways       int
+	HitLatency int
+	NLP        bool // next-line prefetcher enabled
+}
+
+func (lc LevelConfig) sets(lineSize int) int {
+	return lc.SizeKB * 1024 / lineSize / lc.Ways
+}
+
+// Config describes the whole hierarchy. DefaultConfig gives the
+// paper's Alderlake-like machine model (Table 4).
+type Config struct {
+	LineSize   int
+	L1I        LevelConfig
+	L1D        LevelConfig
+	L2         LevelConfig
+	L3         LevelConfig
+	MemLatency int
+
+	// L2Policy is the replacement policy under study at the unified L2.
+	L2Policy core.Spec
+	// L1TrueLRU uses exact LRU instead of TPLRU in the L1s and L3
+	// (the Figure 1 configuration).
+	L1TrueLRU bool
+	// IdealL2I serves non-compulsory L2 instruction misses at L2 hit
+	// latency: the unrealizable zero-cycle-miss-penalty model of §5.6.
+	IdealL2I bool
+	// Seed decorrelates the stochastic policies.
+	Seed uint64
+}
+
+// DefaultConfig returns the Table 4 machine model with the given L2
+// policy.
+func DefaultConfig(l2 core.Spec) Config {
+	return Config{
+		LineSize:   64,
+		L1I:        LevelConfig{SizeKB: 32, Ways: 8, HitLatency: 2, NLP: true},
+		L1D:        LevelConfig{SizeKB: 64, Ways: 8, HitLatency: 2, NLP: true},
+		L2:         LevelConfig{SizeKB: 1024, Ways: 16, HitLatency: 12, NLP: true},
+		L3:         LevelConfig{SizeKB: 2048, Ways: 16, HitLatency: 32, NLP: true},
+		MemLatency: 200,
+		L2Policy:   l2,
+	}
+}
+
+// Hierarchy is the simulated memory system. The instruction side is
+// two-phase — ProbeFetch at request issue computes the serving level
+// and latency, CompleteFetch at fill time installs lines with the
+// mode-selection outcome — because EMISSARY's priority bit depends on
+// starvation observed while the miss is in flight. The data side is
+// single-phase.
+type Hierarchy struct {
+	cfg Config
+
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	L3  *Cache
+
+	// seenInstr records instruction lines that have been in L2 before,
+	// to classify compulsory vs capacity/conflict misses (ideal mode
+	// and statistics).
+	seenInstr map[uint64]struct{}
+
+	// CompulsoryL2IMisses and DemandL2IMisses partition the L2
+	// instruction misses.
+	CompulsoryL2IMisses uint64
+
+	// MemReads counts requests served by DRAM.
+	MemReads uint64
+}
+
+// NewHierarchy builds the hierarchy for a config.
+func NewHierarchy(cfg Config) *Hierarchy {
+	ls := cfg.LineSize
+	baseSpec := core.Spec{Treatment: core.TreatRecency, TrueLRU: cfg.L1TrueLRU}
+	l1i := NewCache("L1I", cfg.L1I.sets(ls), cfg.L1I.Ways, baseSpec.Build(cfg.L1I.sets(ls), cfg.L1I.Ways, cfg.Seed+1))
+	l1d := NewCache("L1D", cfg.L1D.sets(ls), cfg.L1D.Ways, baseSpec.Build(cfg.L1D.sets(ls), cfg.L1D.Ways, cfg.Seed+2))
+	l2 := NewCache("L2", cfg.L2.sets(ls), cfg.L2.Ways, cfg.L2Policy.Build(cfg.L2.sets(ls), cfg.L2.Ways, cfg.Seed+3))
+	var l3pol policy.Policy
+	if cfg.L1TrueLRU {
+		l3pol = core.Spec{Treatment: core.TreatRecency, TrueLRU: true}.Build(cfg.L3.sets(ls), cfg.L3.Ways, cfg.Seed+4)
+	} else {
+		l3pol = core.Spec{Treatment: core.TreatDRRIP}.Build(cfg.L3.sets(ls), cfg.L3.Ways, cfg.Seed+4)
+	}
+	l3 := NewCache("L3", cfg.L3.sets(ls), cfg.L3.Ways, l3pol)
+	return &Hierarchy{
+		cfg:       cfg,
+		L1I:       l1i,
+		L1D:       l1d,
+		L2:        l2,
+		L3:        l3,
+		seenInstr: make(map[uint64]struct{}),
+	}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// FetchResult describes the outcome of an instruction line request.
+type FetchResult struct {
+	Latency int
+	Source  Source
+	// NeedFill is true when the caller must invoke CompleteFetch once
+	// the request's starvation outcome is known (any L1I miss).
+	NeedFill bool
+}
+
+// ProbeFetch is phase one of an instruction line request: it looks up
+// the hierarchy, accounts hit/miss statistics at each probed level,
+// and returns the serving level and total latency. It does not install
+// any line. The caller must not issue a second ProbeFetch for the
+// same line while a fill is outstanding (MSHR merging is the
+// front-end's job).
+func (h *Hierarchy) ProbeFetch(lineAddr uint64) FetchResult {
+	if h.L1I.Access(lineAddr, true) {
+		return FetchResult{Latency: h.cfg.L1I.HitLatency, Source: SrcL1}
+	}
+	if h.L2.Access(lineAddr, true) {
+		return FetchResult{Latency: h.cfg.L2.HitLatency, Source: SrcL2, NeedFill: true}
+	}
+	compulsory := true
+	if _, ok := h.seenInstr[lineAddr]; ok {
+		compulsory = false
+	} else {
+		h.seenInstr[lineAddr] = struct{}{}
+		h.CompulsoryL2IMisses++
+	}
+	if h.cfg.L2.NLP {
+		h.prefetchInstrL2(lineAddr + 1)
+	}
+	if h.L3.Access(lineAddr, true) {
+		lat := h.cfg.L3.HitLatency
+		if h.cfg.IdealL2I && !compulsory {
+			lat = h.cfg.L2.HitLatency
+		}
+		return FetchResult{Latency: lat, Source: SrcL3, NeedFill: true}
+	}
+	h.MemReads++
+	lat := h.cfg.MemLatency
+	if h.cfg.IdealL2I && !compulsory {
+		lat = h.cfg.L2.HitLatency
+	}
+	return FetchResult{Latency: lat, Source: SrcMem, NeedFill: true}
+}
+
+// CompleteFetch is phase two: it installs the line with the
+// mode-selection outcome. highPriority is the evaluated selection
+// equation for this miss (always false for non-bimodal L2 policies).
+func (h *Hierarchy) CompleteFetch(lineAddr uint64, src Source, highPriority bool) {
+	inherited := false
+	switch src {
+	case SrcL1:
+		return // hits need no fill
+	case SrcL2:
+		if l, ok := h.L2.Probe(lineAddr); ok {
+			inherited = l.Priority
+		} else {
+			// The line was evicted from L2 between probe and fill;
+			// reinstall it so the L1I fill preserves inclusion.
+			h.fillL2(lineAddr, FillSpec{Instr: true, Priority: h.l2InsertPriority(highPriority)})
+		}
+	case SrcL3:
+		h.L3.Invalidate(lineAddr) // exclusive move L3 -> L2
+		h.fillL2(lineAddr, FillSpec{Instr: true, SFL: true, Priority: h.l2InsertPriority(highPriority)})
+	case SrcMem:
+		h.fillL2(lineAddr, FillSpec{Instr: true, Priority: h.l2InsertPriority(highPriority)})
+	}
+	h.fillL1I(lineAddr, highPriority || inherited)
+	if h.cfg.L1I.NLP {
+		h.prefetchInstrL1I(lineAddr + 1)
+	}
+}
+
+// l2InsertPriority maps the selection outcome onto the L2 insertion's
+// priority metadata. The M treatment consumes it at insertion; the
+// P treatment defers priority to the L1I eviction (§3: "a line's
+// priority is only communicated to L2 once it is evicted from the L1I
+// cache"), so EMISSARY L2 insertions start low-priority.
+func (h *Hierarchy) l2InsertPriority(selected bool) bool {
+	if h.cfg.L2Policy.PersistentPriority() {
+		return false
+	}
+	return selected
+}
+
+// fillL1I installs an instruction line in L1I, carrying the evicted
+// line's P bit into its L2 copy.
+func (h *Hierarchy) fillL1I(lineAddr uint64, priority bool) {
+	ev := h.L1I.Fill(lineAddr, FillSpec{Instr: true, Priority: priority})
+	if ev.Victim && ev.Line.Priority {
+		h.L2.RaisePriority(ev.LineAddr)
+	}
+}
+
+// fillL2 installs a line in the (inclusive) L2: the displaced victim
+// is back-invalidated from the L1s and moved into the exclusive L3.
+func (h *Hierarchy) fillL2(lineAddr uint64, spec FillSpec) {
+	// Exclusivity safety net: while this fill was outstanding, a
+	// racing prefetch or fill may have installed the line in L2 and
+	// then evicted it into L3; remove any L3 copy before installing.
+	if l, ok := h.L3.Invalidate(lineAddr); ok {
+		spec.Dirty = spec.Dirty || l.Dirty
+		spec.SFL = true
+	}
+	ev := h.L2.Fill(lineAddr, spec)
+	if !ev.Victim {
+		return
+	}
+	// Inclusion: remove the victim from the private caches. A dirty
+	// L1D copy folds its data into the victim on its way out.
+	if l, ok := h.L1I.Invalidate(ev.LineAddr); ok && l.Priority {
+		ev.Line.Priority = true
+	}
+	if l, ok := h.L1D.Invalidate(ev.LineAddr); ok && l.Dirty {
+		ev.Line.Dirty = true
+	}
+	// Victim cache: every L2 eviction is installed in L3. SFL lines
+	// re-enter at MRU (§5.1).
+	h.L3.Fill(ev.LineAddr, FillSpec{Instr: ev.Line.Instr, Dirty: ev.Line.Dirty})
+	if ev.Line.SFL {
+		h.L3.PromoteMRU(ev.LineAddr)
+	}
+}
+
+// prefetchInstrL2 is the L2 next-line prefetcher for the instruction
+// stream: it pulls the next line into L2 (from L3 or memory) without
+// modeling prefetch latency.
+func (h *Hierarchy) prefetchInstrL2(lineAddr uint64) {
+	if h.L2.Contains(lineAddr) {
+		return
+	}
+	spec := FillSpec{Instr: true, Prefetch: true}
+	if h.L3.Contains(lineAddr) {
+		h.L3.Invalidate(lineAddr)
+		spec.SFL = true
+	} else {
+		h.MemReads++
+	}
+	h.fillL2(lineAddr, spec)
+}
+
+// prefetchInstrL1I pulls the next line into L1I (filling L2 on the way
+// to preserve inclusion).
+func (h *Hierarchy) prefetchInstrL1I(lineAddr uint64) {
+	if h.L1I.Contains(lineAddr) {
+		return
+	}
+	if !h.L2.Contains(lineAddr) {
+		h.prefetchInstrL2(lineAddr)
+	}
+	inherited := false
+	if l, ok := h.L2.Probe(lineAddr); ok {
+		inherited = l.Priority
+	}
+	ev := h.L1I.Fill(lineAddr, FillSpec{Instr: true, Priority: inherited, Prefetch: true})
+	if ev.Victim && ev.Line.Priority {
+		h.L2.RaisePriority(ev.LineAddr)
+	}
+}
+
+// AccessData performs a load or store and returns its latency.
+func (h *Hierarchy) AccessData(lineAddr uint64, store bool) int {
+	if h.L1D.Access(lineAddr, false) {
+		if store {
+			h.L1D.MarkDirty(lineAddr)
+		}
+		// The next-line prefetcher trains on every access, which is
+		// what lets it cover streaming patterns.
+		if h.cfg.L1D.NLP {
+			h.prefetchDataL1D(lineAddr + 1)
+		}
+		return h.cfg.L1D.HitLatency
+	}
+	lat := h.dataMiss(lineAddr, FillSpec{})
+	if store {
+		h.L1D.MarkDirty(lineAddr)
+	}
+	if h.cfg.L1D.NLP {
+		h.prefetchDataL1D(lineAddr + 1)
+	}
+	return lat
+}
+
+// dataMiss walks the outer levels for a data request, installing the
+// line in L2 and L1D, and returns the serving latency.
+func (h *Hierarchy) dataMiss(lineAddr uint64, spec FillSpec) int {
+	spec.Instr = false
+	lat := h.cfg.MemLatency
+	switch {
+	case h.L2.Access(lineAddr, false):
+		lat = h.cfg.L2.HitLatency
+	case h.L3.Access(lineAddr, false):
+		lat = h.cfg.L3.HitLatency
+		if l, ok := h.L3.Invalidate(lineAddr); ok {
+			spec.Dirty = l.Dirty
+		}
+		spec.SFL = true
+		h.fillL2(lineAddr, spec)
+	default:
+		h.MemReads++
+		h.fillL2(lineAddr, spec)
+	}
+	// Fill L1D (clean: store dirtiness is set by MarkDirty); a dirty
+	// victim writes back into the (inclusive) L2.
+	ev := h.L1D.Fill(lineAddr, FillSpec{Prefetch: spec.Prefetch})
+	if ev.Victim && ev.Line.Dirty {
+		h.L2.MarkDirty(ev.LineAddr)
+	}
+	return lat
+}
+
+// prefetchDataL1D is the L1D next-line prefetcher.
+func (h *Hierarchy) prefetchDataL1D(lineAddr uint64) {
+	if h.L1D.Contains(lineAddr) {
+		return
+	}
+	h.dataMiss(lineAddr, FillSpec{Prefetch: true})
+}
+
+// LineShift returns log2(line size) for address arithmetic.
+func (h *Hierarchy) LineShift() uint {
+	return uint(log2(h.cfg.LineSize))
+}
+
+// ResetPriorities clears P bits hierarchy-wide (§6).
+func (h *Hierarchy) ResetPriorities() {
+	h.L1I.ResetPriorities()
+	h.L2.ResetPriorities()
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"emissary/internal/policy"
+	"emissary/internal/rng"
+)
+
+func lines(ways int) []policy.LineView {
+	ls := make([]policy.LineView, ways)
+	for i := range ls {
+		ls[i] = policy.LineView{Valid: true, Instr: true}
+	}
+	return ls
+}
+
+func TestEmissaryEvictsLowPriorityFirst(t *testing.T) {
+	for _, base := range []string{"truelru", "tplru"} {
+		var e *Emissary
+		if base == "truelru" {
+			e = NewEmissaryTrueLRU("P(2):S", 1, 4, 2)
+		} else {
+			e = NewEmissaryTPLRU("P(2):S", 1, 4, 2)
+		}
+		ls := lines(4)
+		ls[1].Priority = true
+		for w := 0; w < 4; w++ {
+			e.OnFill(0, w, ls)
+		}
+		// Way 1 is high-priority; with 1 <= N=2 the victim must be the
+		// LRU among low-priority lines, i.e. way 0.
+		if v := e.Victim(0, ls, policy.LineView{Valid: true, Instr: true}); v != 0 {
+			t.Errorf("[%s] Victim = %d, want 0", base, v)
+		}
+	}
+}
+
+func TestEmissaryAlgorithm1OverLimit(t *testing.T) {
+	e := NewEmissaryTrueLRU("P(2):S", 1, 4, 2)
+	ls := lines(4)
+	// Three high-priority lines (ways 0,1,2), one low (way 3); N=2.
+	for w := 0; w < 4; w++ {
+		ls[w].Priority = w < 3
+		e.OnFill(0, w, ls)
+	}
+	// count(high)=3 > N=2: evict LRU among the high-priority lines = way 0.
+	if v := e.Victim(0, ls, policy.LineView{Valid: true, Instr: true}); v != 0 {
+		t.Errorf("Victim = %d, want 0 (LRU high-priority line)", v)
+	}
+}
+
+func TestEmissaryAllHighFallback(t *testing.T) {
+	e := NewEmissaryTrueLRU("P(8):S", 1, 4, 8)
+	ls := lines(4)
+	for w := 0; w < 4; w++ {
+		ls[w].Priority = true
+		e.OnFill(0, w, ls)
+	}
+	// count(high)=4 <= N=8 but there is no low-priority line; must
+	// fall back to the high class rather than panic.
+	if v := e.Victim(0, ls, policy.LineView{Valid: true}); v != 0 {
+		t.Errorf("Victim = %d, want 0", v)
+	}
+}
+
+func TestEmissaryProtectionPersists(t *testing.T) {
+	// A high-priority line older than every low-priority line must
+	// survive as long as high count <= N (the essence of persistence).
+	e := NewEmissaryTPLRU("P(4):S", 1, 8, 4)
+	ls := lines(8)
+	ls[0].Priority = true
+	for w := 0; w < 8; w++ {
+		e.OnFill(0, w, ls)
+	}
+	// Touch every low-priority line many times; way 0 never touched.
+	for i := 0; i < 100; i++ {
+		for w := 1; w < 8; w++ {
+			e.OnHit(0, w, ls)
+		}
+	}
+	for trial := 0; trial < 8; trial++ {
+		if v := e.Victim(0, ls, policy.LineView{Valid: true, Instr: true}); v == 0 {
+			t.Fatalf("protected high-priority line evicted")
+		}
+	}
+}
+
+func TestEmissaryDualTreeIndependence(t *testing.T) {
+	e := NewEmissaryTPLRU("P(4):S", 1, 8, 4)
+	ls := lines(8)
+	for w := 0; w < 8; w++ {
+		ls[w].Priority = w < 4
+		e.OnFill(0, w, ls)
+	}
+	// Hits on high-priority lines must not disturb the low tree's
+	// victim choice.
+	before := e.Victim(0, ls, policy.LineView{Valid: true})
+	for i := 0; i < 16; i++ {
+		e.OnHit(0, i%4, ls)
+	}
+	after := e.Victim(0, ls, policy.LineView{Valid: true})
+	if before != after {
+		t.Errorf("low-class victim changed %d -> %d after high-class hits", before, after)
+	}
+}
+
+func TestEmissaryVictimAlwaysValid(t *testing.T) {
+	e := NewEmissaryTPLRU("P(8):S&E", 4, 16, 8)
+	ls := lines(16)
+	r := rng.NewXoshiro256(3)
+	for i := 0; i < 5000; i++ {
+		set := r.Intn(4)
+		w := e.Victim(set, ls, policy.LineView{Valid: true, Instr: true})
+		if w < 0 || w >= 16 {
+			t.Fatalf("victim out of range: %d", w)
+		}
+		ls[w].Priority = r.Bool(0.3)
+		e.OnFill(set, w, ls)
+		if r.Bool(0.5) {
+			hw := r.Intn(16)
+			e.OnHit(set, hw, ls)
+		}
+	}
+}
+
+func TestSelectionEval(t *testing.T) {
+	r := rng.NewXoshiro256(1)
+	cases := []struct {
+		sel     Selection
+		s, e    bool
+		want    bool
+		certain bool // result independent of rng
+	}{
+		{Selection{Always: true}, false, false, true, true},
+		{Selection{Never: true}, true, true, false, true},
+		{Selection{NeedS: true}, true, false, true, true},
+		{Selection{NeedS: true}, false, true, false, true},
+		{Selection{NeedS: true, NeedE: true}, true, false, false, true},
+		{Selection{NeedS: true, NeedE: true}, true, true, true, true},
+		{Selection{NeedS: true, HasR: true, RProb: 0}, true, true, false, true},
+		{Selection{NeedS: true, HasR: true, RProb: 1}, true, true, true, true},
+	}
+	for i, c := range cases {
+		if got := c.sel.Eval(c.s, c.e, r); got != c.want {
+			t.Errorf("case %d (%s): Eval(%v,%v) = %v, want %v", i, c.sel, c.s, c.e, got, c.want)
+		}
+	}
+}
+
+func TestSelectionRandRate(t *testing.T) {
+	r := rng.NewXoshiro256(9)
+	sel := Selection{NeedS: true, HasR: true, RProb: 1.0 / 32.0}
+	hits := 0
+	const n = 64000
+	for i := 0; i < n; i++ {
+		if sel.Eval(true, true, r) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-1.0/32.0) > 0.004 {
+		t.Errorf("R(1/32) pass rate = %v", rate)
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	cases := []string{
+		"LRU", "TPLRU", "M:1", "M:0", "M:R(1/32)", "M:S", "M:S&E",
+		"M:S&E&R(1/32)", "P(8):S", "P(8):S&E", "P(8):S&E&R(1/32)",
+		"P(8):R(1/32)", "P(0):S", "P(14):S&E&R(1/64)",
+		"SRRIP", "BRRIP", "DRRIP", "PDP", "DCLIP",
+	}
+	for _, text := range cases {
+		spec, err := ParsePolicy(text)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", text, err)
+			continue
+		}
+		if spec.String() != text {
+			t.Errorf("round trip %q -> %q", text, spec.String())
+		}
+	}
+}
+
+func TestParsePolicyAliases(t *testing.T) {
+	lip := MustParsePolicy("LIP")
+	if lip.Treatment != TreatMRUInsert || !lip.Sel.Never {
+		t.Errorf("LIP parsed as %+v", lip)
+	}
+	bip := MustParsePolicy("BIP")
+	if bip.Treatment != TreatMRUInsert || !bip.Sel.HasR || bip.Sel.RProb != 1.0/32.0 {
+		t.Errorf("BIP parsed as %+v", bip)
+	}
+	lru := MustParsePolicy("LRU")
+	if lru.Treatment != TreatRecency || !lru.TrueLRU {
+		t.Errorf("LRU parsed as %+v", lru)
+	}
+}
+
+func TestParsePolicyTrueLRUSuffix(t *testing.T) {
+	spec := MustParsePolicy("P(8):S&E+LRU")
+	if !spec.TrueLRU || spec.Treatment != TreatProtect || spec.N != 8 {
+		t.Errorf("parsed %+v", spec)
+	}
+}
+
+func TestParsePolicyWhitespaceAndCase(t *testing.T) {
+	spec, err := ParsePolicy("p(8): s & e & r(1/32)")
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	if spec.String() != "P(8):S&E&R(1/32)" {
+		t.Errorf("got %q", spec.String())
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	bad := []string{
+		"", "Q:1", "P(x):S", "P(8)", "P(8):", "M:W", "M:R(2)", "M:R(1/0)",
+		"M:1&S", "M:0&R(1/2)", "P(-1):S", "M:R(-0.5)",
+	}
+	for _, text := range bad {
+		if _, err := ParsePolicy(text); err == nil {
+			t.Errorf("ParsePolicy(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestMustParsePolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParsePolicy did not panic")
+		}
+	}()
+	MustParsePolicy("garbage!!")
+}
+
+func TestSpecPredicates(t *testing.T) {
+	if !MustParsePolicy("P(8):S&E").NeedsStarvationSignal() {
+		t.Error("P(8):S&E should need the starvation signal")
+	}
+	if MustParsePolicy("P(8):R(1/32)").NeedsStarvationSignal() {
+		t.Error("P(8):R(1/32) should not need the starvation signal")
+	}
+	if MustParsePolicy("SRRIP").UsesSelection() {
+		t.Error("SRRIP should not use selection")
+	}
+	if !MustParsePolicy("P(8):S").PersistentPriority() {
+		t.Error("P treatment should have persistent priority")
+	}
+	if MustParsePolicy("M:S").PersistentPriority() {
+		t.Error("M treatment should not have persistent priority")
+	}
+}
+
+func TestSpecBuildAll(t *testing.T) {
+	for _, text := range []string{
+		"LRU", "TPLRU", "M:0", "M:R(1/32)", "M:S&E&R(1/32)",
+		"P(8):S&E&R(1/32)", "P(8):S&E+LRU", "SRRIP", "BRRIP", "DRRIP",
+		"PDP", "DCLIP",
+	} {
+		spec := MustParsePolicy(text)
+		p := spec.Build(64, 16, 1)
+		if p == nil {
+			t.Errorf("Build(%q) returned nil", text)
+			continue
+		}
+		if spec.UsesSelection() || spec.Treatment == TreatRecency {
+			if p.Name() != spec.String() {
+				t.Errorf("Build(%q).Name() = %q", text, p.Name())
+			}
+		}
+	}
+}
+
+func TestSelectorDeterminism(t *testing.T) {
+	spec := MustParsePolicy("P(8):S&E&R(1/32)")
+	a := spec.NewSelector(77)
+	b := spec.NewSelector(77)
+	for i := 0; i < 1000; i++ {
+		if a.Select(true, true) != b.Select(true, true) {
+			t.Fatalf("selectors diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSelectionStringForms(t *testing.T) {
+	if got := (Selection{}).String(); got != "1" {
+		t.Errorf("empty selection String = %q, want 1 (degenerate always)", got)
+	}
+	if got := (Selection{NeedS: true, HasR: true, RProb: 0.015625}).String(); got != "S&R(1/64)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Selection{HasR: true, RProb: 0.3}).String(); got != "R(0.3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEmissaryPropertyNeverEvictProtected(t *testing.T) {
+	// Property: when high count <= N and at least one low-priority
+	// valid line exists, the victim is low-priority.
+	if err := quick.Check(func(prioBits uint8, touches []uint8) bool {
+		const ways = 8
+		const n = 4
+		e := NewEmissaryTPLRU("P(4):S", 1, ways, n)
+		ls := lines(ways)
+		highCount := 0
+		for w := 0; w < ways; w++ {
+			ls[w].Priority = prioBits&(1<<uint(w)) != 0
+			if ls[w].Priority {
+				highCount++
+			}
+			e.OnFill(0, w, ls)
+		}
+		for _, tch := range touches {
+			e.OnHit(0, int(tch%ways), ls)
+		}
+		v := e.Victim(0, ls, policy.LineView{Valid: true, Instr: true})
+		if highCount <= n && highCount < ways {
+			return !ls[v].Priority
+		}
+		if highCount > n {
+			return ls[v].Priority
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

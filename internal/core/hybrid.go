@@ -1,0 +1,89 @@
+package core
+
+import "emissary/internal/policy"
+
+// EmissaryGHRP is the hybrid the paper's §7.2 proposes as future work:
+// EMISSARY's P(N) protection for starvation-marked lines, with GHRP's
+// dead-block prediction choosing the victim among the low-priority
+// lines ("identify the low-priority dead blocks for eviction").
+//
+// High-priority lines keep their own tree-PLRU recency (as in plain
+// EMISSARY); low-priority victims are predicted-dead lines first.
+type EmissaryGHRP struct {
+	name string
+	n    int
+
+	ghrp  *policy.GHRP
+	highT *policy.TPLRU
+}
+
+// NewEmissaryGHRP builds the hybrid.
+func NewEmissaryGHRP(name string, sets, ways, n int) *EmissaryGHRP {
+	return &EmissaryGHRP{
+		name:  name,
+		n:     n,
+		ghrp:  policy.NewGHRP(sets, ways),
+		highT: policy.NewTPLRU(sets, ways),
+	}
+}
+
+// Name implements policy.Policy.
+func (e *EmissaryGHRP) Name() string { return e.name }
+
+// OnHit implements policy.Policy. GHRP tracks every line (its history
+// and signatures are global); the high tree additionally tracks
+// protected-line recency.
+func (e *EmissaryGHRP) OnHit(set, way int, lines []policy.LineView) {
+	e.ghrp.OnHit(set, way, lines)
+	if lines[way].Priority {
+		e.highT.Touch(set, way)
+	}
+}
+
+// OnFill implements policy.Policy.
+func (e *EmissaryGHRP) OnFill(set, way int, lines []policy.LineView) {
+	e.ghrp.OnFill(set, way, lines)
+	if lines[way].Priority {
+		e.highT.Touch(set, way)
+	}
+}
+
+// Victim implements policy.Policy: Algorithm 1 with GHRP victim
+// selection inside the low-priority class.
+func (e *EmissaryGHRP) Victim(set int, lines []policy.LineView, incoming policy.LineView) int {
+	var highMask, lowMask uint32
+	highCount := 0
+	for w, l := range lines {
+		if !l.Valid {
+			continue
+		}
+		if l.Priority {
+			highMask |= 1 << uint(w)
+			highCount++
+		} else {
+			lowMask |= 1 << uint(w)
+		}
+	}
+	if highCount <= e.n {
+		if v := e.ghrp.VictimAmong(set, lines, lowMask); v >= 0 {
+			return v
+		}
+	}
+	if v := e.highT.VictimAmong(set, highMask); v >= 0 {
+		return v
+	}
+	return 0
+}
+
+// OnInvalidate implements policy.Policy.
+func (e *EmissaryGHRP) OnInvalidate(set, way int) {
+	e.ghrp.OnInvalidate(set, way)
+}
+
+// OnPriorityUpdate implements policy.Policy: a promoted line joins the
+// high class's recency order.
+func (e *EmissaryGHRP) OnPriorityUpdate(set, way int, lines []policy.LineView) {
+	if lines[way].Priority {
+		e.highT.Touch(set, way)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"emissary/internal/policy"
+)
+
+func TestParseGHRPForms(t *testing.T) {
+	spec := MustParsePolicy("GHRP")
+	if spec.Treatment != TreatGHRP || spec.String() != "GHRP" {
+		t.Errorf("GHRP parsed as %+v (%s)", spec, spec.String())
+	}
+	spec = MustParsePolicy("P(8):S&E&R(1/32)+GHRP")
+	if spec.Treatment != TreatProtect || !spec.GHRP || spec.N != 8 {
+		t.Errorf("hybrid parsed as %+v", spec)
+	}
+	if spec.String() != "P(8):S&E&R(1/32)+GHRP" {
+		t.Errorf("round trip gave %q", spec.String())
+	}
+	if _, err := ParsePolicy("M:S+GHRP"); err == nil {
+		t.Error("+GHRP on an M policy accepted")
+	}
+	if _, err := ParsePolicy("SRRIP+GHRP"); err == nil {
+		t.Error("+GHRP on SRRIP accepted")
+	}
+}
+
+func TestGHRPSpecBuilds(t *testing.T) {
+	p := MustParsePolicy("GHRP").Build(64, 16, 1)
+	if p.Name() != "GHRP" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	h := MustParsePolicy("P(8):S+GHRP").Build(64, 16, 1)
+	if _, ok := h.(*EmissaryGHRP); !ok {
+		t.Errorf("hybrid built %T", h)
+	}
+}
+
+func TestHybridProtectsHighPriority(t *testing.T) {
+	e := NewEmissaryGHRP("P(2):S+GHRP", 1, 4, 2)
+	ls := lines(4)
+	ls[1].Priority = true
+	for w := 0; w < 4; w++ {
+		e.OnFill(0, w, ls)
+	}
+	// One high-priority line with N=2: the victim must be low-priority.
+	for trial := 0; trial < 8; trial++ {
+		if v := e.Victim(0, ls, policy.LineView{Valid: true, Instr: true}); ls[v].Priority {
+			t.Fatal("hybrid evicted a protected line under the limit")
+		}
+	}
+}
+
+func TestHybridEvictsHighWhenOverLimit(t *testing.T) {
+	e := NewEmissaryGHRP("P(1):S+GHRP", 1, 4, 1)
+	ls := lines(4)
+	for w := 0; w < 4; w++ {
+		ls[w].Priority = w < 3 // three high, one low; N=1
+		e.OnFill(0, w, ls)
+	}
+	if v := e.Victim(0, ls, policy.LineView{Valid: true}); !ls[v].Priority {
+		t.Error("over the limit, the victim must come from the high class")
+	}
+}
+
+func TestHybridVictimInRange(t *testing.T) {
+	e := NewEmissaryGHRP("P(8):S&E+GHRP", 16, 16, 8)
+	ls := lines(16)
+	for i := 0; i < 3000; i++ {
+		set := i % 16
+		v := e.Victim(set, ls, policy.LineView{Valid: true, Instr: true})
+		if v < 0 || v >= 16 {
+			t.Fatalf("victim %d out of range", v)
+		}
+		ls[v].Priority = i%7 == 0
+		e.OnFill(set, v, ls)
+		if i%3 == 0 {
+			e.OnHit(set, (i*5)%16, ls)
+		}
+		if i%11 == 0 {
+			e.OnInvalidate(set, (i*3)%16)
+		}
+	}
+}

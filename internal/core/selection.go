@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"emissary/internal/rng"
+)
+
+// Selection is a mode-selection equation over the signals of Table 1:
+// a conjunction of S (the miss caused decode starvation), E (the miss
+// completed with an empty issue queue) and R(r) (a pseudo-random
+// 1-in-1/r draw), or one of the degenerate constants 1 / 0.
+//
+// Selection is evaluated exactly once per line, when the miss that
+// inserts it completes (§4.1: "the mode selection is determined once
+// during cache line insertion").
+type Selection struct {
+	Always bool // "1": every line is high-priority (classic LRU)
+	Never  bool // "0": no line is high-priority (LIP)
+	NeedS  bool
+	NeedE  bool
+	HasR   bool
+	RProb  float64
+}
+
+// Eval computes the equation for a completed miss. The random term is
+// drawn only when the deterministic terms pass, so R acts as a filter
+// on already-qualified lines (§5.5: lines must "prove themselves with
+// multiple starvations").
+func (s Selection) Eval(starved, iqEmpty bool, r *rng.Xoshiro256) bool {
+	if s.Never {
+		return false
+	}
+	if s.Always {
+		return true
+	}
+	if s.NeedS && !starved {
+		return false
+	}
+	if s.NeedE && !iqEmpty {
+		return false
+	}
+	if s.HasR {
+		return r.Bool(s.RProb)
+	}
+	return true
+}
+
+// String renders the selection in the paper's notation.
+func (s Selection) String() string {
+	if s.Always {
+		return "1"
+	}
+	if s.Never {
+		return "0"
+	}
+	var terms []string
+	if s.NeedS {
+		terms = append(terms, "S")
+	}
+	if s.NeedE {
+		terms = append(terms, "E")
+	}
+	if s.HasR {
+		terms = append(terms, fmt.Sprintf("R(%s)", formatProb(s.RProb)))
+	}
+	if len(terms) == 0 {
+		return "1"
+	}
+	return strings.Join(terms, "&")
+}
+
+// formatProb prints 1/2^k probabilities as fractions, like the paper.
+func formatProb(p float64) string {
+	if p > 0 {
+		inv := 1.0 / p
+		if inv == float64(int64(inv)) {
+			return fmt.Sprintf("1/%d", int64(inv))
+		}
+	}
+	return fmt.Sprintf("%g", p)
+}

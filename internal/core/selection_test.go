@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"emissary/internal/rng"
+)
+
+// Property: every parsable generated selection string round-trips.
+func TestSelectionRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(needS, needE bool, rPow uint8) bool {
+		sel := Selection{NeedS: needS, NeedE: needE}
+		if rPow%4 != 0 || (!needS && !needE) {
+			// Ensure at least one term: the empty selection renders as
+			// the degenerate "1", which parses to Always by design.
+			sel.HasR = true
+			sel.RProb = 1.0 / float64(uint64(1)<<(rPow%7+1))
+		}
+		text := sel.String()
+		spec, err := ParsePolicy("P(8):" + text)
+		if err != nil {
+			return false
+		}
+		return spec.Sel == sel
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval is monotone in its inputs — granting a signal can
+// never turn a true outcome false (for deterministic selections).
+func TestSelectionEvalMonotone(t *testing.T) {
+	r := rng.NewXoshiro256(1)
+	if err := quick.Check(func(needS, needE, s, e bool) bool {
+		sel := Selection{NeedS: needS, NeedE: needE}
+		base := sel.Eval(s, e, r)
+		if !base {
+			return true
+		}
+		// Upgrading either signal keeps the outcome true.
+		return sel.Eval(true, e, r) && sel.Eval(s, true, r) && sel.Eval(true, true, r)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with R absent, Eval never consumes randomness — two
+// generators stay in lockstep regardless of the call pattern.
+func TestSelectionDeterministicWithoutR(t *testing.T) {
+	a, b := rng.NewXoshiro256(9), rng.NewXoshiro256(9)
+	sel := Selection{NeedS: true, NeedE: true}
+	for i := 0; i < 100; i++ {
+		sel.Eval(i%2 == 0, i%3 == 0, a)
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Error("deterministic selection consumed random numbers")
+	}
+}
+
+// Property: parser never panics on arbitrary input, and whatever it
+// accepts must render back into something it accepts again.
+func TestParsePolicyFuzzProperty(t *testing.T) {
+	if err := quick.Check(func(raw string) bool {
+		spec, err := ParsePolicy(raw)
+		if err != nil {
+			return true // rejection is fine; panics are not
+		}
+		again, err := ParsePolicy(spec.String())
+		if err != nil {
+			return false
+		}
+		return again.String() == spec.String()
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The full notation corpus from Table 3 plus this repo's extensions
+// must parse, render stably, and build.
+func TestNotationCorpus(t *testing.T) {
+	corpus := []string{
+		"LRU", "TPLRU", "LIP", "BIP",
+		"M:1", "M:0", "M:S", "M:E", "M:S&E", "M:R(1/2)", "M:R(1/64)",
+		"M:S&R(1/32)", "M:E&R(1/16)", "M:S&E&R(1/32)",
+		"P(0):S", "P(2):R(1/2)", "P(4):S&E", "P(6):S&E&R(1/16)",
+		"P(8):S", "P(8):S&E", "P(8):S&E&R(1/32)", "P(8):R(1/32)",
+		"P(10):S&E&R(1/32)", "P(12):S&E&R(1/64)", "P(14):S&E&R(1/32)",
+		"P(8):S&E+LRU", "P(8):S&E&R(1/32)+GHRP", "P(8):S+GHRP",
+		"SRRIP", "BRRIP", "DRRIP", "PDP", "DCLIP", "GHRP",
+	}
+	for _, text := range corpus {
+		spec, err := ParsePolicy(text)
+		if err != nil {
+			t.Errorf("%q: %v", text, err)
+			continue
+		}
+		rendered := spec.String()
+		if strings.ReplaceAll(rendered, " ", "") == "" {
+			t.Errorf("%q rendered empty", text)
+		}
+		if p := spec.Build(64, 16, 3); p == nil {
+			t.Errorf("%q did not build", text)
+		}
+		respec, err := ParsePolicy(rendered)
+		if err != nil || respec.String() != rendered {
+			t.Errorf("%q: unstable render %q", text, rendered)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"emissary/internal/policy"
+	"emissary/internal/rng"
+)
+
+// Treatment is the mode-treatment axis of Table 2, extended with the
+// non-bimodal comparison policies of Table 3.
+type Treatment int
+
+// Treatments.
+const (
+	// TreatRecency is plain recency replacement with no bimodality
+	// (the baseline policy used for the L1 caches, and "LRU"/"TPLRU").
+	TreatRecency Treatment = iota
+	// TreatMRUInsert is the M treatment: high-priority lines insert at
+	// MRU, low-priority instruction lines at LRU.
+	TreatMRUInsert
+	// TreatProtect is the EMISSARY P(N) treatment of Algorithm 1.
+	TreatProtect
+	// Comparison policies (selection axis does not apply).
+	TreatSRRIP
+	TreatBRRIP
+	TreatDRRIP
+	TreatPDP
+	TreatDCLIP
+	// TreatGHRP is the dead-block-prediction policy of §7.2.
+	TreatGHRP
+)
+
+// Spec fully describes a replacement policy in the paper's design
+// space. The zero value is the TPLRU recency baseline.
+type Spec struct {
+	Treatment Treatment
+	// N is the protected-way limit for TreatProtect.
+	N int
+	// Sel is the mode-selection equation for the M and P treatments.
+	Sel Selection
+	// TrueLRU selects the exact-LRU recency base instead of tree
+	// pseudo-LRU (Figure 1 uses true LRU; all evaluations use TPLRU).
+	TrueLRU bool
+	// PD overrides PDP's static protecting distance (0 = default).
+	PD int
+	// GHRP combines the P treatment with GHRP dead-block victim
+	// selection inside the low-priority class (the §7.2 hybrid).
+	GHRP bool
+}
+
+// String renders the spec in the paper's notation.
+func (s Spec) String() string {
+	lruSuffix := ""
+	if s.TrueLRU {
+		lruSuffix = "+LRU"
+	}
+	switch s.Treatment {
+	case TreatRecency:
+		if s.TrueLRU {
+			return "LRU"
+		}
+		return "TPLRU"
+	case TreatMRUInsert:
+		return "M:" + s.Sel.String() + lruSuffix
+	case TreatProtect:
+		if s.GHRP {
+			return fmt.Sprintf("P(%d):%s+GHRP%s", s.N, s.Sel.String(), lruSuffix)
+		}
+		return fmt.Sprintf("P(%d):%s%s", s.N, s.Sel.String(), lruSuffix)
+	case TreatSRRIP:
+		return "SRRIP"
+	case TreatBRRIP:
+		return "BRRIP"
+	case TreatDRRIP:
+		return "DRRIP"
+	case TreatPDP:
+		return "PDP"
+	case TreatDCLIP:
+		return "DCLIP"
+	case TreatGHRP:
+		return "GHRP"
+	default:
+		return fmt.Sprintf("Spec(%d)", int(s.Treatment))
+	}
+}
+
+// UsesSelection reports whether the policy consumes mode-selection
+// outcomes (the bimodal M and P treatments).
+func (s Spec) UsesSelection() bool {
+	return s.Treatment == TreatMRUInsert || s.Treatment == TreatProtect
+}
+
+// NeedsStarvationSignal reports whether the front-end must track
+// decode starvation / IQ-empty per outstanding instruction miss.
+func (s Spec) NeedsStarvationSignal() bool {
+	return s.UsesSelection() && (s.Sel.NeedS || s.Sel.NeedE)
+}
+
+// PersistentPriority reports whether the priority bit is persistent
+// line state that must be carried from L1I to L2 on eviction (the
+// EMISSARY P treatment), rather than consumed at insertion (M).
+func (s Spec) PersistentPriority() bool { return s.Treatment == TreatProtect }
+
+// Build constructs the policy for a cache of the given geometry.
+// seed decorrelates stochastic policies across caches and runs.
+func (s Spec) Build(sets, ways int, seed uint64) policy.Policy {
+	name := s.String()
+	newBase := func() policy.RecencyBase {
+		if s.TrueLRU {
+			return policy.NewTrueLRU(sets, ways)
+		}
+		return policy.NewTPLRU(sets, ways)
+	}
+	switch s.Treatment {
+	case TreatRecency:
+		return policy.NewRecency(name, newBase())
+	case TreatMRUInsert:
+		return policy.NewMInsert(name, newBase())
+	case TreatProtect:
+		if s.GHRP {
+			return NewEmissaryGHRP(name, sets, ways, s.N)
+		}
+		if s.TrueLRU {
+			return NewEmissaryTrueLRU(name, sets, ways, s.N)
+		}
+		return NewEmissaryTPLRU(name, sets, ways, s.N)
+	case TreatSRRIP:
+		return policy.NewSRRIP(sets, ways)
+	case TreatBRRIP:
+		return policy.NewBRRIP(sets, ways, seed)
+	case TreatDRRIP:
+		return policy.NewDRRIP(sets, ways, seed)
+	case TreatPDP:
+		return policy.NewPDP(sets, ways, s.PD)
+	case TreatDCLIP:
+		return policy.NewDCLIP(sets, ways)
+	case TreatGHRP:
+		return policy.NewGHRP(sets, ways)
+	default:
+		panic("core: unknown treatment in Spec.Build")
+	}
+}
+
+// selectionRNG derives the generator used for R(r) draws so that runs
+// are reproducible for a given master seed.
+func selectionRNG(seed uint64) *rng.Xoshiro256 {
+	return rng.NewXoshiro256(rng.Mix2(seed, 0x5e1ec7))
+}
+
+// NewSelector returns a stateful evaluator of the spec's selection
+// equation, owning the deterministic random stream for R terms.
+type Selector struct {
+	sel Selection
+	r   *rng.Xoshiro256
+}
+
+// NewSelector builds a Selector for the spec.
+func (s Spec) NewSelector(seed uint64) *Selector {
+	return &Selector{sel: s.Sel, r: selectionRNG(seed)}
+}
+
+// Select evaluates the mode-selection equation for a completed miss.
+func (sel *Selector) Select(starved, iqEmpty bool) bool {
+	return sel.sel.Eval(starved, iqEmpty, sel.r)
+}
+
+// ParsePolicy parses the paper's policy notation:
+//
+//	"LRU", "TPLRU", "LIP", "BIP",
+//	"M:1", "M:0", "M:R(1/32)", "M:S", "M:S&E", "M:S&E&R(1/32)",
+//	"P(8):S", "P(8):S&E", "P(8):S&E&R(1/32)", "P(8):R(1/32)",
+//	"SRRIP", "BRRIP", "DRRIP", "PDP", "DCLIP"
+//
+// Whitespace is ignored. An optional "+LRU" suffix (e.g.
+// "P(8):S&E+LRU") selects the true-LRU recency base used in Figure 1.
+func ParsePolicy(text string) (Spec, error) {
+	orig := text
+	text = strings.ReplaceAll(text, " ", "")
+	if text == "" {
+		return Spec{}, fmt.Errorf("core: empty policy string")
+	}
+	var spec Spec
+	for {
+		switch {
+		case strings.HasSuffix(text, "+LRU"):
+			spec.TrueLRU = true
+			text = strings.TrimSuffix(text, "+LRU")
+			continue
+		case strings.HasSuffix(text, "+GHRP"):
+			spec.GHRP = true
+			text = strings.TrimSuffix(text, "+GHRP")
+			continue
+		}
+		break
+	}
+	if spec.GHRP && !strings.HasPrefix(strings.ToUpper(text), "P(") {
+		return Spec{}, fmt.Errorf("core: +GHRP applies only to P(N) policies, got %q", orig)
+	}
+	switch strings.ToUpper(text) {
+	case "LRU":
+		spec.Treatment = TreatRecency
+		spec.TrueLRU = true
+		return spec, nil
+	case "TPLRU":
+		spec.Treatment = TreatRecency
+		return spec, nil
+	case "LIP":
+		spec.Treatment = TreatMRUInsert
+		spec.Sel = Selection{Never: true}
+		return spec, nil
+	case "BIP":
+		spec.Treatment = TreatMRUInsert
+		spec.Sel = Selection{HasR: true, RProb: 1.0 / 32.0}
+		return spec, nil
+	case "SRRIP":
+		spec.Treatment = TreatSRRIP
+		return spec, nil
+	case "BRRIP":
+		spec.Treatment = TreatBRRIP
+		return spec, nil
+	case "DRRIP":
+		spec.Treatment = TreatDRRIP
+		return spec, nil
+	case "PDP":
+		spec.Treatment = TreatPDP
+		return spec, nil
+	case "DCLIP":
+		spec.Treatment = TreatDCLIP
+		return spec, nil
+	case "GHRP":
+		spec.Treatment = TreatGHRP
+		spec.GHRP = false
+		return spec, nil
+	}
+	if spec.GHRP && !strings.Contains(text, ":") {
+		return Spec{}, fmt.Errorf("core: +GHRP applies only to P(N) policies, got %q", orig)
+	}
+
+	colon := strings.IndexByte(text, ':')
+	if colon < 0 {
+		return Spec{}, fmt.Errorf("core: unrecognized policy %q", orig)
+	}
+	treat, selText := text[:colon], text[colon+1:]
+	switch {
+	case treat == "M" || treat == "m":
+		spec.Treatment = TreatMRUInsert
+	case (strings.HasPrefix(treat, "P(") || strings.HasPrefix(treat, "p(")) && strings.HasSuffix(treat, ")"):
+		nText := treat[2 : len(treat)-1]
+		n, err := strconv.Atoi(nText)
+		if err != nil || n < 0 {
+			return Spec{}, fmt.Errorf("core: bad protected-way count in %q", orig)
+		}
+		spec.Treatment = TreatProtect
+		spec.N = n
+	default:
+		return Spec{}, fmt.Errorf("core: unrecognized treatment %q in %q", treat, orig)
+	}
+
+	sel, err := parseSelection(selText)
+	if err != nil {
+		return Spec{}, fmt.Errorf("core: %v in %q", err, orig)
+	}
+	spec.Sel = sel
+	if spec.GHRP && spec.Treatment != TreatProtect {
+		return Spec{}, fmt.Errorf("core: +GHRP applies only to P(N) policies, got %q", orig)
+	}
+	return spec, nil
+}
+
+// MustParsePolicy is ParsePolicy for static strings; it panics on
+// malformed input.
+func MustParsePolicy(text string) Spec {
+	spec, err := ParsePolicy(text)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+func parseSelection(text string) (Selection, error) {
+	var sel Selection
+	if text == "" {
+		return sel, fmt.Errorf("empty selection")
+	}
+	for _, term := range strings.Split(text, "&") {
+		switch {
+		case term == "1":
+			sel.Always = true
+		case term == "0":
+			sel.Never = true
+		case term == "S" || term == "s":
+			sel.NeedS = true
+		case term == "E" || term == "e":
+			sel.NeedE = true
+		case (strings.HasPrefix(term, "R(") || strings.HasPrefix(term, "r(")) && strings.HasSuffix(term, ")"):
+			p, err := parseProb(term[2 : len(term)-1])
+			if err != nil {
+				return sel, err
+			}
+			sel.HasR = true
+			sel.RProb = p
+		default:
+			return sel, fmt.Errorf("bad selection term %q", term)
+		}
+	}
+	if sel.Always && (sel.Never || sel.NeedS || sel.NeedE || sel.HasR) {
+		return sel, fmt.Errorf("selection '1' cannot combine with other terms")
+	}
+	if sel.Never && (sel.NeedS || sel.NeedE || sel.HasR) {
+		return sel, fmt.Errorf("selection '0' cannot combine with other terms")
+	}
+	return sel, nil
+}
+
+func parseProb(text string) (float64, error) {
+	if slash := strings.IndexByte(text, '/'); slash >= 0 {
+		num, err1 := strconv.ParseFloat(text[:slash], 64)
+		den, err2 := strconv.ParseFloat(text[slash+1:], 64)
+		if err1 != nil || err2 != nil || den == 0 {
+			return 0, fmt.Errorf("bad probability %q", text)
+		}
+		p := num / den
+		if p < 0 || p > 1 {
+			return 0, fmt.Errorf("probability %q out of [0,1]", text)
+		}
+		return p, nil
+	}
+	p, err := strconv.ParseFloat(text, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("bad probability %q", text)
+	}
+	return p, nil
+}

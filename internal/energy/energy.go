@@ -1,0 +1,70 @@
+// Package energy models processor energy the way the paper uses McPAT
+// (§5.9): per-event dynamic energies for each structure plus static
+// leakage proportional to execution time. Absolute joules are
+// synthetic; what the model preserves is the paper's observation that
+// EMISSARY's energy savings track its speedup, because the added
+// hardware is two bits per cache line (the dynamic-event profile is
+// nearly unchanged while cycles — and therefore leakage — drop).
+package energy
+
+// Event energies in picojoules. Values follow the usual relative
+// ordering for a server-class part on a recent node: each level of the
+// hierarchy costs roughly an order of magnitude more than the last,
+// and DRAM dominates everything.
+const (
+	PerInstr     = 30.0 // front-end + rename + issue + commit per instruction
+	L1Access     = 10.0
+	L2Access     = 40.0
+	L3Access     = 120.0
+	DRAMAccess   = 2000.0
+	BTBAccess    = 3.0
+	PredAccess   = 4.0
+	LeakPerCycle = 110.0 // whole-core static power per cycle
+)
+
+// Counts are the event totals a simulation reports for energy
+// accounting.
+type Counts struct {
+	Instructions uint64
+	Cycles       uint64
+	L1Accesses   uint64
+	L2Accesses   uint64
+	L3Accesses   uint64
+	DRAMReads    uint64
+	BTBLookups   uint64
+	Predictions  uint64
+}
+
+// Breakdown is the modeled energy split.
+type Breakdown struct {
+	DynamicPJ float64
+	StaticPJ  float64
+}
+
+// TotalPJ returns total energy in picojoules.
+func (b Breakdown) TotalPJ() float64 { return b.DynamicPJ + b.StaticPJ }
+
+// Model computes the energy breakdown for a run.
+func Model(c Counts) Breakdown {
+	dyn := float64(c.Instructions)*PerInstr +
+		float64(c.L1Accesses)*L1Access +
+		float64(c.L2Accesses)*L2Access +
+		float64(c.L3Accesses)*L3Access +
+		float64(c.DRAMReads)*DRAMAccess +
+		float64(c.BTBLookups)*BTBAccess +
+		float64(c.Predictions)*PredAccess
+	return Breakdown{
+		DynamicPJ: dyn,
+		StaticPJ:  float64(c.Cycles) * LeakPerCycle,
+	}
+}
+
+// Savings returns the fractional energy reduction of test relative to
+// base (positive = test uses less energy).
+func Savings(base, test Breakdown) float64 {
+	bt := base.TotalPJ()
+	if bt == 0 {
+		return 0
+	}
+	return (bt - test.TotalPJ()) / bt
+}

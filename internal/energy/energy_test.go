@@ -1,0 +1,45 @@
+package energy
+
+import "testing"
+
+func TestModelMonotonic(t *testing.T) {
+	base := Counts{Instructions: 1000, Cycles: 800, L1Accesses: 400, L2Accesses: 40, DRAMReads: 2}
+	more := base
+	more.DRAMReads += 10
+	if Model(more).TotalPJ() <= Model(base).TotalPJ() {
+		t.Error("more DRAM reads should cost more energy")
+	}
+	slower := base
+	slower.Cycles += 500
+	if Model(slower).TotalPJ() <= Model(base).TotalPJ() {
+		t.Error("more cycles should cost more leakage")
+	}
+}
+
+func TestSavingsTracksSpeedup(t *testing.T) {
+	// Same work, fewer cycles -> positive savings, smaller than the
+	// cycle reduction (dynamic energy unchanged).
+	base := Counts{Instructions: 1_000_000, Cycles: 1_000_000, L1Accesses: 400_000, L2Accesses: 20_000, DRAMReads: 1000}
+	fast := base
+	fast.Cycles = 900_000
+	s := Savings(Model(base), Model(fast))
+	if s <= 0 {
+		t.Fatalf("savings = %v, want positive", s)
+	}
+	if s >= 0.10 {
+		t.Errorf("savings = %v, should be below the 10%% cycle reduction", s)
+	}
+}
+
+func TestSavingsZeroBase(t *testing.T) {
+	if s := Savings(Breakdown{}, Breakdown{DynamicPJ: 5}); s != 0 {
+		t.Errorf("Savings with zero base = %v", s)
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{DynamicPJ: 3, StaticPJ: 4}
+	if b.TotalPJ() != 7 {
+		t.Errorf("TotalPJ = %v", b.TotalPJ())
+	}
+}

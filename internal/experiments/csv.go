@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// writeCSV renders a header plus rows through encoding/csv.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fstr(f float64) string { return strconv.FormatFloat(f, 'g', 8, 64) }
+
+// CSVFig2 emits the reuse landscape as CSV.
+func CSVFig2(w io.Writer, rows []Fig2Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Benchmark,
+			fstr(r.AccessFrac[0]), fstr(r.AccessFrac[1]), fstr(r.AccessFrac[2]),
+			fstr(r.LongMissFrac),
+			fstr(r.StarvFrac[0]), fstr(r.StarvFrac[1]), fstr(r.StarvFrac[2]),
+		})
+	}
+	return writeCSV(w, []string{
+		"benchmark", "acc_short", "acc_mid", "acc_long",
+		"l2miss_long_frac", "starv_short", "starv_mid", "starv_long",
+	}, out)
+}
+
+// CSVFig3 emits baseline MPKIs as CSV.
+func CSVFig3(w io.Writer, rows []Fig3Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Benchmark, fstr(r.L1I), fstr(r.L1D), fstr(r.L2I), fstr(r.L2D)})
+	}
+	return writeCSV(w, []string{"benchmark", "l1i_mpki", "l1d_mpki", "l2i_mpki", "l2d_mpki"}, out)
+}
+
+// CSVFig4 emits footprints as CSV.
+func CSVFig4(w io.Writer, rows []Fig4Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Benchmark, fstr(r.FootprintMB)})
+	}
+	return writeCSV(w, []string{"benchmark", "footprint_mb"}, out)
+}
+
+// CSVTable5 emits the N x selection speedup grid as CSV.
+func CSVTable5(w io.Writer, r *Table5Result) error {
+	header := append([]string{"n"}, Table5Columns...)
+	out := make([][]string, 0, len(r.Grid))
+	for ni, row := range r.Grid {
+		cols := []string{strconv.Itoa(Table5Ns[ni])}
+		for _, v := range row {
+			cols = append(cols, fstr(v))
+		}
+		out = append(out, cols)
+	}
+	return writeCSV(w, header, out)
+}
+
+// CSVFig7 emits per-benchmark speedups and energy reductions as CSV.
+func CSVFig7(w io.Writer, r *Fig7Result, benchNames []string) error {
+	header := []string{"benchmark", "policy", "speedup", "energy_reduction"}
+	var out [][]string
+	for _, b := range benchNames {
+		for _, c := range r.Cells[b] {
+			out = append(out, []string{b, c.Policy, fstr(c.Speedup), fstr(c.EnergyRed)})
+		}
+	}
+	return writeCSV(w, header, out)
+}
+
+// CSVFig5 emits every series point as CSV.
+func CSVFig5(w io.Writer, series []Fig5Series) error {
+	header := []string{"benchmark", "family", "point", "n", "speedup", "l2i_mpki", "starv_delta"}
+	var out [][]string
+	for _, s := range series {
+		for _, p := range s.Points {
+			out = append(out, []string{
+				s.Benchmark, s.Family, p.Label, strconv.Itoa(p.N),
+				fstr(p.Speedup), fstr(p.L2IMPKI), fstr(p.StarvDelta),
+			})
+		}
+	}
+	return writeCSV(w, header, out)
+}
+
+// CSVHorizon emits per-window IPC as CSV.
+func CSVHorizon(w io.Writer, results []HorizonResult) error {
+	header := []string{"policy", "window", "ipc"}
+	var out [][]string
+	for _, r := range results {
+		for i, ipc := range r.Windows {
+			out = append(out, []string{r.Policy, fmt.Sprint(i + 1), fstr(ipc)})
+		}
+	}
+	return writeCSV(w, header, out)
+}

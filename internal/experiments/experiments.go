@@ -1,0 +1,187 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5-§6): one function per artifact, each running
+// the required set of simulations and rendering the same rows/series
+// the paper reports. Absolute numbers differ from the paper (the
+// substrate is a from-scratch simulator and the workloads are
+// synthetic); the shapes — policy orderings, the N=8 sweet spot, the
+// random-filter tradeoff, saturation behaviour — are the reproduction
+// target.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"emissary/internal/core"
+	"emissary/internal/sim"
+	"emissary/internal/stats"
+	"emissary/internal/workload"
+)
+
+// Config scales and scopes an experiment run.
+type Config struct {
+	// Warmup and Measure are per-simulation instruction counts. The
+	// paper uses 5M + 100M; EMISSARY's priority marks accumulate over
+	// the whole run, so short measurements understate its gains.
+	Warmup  uint64
+	Measure uint64
+	// Benchmarks defaults to the 13 paper workloads.
+	Benchmarks []workload.Profile
+	// Seed decorrelates stochastic components across repetitions.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed
+	// simulation.
+	Progress io.Writer
+}
+
+// DefaultConfig returns a configuration sized to minutes, not hours.
+func DefaultConfig() Config {
+	return Config{
+		Warmup:     2_000_000,
+		Measure:    8_000_000,
+		Benchmarks: workload.Profiles(),
+		Seed:       1,
+	}
+}
+
+func (c Config) benchmarks() []workload.Profile {
+	if len(c.Benchmarks) > 0 {
+		return c.Benchmarks
+	}
+	return workload.Profiles()
+}
+
+// run executes one simulation, reporting progress.
+func (c Config) run(opt sim.Options) (sim.Result, error) {
+	if opt.WarmupInstrs == 0 {
+		opt.WarmupInstrs = c.Warmup
+	}
+	if opt.MeasureInstrs == 0 {
+		opt.MeasureInstrs = c.Measure
+	}
+	if opt.Seed == 0 {
+		opt.Seed = c.Seed
+	}
+	res, err := sim.Run(opt)
+	if err != nil {
+		return res, err
+	}
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, "  done %-16s %-20s IPC %.4f\n", res.Benchmark, res.Policy, res.IPC)
+	}
+	return res, nil
+}
+
+// baseOptions is the TPLRU + FDIP + NLP baseline the evaluations
+// compare against.
+func (c Config) baseOptions(bench workload.Profile) sim.Options {
+	return sim.Options{
+		Benchmark: bench,
+		Policy:    core.Spec{}, // TPLRU recency baseline
+		FDIP:      true,
+		NLP:       true,
+	}
+}
+
+// policyOptions is the baseline with a different L2 policy.
+func (c Config) policyOptions(bench workload.Profile, spec core.Spec) sim.Options {
+	o := c.baseOptions(bench)
+	o.Policy = spec
+	return o
+}
+
+// Cell is one (benchmark, policy) outcome relative to the baseline.
+type Cell struct {
+	Benchmark string
+	Policy    string
+	Speedup   float64 // fraction vs baseline
+	EnergyRed float64 // fractional energy reduction vs baseline
+	Result    sim.Result
+}
+
+// runPolicies runs the baseline plus each policy for every benchmark.
+// Results are keyed [benchmark][policy-index]; baselines come back
+// separately.
+func (c Config) runPolicies(policies []core.Spec) (map[string]sim.Result, map[string][]Cell, error) {
+	baselines := make(map[string]sim.Result)
+	cells := make(map[string][]Cell)
+	for _, bench := range c.benchmarks() {
+		base, err := c.run(c.baseOptions(bench))
+		if err != nil {
+			return nil, nil, err
+		}
+		baselines[bench.Name] = base
+		for _, spec := range policies {
+			res, err := c.run(c.policyOptions(bench, spec))
+			if err != nil {
+				return nil, nil, err
+			}
+			cells[bench.Name] = append(cells[bench.Name], Cell{
+				Benchmark: bench.Name,
+				Policy:    spec.String(),
+				Speedup:   stats.Speedup(base.Cycles, res.Cycles),
+				EnergyRed: stats.PercentChange(base.EnergyPJ, res.EnergyPJ) * -1,
+				Result:    res,
+			})
+		}
+	}
+	return baselines, cells, nil
+}
+
+// geomeanOver computes the geomean speedup of policy index i across
+// benchmarks.
+func geomeanOver(cells map[string][]Cell, idx int, pick func(Cell) float64) float64 {
+	var xs []float64
+	for _, row := range cells {
+		xs = append(xs, pick(row[idx]))
+	}
+	return stats.Geomean(xs)
+}
+
+// table is a minimal text-table renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cols ...string) { t.rows = append(t.rows, cols) }
+
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pct(f float64) string  { return fmt.Sprintf("%+.2f%%", f*100) }
+func f2(f float64) string   { return fmt.Sprintf("%.2f", f) }
+func f4(f float64) string   { return fmt.Sprintf("%.4f", f) }
+func frac(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

@@ -1,0 +1,727 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"emissary/internal/core"
+	"emissary/internal/sim"
+	"emissary/internal/stats"
+	"emissary/internal/workload"
+)
+
+// Fig1Point is one policy's outcome in the Figure 1 study.
+type Fig1Point struct {
+	Policy     string
+	Speedup    float64
+	L2IMPKI    float64
+	DecodeRate float64
+	L2DMPKI    float64
+	IssueRate  float64
+}
+
+// Fig1 reproduces Figure 1: the overview study on tomcat with a 1MB
+// 16-way true-LRU L2 and no next-line prefetchers, walking from LRU
+// (M:1) through insertion-only bimodality (M:S) to the persistent
+// EMISSARY treatments.
+func Fig1(cfg Config) ([]Fig1Point, error) {
+	bench, _ := workload.ProfileByName("tomcat")
+	policies := []string{"M:1", "M:S", "P(8):S", "P(8):S&E", "P(8):S&E&R(1/32)"}
+	points := make([]Fig1Point, 0, len(policies))
+	var baseCycles uint64
+	for i, text := range policies {
+		opt := sim.Options{
+			Benchmark: bench,
+			Policy:    core.MustParsePolicy(text),
+			FDIP:      true,
+			NLP:       false,
+			TrueLRU:   true,
+		}
+		res, err := cfg.run(opt)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseCycles = res.Cycles
+		}
+		points = append(points, Fig1Point{
+			Policy:     text,
+			Speedup:    stats.Speedup(baseCycles, res.Cycles),
+			L2IMPKI:    res.L2IMPKI,
+			DecodeRate: res.DecodeRate,
+			L2DMPKI:    res.L2DMPKI,
+			IssueRate:  res.IPC,
+		})
+	}
+	return points, nil
+}
+
+// WriteFig1 renders the study.
+func WriteFig1(w io.Writer, points []Fig1Point) {
+	fmt.Fprintln(w, "Figure 1: tomcat, 1MB 16-way true-LRU L2, no prefetchers")
+	t := table{header: []string{"policy", "speedup", "L2-I MPKI", "decode rate", "L2-D MPKI", "issue rate"}}
+	for _, p := range points {
+		t.addRow(p.Policy, pct(p.Speedup), f2(p.L2IMPKI), f4(p.DecodeRate), f2(p.L2DMPKI), f4(p.IssueRate))
+	}
+	t.render(w)
+}
+
+// Fig2Row is one benchmark's reuse-distance landscape (§3).
+type Fig2Row struct {
+	Benchmark string
+	// AccessFrac is the Short/Mid/Long share of committed-path
+	// instruction-line accesses (first bar).
+	AccessFrac [3]float64
+	// LongMissFrac is the fraction of L2 instruction misses caused by
+	// Long-Reuse lines (second bar).
+	LongMissFrac float64
+	// StarvFrac is the Short/Mid/Long share of decode-starvation
+	// cycles (third bar).
+	StarvFrac [3]float64
+}
+
+// Fig2 reproduces Figure 2 on the TPLRU+FDIP baseline with reuse
+// tracking enabled.
+func Fig2(cfg Config) ([]Fig2Row, error) {
+	rows := make([]Fig2Row, 0, len(cfg.benchmarks()))
+	for _, bench := range cfg.benchmarks() {
+		opt := cfg.baseOptions(bench)
+		opt.TrackReuse = true
+		res, err := cfg.run(opt)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig2Row{Benchmark: bench.Name}
+		var accTot, missTot, starvTot float64
+		for i := 0; i < 3; i++ {
+			accTot += float64(res.AccessByBucket[i])
+			missTot += float64(res.L2MissByBucket[i])
+			starvTot += float64(res.StarvByBucket[i])
+		}
+		for i := 0; i < 3; i++ {
+			if accTot > 0 {
+				row.AccessFrac[i] = float64(res.AccessByBucket[i]) / accTot
+			}
+			if starvTot > 0 {
+				row.StarvFrac[i] = float64(res.StarvByBucket[i]) / starvTot
+			}
+		}
+		if missTot > 0 {
+			row.LongMissFrac = float64(res.L2MissByBucket[2]) / missTot
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteFig2 renders the reuse landscape.
+func WriteFig2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintln(w, "Figure 2: reuse-distance mix, L2-miss attribution, starvation attribution")
+	t := table{header: []string{"benchmark", "acc short", "acc mid", "acc long", "L2 miss from long", "starv short", "starv mid", "starv long"}}
+	var avg Fig2Row
+	for _, r := range rows {
+		t.addRow(r.Benchmark, frac(r.AccessFrac[0]), frac(r.AccessFrac[1]), frac(r.AccessFrac[2]),
+			frac(r.LongMissFrac), frac(r.StarvFrac[0]), frac(r.StarvFrac[1]), frac(r.StarvFrac[2]))
+		for i := 0; i < 3; i++ {
+			avg.AccessFrac[i] += r.AccessFrac[i] / float64(len(rows))
+			avg.StarvFrac[i] += r.StarvFrac[i] / float64(len(rows))
+		}
+		avg.LongMissFrac += r.LongMissFrac / float64(len(rows))
+	}
+	t.addRow("average", frac(avg.AccessFrac[0]), frac(avg.AccessFrac[1]), frac(avg.AccessFrac[2]),
+		frac(avg.LongMissFrac), frac(avg.StarvFrac[0]), frac(avg.StarvFrac[1]), frac(avg.StarvFrac[2]))
+	t.render(w)
+}
+
+// Fig3Row is one benchmark's baseline MPKI profile.
+type Fig3Row struct {
+	Benchmark string
+	L1I, L1D  float64
+	L2I, L2D  float64
+}
+
+// Fig3 reproduces Figure 3: baseline cache MPKIs.
+func Fig3(cfg Config) ([]Fig3Row, error) {
+	rows := make([]Fig3Row, 0, len(cfg.benchmarks()))
+	for _, bench := range cfg.benchmarks() {
+		res, err := cfg.run(cfg.baseOptions(bench))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig3Row{
+			Benchmark: bench.Name,
+			L1I:       res.L1IMPKI, L1D: res.L1DMPKI,
+			L2I: res.L2IMPKI, L2D: res.L2DMPKI,
+		})
+	}
+	return rows, nil
+}
+
+// WriteFig3 renders the MPKI profile.
+func WriteFig3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintln(w, "Figure 3: baseline (TPLRU+FDIP) MPKI")
+	t := table{header: []string{"benchmark", "L1I", "L1D", "L2 Inst", "L2 Data"}}
+	var a Fig3Row
+	for _, r := range rows {
+		t.addRow(r.Benchmark, f2(r.L1I), f2(r.L1D), f2(r.L2I), f2(r.L2D))
+		a.L1I += r.L1I / float64(len(rows))
+		a.L1D += r.L1D / float64(len(rows))
+		a.L2I += r.L2I / float64(len(rows))
+		a.L2D += r.L2D / float64(len(rows))
+	}
+	t.addRow("average", f2(a.L1I), f2(a.L1D), f2(a.L2I), f2(a.L2D))
+	t.render(w)
+}
+
+// Fig4Row is one benchmark's instruction footprint.
+type Fig4Row struct {
+	Benchmark   string
+	FootprintMB float64
+}
+
+// Fig4 reproduces Figure 4 (no simulation needed: the synthesized
+// program's code size is the footprint).
+func Fig4(cfg Config) ([]Fig4Row, error) {
+	rows := make([]Fig4Row, 0, len(cfg.benchmarks()))
+	for _, bench := range cfg.benchmarks() {
+		prog, err := workload.NewProgram(bench)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig4Row{
+			Benchmark:   bench.Name,
+			FootprintMB: float64(prog.FootprintBytes()) / (1 << 20),
+		})
+	}
+	return rows, nil
+}
+
+// WriteFig4 renders the footprints.
+func WriteFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "Figure 4: instruction footprint (MB)")
+	t := table{header: []string{"benchmark", "footprint MB"}}
+	avg := 0.0
+	for _, r := range rows {
+		t.addRow(r.Benchmark, f2(r.FootprintMB))
+		avg += r.FootprintMB / float64(len(rows))
+	}
+	t.addRow("average", f2(avg))
+	t.render(w)
+}
+
+// Table5Columns are the selection equations swept in Table 5.
+var Table5Columns = []string{
+	"S&E", "R(1/2)", "R(1/8)", "R(1/16)", "R(1/32)", "R(1/64)",
+	"S&E&R(1/2)", "S&E&R(1/8)", "S&E&R(1/16)", "S&E&R(1/32)", "S&E&R(1/64)",
+}
+
+// Table5Ns are the protected-way limits swept in Table 5.
+var Table5Ns = []int{2, 4, 6, 8, 10, 12, 14}
+
+// Table5Result holds the geomean-speedup grid [N][column].
+type Table5Result struct {
+	Grid [][]float64
+}
+
+// Table5 reproduces the policy-parameterization sweep: geomean speedup
+// across all benchmarks for P(N):<selection>.
+func Table5(cfg Config) (*Table5Result, error) {
+	specs := make([]core.Spec, 0, len(Table5Ns)*len(Table5Columns))
+	for _, n := range Table5Ns {
+		for _, col := range Table5Columns {
+			specs = append(specs, core.MustParsePolicy(fmt.Sprintf("P(%d):%s", n, col)))
+		}
+	}
+	_, cells, err := cfg.runPolicies(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table5Result{Grid: make([][]float64, len(Table5Ns))}
+	for ni := range Table5Ns {
+		out.Grid[ni] = make([]float64, len(Table5Columns))
+		for ci := range Table5Columns {
+			idx := ni*len(Table5Columns) + ci
+			out.Grid[ni][ci] = geomeanOver(cells, idx, func(c Cell) float64 { return c.Speedup })
+		}
+	}
+	return out, nil
+}
+
+// WriteTable5 renders the grid with the paper's #Best row and column.
+func WriteTable5(w io.Writer, r *Table5Result) {
+	fmt.Fprintln(w, "Table 5: geomean speedup (%) vs TPLRU+FDIP for P(N):<selection>")
+	header := append([]string{"P(N)"}, Table5Columns...)
+	header = append(header, "#Best")
+	t := table{header: header}
+
+	// Best-per-column and best-per-row bookkeeping.
+	bestInCol := make([]float64, len(Table5Columns))
+	for ci := range bestInCol {
+		bestInCol[ci] = r.Grid[0][ci]
+		for ni := range Table5Ns {
+			if r.Grid[ni][ci] > bestInCol[ci] {
+				bestInCol[ci] = r.Grid[ni][ci]
+			}
+		}
+	}
+	colBestCount := make([]int, len(Table5Columns))
+	for ni, n := range Table5Ns {
+		row := []string{fmt.Sprintf("%d", n)}
+		rowBest := r.Grid[ni][0]
+		for _, v := range r.Grid[ni] {
+			if v > rowBest {
+				rowBest = v
+			}
+		}
+		nBest := 0
+		for ci, v := range r.Grid[ni] {
+			row = append(row, fmt.Sprintf("%+.3f", v*100))
+			if v == bestInCol[ci] {
+				nBest++
+				colBestCount[ci]++
+			}
+			_ = rowBest
+		}
+		row = append(row, fmt.Sprintf("%d", nBest))
+		t.addRow(row...)
+	}
+	last := []string{"#Best"}
+	for _, n := range colBestCount {
+		last = append(last, fmt.Sprintf("%d", n))
+	}
+	last = append(last, "-")
+	t.addRow(last...)
+	t.render(w)
+}
+
+// Fig5Point is one point in a Figure 5 series.
+type Fig5Point struct {
+	Label      string
+	N          int
+	Speedup    float64
+	L2IMPKI    float64
+	StarvDelta float64 // change in IQ-empty commit-path starvation vs baseline
+}
+
+// Fig5Series is one policy family on one benchmark.
+type Fig5Series struct {
+	Benchmark string
+	Family    string
+	Points    []Fig5Point
+}
+
+// Fig5Families are the P(N) families swept in Figure 5.
+var Fig5Families = []string{"R(1/32)", "S&E", "S&E&R(1/32)"}
+
+// Fig5Priors are the insertion-treatment comparison points.
+var Fig5Priors = []string{"M:0", "M:R(1/32)", "M:S&E", "M:S&E&R(1/32)"}
+
+// Fig5 reproduces the per-benchmark speedup-vs-MPKI and
+// speedup-vs-starvation sweeps. tpcc is omitted like the paper (its
+// L2 instruction MPKI is too low to be interesting).
+func Fig5(cfg Config, ns []int) ([]Fig5Series, error) {
+	if len(ns) == 0 {
+		ns = []int{2, 4, 6, 8, 10, 12, 14}
+	}
+	var out []Fig5Series
+	for _, bench := range cfg.benchmarks() {
+		if bench.Name == "tpcc" {
+			continue
+		}
+		base, err := cfg.run(cfg.baseOptions(bench))
+		if err != nil {
+			return nil, err
+		}
+		mkPoint := func(label string, n int, res sim.Result) Fig5Point {
+			return Fig5Point{
+				Label:      label,
+				N:          n,
+				Speedup:    stats.Speedup(base.Cycles, res.Cycles),
+				L2IMPKI:    res.L2IMPKI,
+				StarvDelta: stats.PercentChange(float64(base.CommitStarvationIQE), float64(res.CommitStarvationIQE)),
+			}
+		}
+		for _, fam := range Fig5Families {
+			series := Fig5Series{Benchmark: bench.Name, Family: "P(N):" + fam}
+			// N = 0 is the baseline by definition.
+			series.Points = append(series.Points, mkPoint("P(0):"+fam, 0, base))
+			for _, n := range ns {
+				if n == 0 {
+					continue
+				}
+				spec := core.MustParsePolicy(fmt.Sprintf("P(%d):%s", n, fam))
+				res, err := cfg.run(cfg.policyOptions(bench, spec))
+				if err != nil {
+					return nil, err
+				}
+				series.Points = append(series.Points, mkPoint(spec.String(), n, res))
+			}
+			out = append(out, series)
+		}
+		prior := Fig5Series{Benchmark: bench.Name, Family: "prior"}
+		for _, text := range Fig5Priors {
+			spec := core.MustParsePolicy(text)
+			res, err := cfg.run(cfg.policyOptions(bench, spec))
+			if err != nil {
+				return nil, err
+			}
+			prior.Points = append(prior.Points, mkPoint(text, -1, res))
+		}
+		out = append(out, prior)
+	}
+	return out, nil
+}
+
+// WriteFig5 renders the series.
+func WriteFig5(w io.Writer, series []Fig5Series) {
+	fmt.Fprintln(w, "Figure 5: speedup vs L2-I MPKI and vs change in IQ-empty starvation")
+	cur := ""
+	for _, s := range series {
+		if s.Benchmark != cur {
+			cur = s.Benchmark
+			fmt.Fprintf(w, "\n%s\n", cur)
+		}
+		fmt.Fprintf(w, "  %s\n", s.Family)
+		t := table{header: []string{"point", "speedup", "L2-I MPKI", "d starv(IQE)"}}
+		for _, p := range s.Points {
+			t.addRow(p.Label, pct(p.Speedup), f2(p.L2IMPKI), pct(p.StarvDelta))
+		}
+		t.render(w)
+	}
+}
+
+// Fig6Row is one benchmark's stall-reduction outcome.
+type Fig6Row struct {
+	Benchmark string
+	FE, BE    float64 // fractional reduction (positive = fewer stalls)
+	Total     float64
+}
+
+// Fig6 reproduces the stall-cycle reduction of P(8):S&E&R(1/32).
+func Fig6(cfg Config) ([]Fig6Row, error) {
+	spec := core.MustParsePolicy("P(8):S&E&R(1/32)")
+	rows := make([]Fig6Row, 0, len(cfg.benchmarks()))
+	for _, bench := range cfg.benchmarks() {
+		base, err := cfg.run(cfg.baseOptions(bench))
+		if err != nil {
+			return nil, err
+		}
+		res, err := cfg.run(cfg.policyOptions(bench, spec))
+		if err != nil {
+			return nil, err
+		}
+		red := func(b, t uint64) float64 {
+			if b == 0 {
+				return 0
+			}
+			return 1 - float64(t)/float64(b)
+		}
+		rows = append(rows, Fig6Row{
+			Benchmark: bench.Name,
+			FE:        red(base.FrontEndStalls, res.FrontEndStalls),
+			BE:        red(base.BackEndStalls, res.BackEndStalls),
+			Total:     red(base.TotalStalls, res.TotalStalls),
+		})
+	}
+	return rows, nil
+}
+
+// WriteFig6 renders the stall reductions.
+func WriteFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Figure 6: reduction in commit-path stalls, P(8):S&E&R(1/32) vs baseline")
+	t := table{header: []string{"benchmark", "FE stalls", "BE stalls", "total"}}
+	var fe, be, tot float64
+	for _, r := range rows {
+		t.addRow(r.Benchmark, pct(r.FE), pct(r.BE), pct(r.Total))
+		fe += r.FE / float64(len(rows))
+		be += r.BE / float64(len(rows))
+		tot += r.Total / float64(len(rows))
+	}
+	t.addRow("average", pct(fe), pct(be), pct(tot))
+	t.render(w)
+}
+
+// Fig7Policies are the twelve techniques compared in Figure 7.
+var Fig7Policies = []string{
+	"M:0", "DCLIP", "SRRIP", "BRRIP", "DRRIP", "PDP",
+	"M:R(1/32)", "M:S&E", "M:S&E&R(1/32)",
+	"P(8):R(1/32)", "P(8):S&E", "P(8):S&E&R(1/32)",
+}
+
+// Fig7Result is the full comparison.
+type Fig7Result struct {
+	Policies []string
+	// Cells[benchmark] aligns with Policies.
+	Cells map[string][]Cell
+	// GeomeanSpeedup and GeomeanEnergy align with Policies.
+	GeomeanSpeedup []float64
+	GeomeanEnergy  []float64
+}
+
+// Fig7 reproduces the headline comparison: speedup and energy
+// reduction of every technique vs the TPLRU+FDIP baseline.
+func Fig7(cfg Config) (*Fig7Result, error) {
+	specs := make([]core.Spec, len(Fig7Policies))
+	for i, p := range Fig7Policies {
+		specs[i] = core.MustParsePolicy(p)
+	}
+	_, cells, err := cfg.runPolicies(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{Policies: Fig7Policies, Cells: cells}
+	for i := range specs {
+		out.GeomeanSpeedup = append(out.GeomeanSpeedup,
+			geomeanOver(cells, i, func(c Cell) float64 { return c.Speedup }))
+		out.GeomeanEnergy = append(out.GeomeanEnergy,
+			geomeanOver(cells, i, func(c Cell) float64 { return c.EnergyRed }))
+	}
+	return out, nil
+}
+
+// WriteFig7 renders speedups and energy reductions.
+func WriteFig7(w io.Writer, r *Fig7Result, benchNames []string) {
+	fmt.Fprintln(w, "Figure 7: speedup vs TPLRU+FDIP baseline")
+	header := append([]string{"benchmark"}, r.Policies...)
+	t := table{header: header}
+	for _, b := range benchNames {
+		row := []string{b}
+		for _, c := range r.Cells[b] {
+			row = append(row, pct(c.Speedup))
+		}
+		t.addRow(row...)
+	}
+	g := []string{"geomean"}
+	for _, v := range r.GeomeanSpeedup {
+		g = append(g, pct(v))
+	}
+	t.addRow(g...)
+	t.render(w)
+
+	fmt.Fprintln(w, "\nFigure 7 (lower): energy reduction vs TPLRU+FDIP baseline")
+	t2 := table{header: header}
+	for _, b := range benchNames {
+		row := []string{b}
+		for _, c := range r.Cells[b] {
+			row = append(row, pct(c.EnergyRed))
+		}
+		t2.addRow(row...)
+	}
+	g2 := []string{"geomean"}
+	for _, v := range r.GeomeanEnergy {
+		g2 = append(g2, pct(v))
+	}
+	t2.addRow(g2...)
+	t2.render(w)
+}
+
+// Fig8Result is the average distribution of per-set high-priority
+// line counts for the two highlighted policies.
+type Fig8Result struct {
+	// Dist[policy][count] = fraction of sets holding `count`
+	// high-priority lines, averaged across benchmarks.
+	Policies []string
+	Dist     [][]float64
+}
+
+// Fig8 reproduces the set-saturation census (§6).
+func Fig8(cfg Config) (*Fig8Result, error) {
+	policies := []string{"P(8):S&E", "P(8):S&E&R(1/32)"}
+	out := &Fig8Result{Policies: policies}
+	for _, text := range policies {
+		spec := core.MustParsePolicy(text)
+		var dist []float64
+		for _, bench := range cfg.benchmarks() {
+			res, err := cfg.run(cfg.policyOptions(bench, spec))
+			if err != nil {
+				return nil, err
+			}
+			census := res.PriorityCensus
+			if dist == nil {
+				dist = make([]float64, len(census))
+			}
+			total := 0
+			for _, n := range census {
+				total += n
+			}
+			for i, n := range census {
+				if total > 0 && i < len(dist) {
+					dist[i] += float64(n) / float64(total) / float64(len(cfg.benchmarks()))
+				}
+			}
+		}
+		out.Dist = append(out.Dist, dist)
+	}
+	return out, nil
+}
+
+// WriteFig8 renders the census.
+func WriteFig8(w io.Writer, r *Fig8Result) {
+	fmt.Fprintln(w, "Figure 8: distribution of high-priority lines per L2 set (avg over benchmarks)")
+	t := table{header: []string{"lines/set", r.Policies[0], r.Policies[1]}}
+	max := 0
+	for _, d := range r.Dist {
+		for i, v := range d {
+			if v > 0.0005 && i > max {
+				max = i
+			}
+		}
+	}
+	for i := 0; i <= max; i++ {
+		row := []string{fmt.Sprintf("%d", i)}
+		for _, d := range r.Dist {
+			v := 0.0
+			if i < len(d) {
+				v = d[i]
+			}
+			row = append(row, frac(v))
+		}
+		t.addRow(row...)
+	}
+	t.render(w)
+}
+
+// IdealRow is one benchmark's zero-cycle-miss headroom.
+type IdealRow struct {
+	Benchmark    string
+	IdealSpeedup float64
+	EmisSpeedup  float64
+}
+
+// Ideal reproduces the §5.6 contextualization: the unrealizable
+// zero-miss-latency L2-I model vs EMISSARY's capture of that headroom.
+func Ideal(cfg Config) ([]IdealRow, float64, error) {
+	spec := core.MustParsePolicy("P(8):S&E&R(1/32)")
+	rows := make([]IdealRow, 0, len(cfg.benchmarks()))
+	var idealXs, emisXs []float64
+	for _, bench := range cfg.benchmarks() {
+		base, err := cfg.run(cfg.baseOptions(bench))
+		if err != nil {
+			return nil, 0, err
+		}
+		idealOpt := cfg.baseOptions(bench)
+		idealOpt.IdealL2I = true
+		ideal, err := cfg.run(idealOpt)
+		if err != nil {
+			return nil, 0, err
+		}
+		emis, err := cfg.run(cfg.policyOptions(bench, spec))
+		if err != nil {
+			return nil, 0, err
+		}
+		row := IdealRow{
+			Benchmark:    bench.Name,
+			IdealSpeedup: stats.Speedup(base.Cycles, ideal.Cycles),
+			EmisSpeedup:  stats.Speedup(base.Cycles, emis.Cycles),
+		}
+		rows = append(rows, row)
+		idealXs = append(idealXs, row.IdealSpeedup)
+		emisXs = append(emisXs, row.EmisSpeedup)
+	}
+	gi, ge := stats.Geomean(idealXs), stats.Geomean(emisXs)
+	captured := 0.0
+	if gi != 0 {
+		captured = ge / gi
+	}
+	return rows, captured, nil
+}
+
+// WriteIdeal renders the headroom analysis.
+func WriteIdeal(w io.Writer, rows []IdealRow, captured float64) {
+	fmt.Fprintln(w, "Ideal L2-I (zero-cycle capacity/conflict miss) headroom (section 5.6)")
+	t := table{header: []string{"benchmark", "ideal speedup", "EMISSARY speedup"}}
+	for _, r := range rows {
+		t.addRow(r.Benchmark, pct(r.IdealSpeedup), pct(r.EmisSpeedup))
+	}
+	t.render(w)
+	fmt.Fprintf(w, "EMISSARY captures %.1f%% of the unrealizable-ideal geomean speedup\n", captured*100)
+}
+
+// FDIPRow is one benchmark's FDIP-vs-no-FDIP outcome.
+type FDIPRow struct {
+	Benchmark string
+	Speedup   float64
+}
+
+// FDIP reproduces §5.2's claim that the decoupled front-end alone is a
+// large win (paper: 33.1% geomean).
+func FDIP(cfg Config) ([]FDIPRow, float64, error) {
+	rows := make([]FDIPRow, 0, len(cfg.benchmarks()))
+	var xs []float64
+	for _, bench := range cfg.benchmarks() {
+		off := cfg.baseOptions(bench)
+		off.FDIP = false
+		noFdip, err := cfg.run(off)
+		if err != nil {
+			return nil, 0, err
+		}
+		on, err := cfg.run(cfg.baseOptions(bench))
+		if err != nil {
+			return nil, 0, err
+		}
+		s := stats.Speedup(noFdip.Cycles, on.Cycles)
+		rows = append(rows, FDIPRow{Benchmark: bench.Name, Speedup: s})
+		xs = append(xs, s)
+	}
+	return rows, stats.Geomean(xs), nil
+}
+
+// WriteFDIP renders the comparison.
+func WriteFDIP(w io.Writer, rows []FDIPRow, geomean float64) {
+	fmt.Fprintln(w, "FDIP vs no-FDIP front end (section 5.2)")
+	t := table{header: []string{"benchmark", "FDIP speedup"}}
+	for _, r := range rows {
+		t.addRow(r.Benchmark, pct(r.Speedup))
+	}
+	t.addRow("geomean", pct(geomean))
+	t.render(w)
+}
+
+// ResetRow compares EMISSARY with and without periodic P-bit resets.
+type ResetRow struct {
+	Benchmark string
+	NoReset   float64
+	WithReset float64
+}
+
+// Reset reproduces §6's observation that periodically clearing all P
+// bits has negligible impact.
+func Reset(cfg Config, interval uint64) ([]ResetRow, error) {
+	if interval == 0 {
+		interval = (cfg.Warmup + cfg.Measure) / 8
+	}
+	spec := core.MustParsePolicy("P(8):S&E&R(1/32)")
+	rows := make([]ResetRow, 0, len(cfg.benchmarks()))
+	for _, bench := range cfg.benchmarks() {
+		base, err := cfg.run(cfg.baseOptions(bench))
+		if err != nil {
+			return nil, err
+		}
+		plain, err := cfg.run(cfg.policyOptions(bench, spec))
+		if err != nil {
+			return nil, err
+		}
+		withReset := cfg.policyOptions(bench, spec)
+		withReset.PriorityResetInterval = interval
+		reset, err := cfg.run(withReset)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ResetRow{
+			Benchmark: bench.Name,
+			NoReset:   stats.Speedup(base.Cycles, plain.Cycles),
+			WithReset: stats.Speedup(base.Cycles, reset.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// WriteReset renders the comparison.
+func WriteReset(w io.Writer, rows []ResetRow) {
+	fmt.Fprintln(w, "P-bit periodic reset impact (section 6)")
+	t := table{header: []string{"benchmark", "no reset", "with reset"}}
+	for _, r := range rows {
+		t.addRow(r.Benchmark, pct(r.NoReset), pct(r.WithReset))
+	}
+	t.render(w)
+}

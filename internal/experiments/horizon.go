@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"emissary/internal/cache"
+	"emissary/internal/core"
+	"emissary/internal/pipeline"
+	"emissary/internal/rng"
+	"emissary/internal/workload"
+)
+
+// HorizonResult captures per-window IPC for one policy over a long
+// run: the measurement that exposes EMISSARY's mark-accumulation
+// dynamic (the paper's 100M-instruction windows sit far to the right
+// of typical quick-evaluation horizons).
+type HorizonResult struct {
+	Policy  string
+	Windows []float64 // IPC per consecutive window
+}
+
+// Horizon runs the baseline and the given policies on one benchmark,
+// reporting IPC over `windows` consecutive windows of `windowInstrs`
+// committed instructions each (no separate warm-up: the first window
+// *is* the cold window, which is the point).
+func Horizon(cfg Config, benchName string, policies []string, windows int, windowInstrs uint64) ([]HorizonResult, error) {
+	bench, ok := workload.ProfileByName(benchName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", benchName)
+	}
+	if windows <= 0 {
+		windows = 5
+	}
+	if windowInstrs == 0 {
+		windowInstrs = cfg.Measure
+	}
+	all := append([]string{"TPLRU"}, policies...)
+	out := make([]HorizonResult, 0, len(all))
+	for _, text := range all {
+		spec, err := core.ParsePolicy(text)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := workload.NewProgram(bench)
+		if err != nil {
+			return nil, err
+		}
+		eng := workload.NewEngine(prog)
+		ccfg := cache.DefaultConfig(spec)
+		ccfg.Seed = rng.Mix2(cfg.Seed, bench.Seed)
+		hier := cache.NewHierarchy(ccfg)
+		c, err := pipeline.NewCore(pipeline.DefaultConfig(), eng, hier, ccfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		r := HorizonResult{Policy: spec.String()}
+		var lastCycles, lastInstrs uint64
+		for w := 0; w < windows; w++ {
+			c.RunCommitted(windowInstrs)
+			cyc, ins := c.Cycle(), c.Committed()
+			if cyc == lastCycles {
+				break
+			}
+			r.Windows = append(r.Windows, float64(ins-lastInstrs)/float64(cyc-lastCycles))
+			lastCycles, lastInstrs = cyc, ins
+		}
+		out = append(out, r)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "  done horizon %-20s\n", r.Policy)
+		}
+	}
+	return out, nil
+}
+
+// WriteHorizon renders per-window IPC and the speedup-vs-baseline
+// trajectory.
+func WriteHorizon(w io.Writer, benchName string, results []HorizonResult, windowInstrs uint64) {
+	fmt.Fprintf(w, "Horizon sweep: %s, IPC per %dM-instruction window\n",
+		benchName, windowInstrs/1_000_000)
+	if len(results) == 0 {
+		return
+	}
+	header := []string{"policy"}
+	for i := range results[0].Windows {
+		header = append(header, fmt.Sprintf("w%d", i+1))
+	}
+	t := table{header: header}
+	for _, r := range results {
+		row := []string{r.Policy}
+		for _, ipc := range r.Windows {
+			row = append(row, f4(ipc))
+		}
+		t.addRow(row...)
+	}
+	t.render(w)
+
+	base := results[0]
+	fmt.Fprintln(w, "\nspeedup vs baseline per window:")
+	t2 := table{header: header}
+	for _, r := range results[1:] {
+		row := []string{r.Policy}
+		for i, ipc := range r.Windows {
+			if i < len(base.Windows) && base.Windows[i] > 0 {
+				row = append(row, pct(ipc/base.Windows[i]-1))
+			}
+		}
+		t2.addRow(row...)
+	}
+	t2.render(w)
+}

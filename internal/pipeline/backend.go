@@ -1,0 +1,312 @@
+package pipeline
+
+import (
+	"emissary/internal/cache"
+	"emissary/internal/rng"
+	"emissary/internal/stats"
+	"emissary/internal/trace"
+)
+
+// ringBits sizes the cycle-indexed scheduling rings; completion times
+// are capped this far in the future.
+const ringBits = 16
+const ringSize = 1 << ringBits
+const ringMask = ringSize - 1
+
+// depWindow is how far back (in sequence numbers) register
+// dependences can reach.
+const depWindow = 64
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	seq        uint64
+	pc         uint64
+	completeAt uint64
+	issueAt    uint64
+	isLoad     bool
+	isStore    bool
+	wrongPath  bool
+	// Mispredicted-branch resolution bookkeeping.
+	resolves bool
+}
+
+// backend is the approximate out-of-order engine: analytic dataflow
+// scheduling (each instruction's issue time is the max of its operand
+// ready times, subject to issue bandwidth), with real ROB/IQ/LQ/SQ
+// occupancy limits and in-order commit.
+type backend struct {
+	cfg  *Config
+	hier *cache.Hierarchy
+
+	rob        []robEntry
+	head, tail int // ring indices
+	count      int
+
+	seq       uint64
+	committed uint64
+
+	// Issue-queue model: instructions occupy the IQ from dispatch to
+	// issue; iqRelease[c] counts entries leaving at cycle c.
+	iqCount   int
+	iqRelease []int32
+	// issueBusy[c] counts issue slots used at cycle c.
+	issueBusy []int32
+
+	lqCount, sqCount int
+
+	resolve resolveRecord
+
+	// Completion times of the last depWindow instructions, by seq.
+	lastComplete [depWindow]uint64
+
+	depSeed uint64
+
+	// Statistics.
+	Stalls             stats.StallBreakdown
+	WrongPathOps       uint64
+	LoadsIssued        uint64
+	StoresIssued       uint64
+	Flushes            uint64
+	CommitActiveCycles uint64
+	lastFlushAt        uint64
+}
+
+func newBackend(cfg *Config, hier *cache.Hierarchy, seed uint64) *backend {
+	return &backend{
+		cfg:       cfg,
+		hier:      hier,
+		rob:       make([]robEntry, cfg.ROBSize),
+		iqRelease: make([]int32, ringSize),
+		issueBusy: make([]int32, ringSize),
+		depSeed:   rng.Mix2(seed, 0xdeb5),
+	}
+}
+
+// canAccept reports whether dispatch has room for one instruction of
+// the given class.
+func (b *backend) canAccept(cls trace.Class) bool {
+	if b.count >= b.cfg.ROBSize || b.iqCount >= b.cfg.IQSize {
+		return false
+	}
+	switch cls {
+	case trace.ClassLoad:
+		return b.lqCount < b.cfg.LQSize
+	case trace.ClassStore:
+		return b.sqCount < b.cfg.SQSize
+	default:
+		return true
+	}
+}
+
+// findIssueSlot returns the first cycle >= from with spare issue
+// bandwidth, reserving it.
+func (b *backend) findIssueSlot(from, now uint64) uint64 {
+	if from < now+1 {
+		from = now + 1
+	}
+	max := now + ringSize - 2
+	c := from
+	for c < max && b.issueBusy[c&ringMask] >= int32(b.cfg.IssueWidth) {
+		c++
+	}
+	b.issueBusy[c&ringMask]++
+	return c
+}
+
+// dispatch inserts one instruction. memLine is the accessed cache line
+// (valid only when hasMem). resolves marks the terminator of a
+// mispredicted block; its completion triggers the flush.
+// Returns the entry's completion cycle.
+func (b *backend) dispatch(now uint64, pc uint64, cls trace.Class, hasMem bool, memAddr uint64, wrongPath, resolves bool) uint64 {
+	readyAt := now + 1
+	// Register dependences: most instructions have one or two
+	// producers at hash-derived distances, a structural stand-in for
+	// real dataflow; ~30% are dependence-free (immediates, loop
+	// counters held in registers, …).
+	h := rng.Mix2(b.depSeed, pc)
+	if h%10 < 7 {
+		d1 := 1 + (h>>8)%8
+		if dep := b.completeOf(b.seq, d1); dep > readyAt {
+			readyAt = dep
+		}
+		if h&0x100000 != 0 {
+			d2 := 1 + (h>>24)%16
+			if dep := b.completeOf(b.seq, d2); dep > readyAt {
+				readyAt = dep
+			}
+		}
+	}
+
+	issueAt := b.findIssueSlot(readyAt, now)
+	lat := uint64(cls.Latency())
+	switch cls {
+	case trace.ClassLoad:
+		b.lqCount++
+		b.LoadsIssued++
+		if hasMem {
+			lat = uint64(b.hier.AccessData(memAddr>>b.hier.LineShift(), false))
+		} else {
+			lat = 2 // wrong-path load: charged L1D-hit time, no cache access
+		}
+	case trace.ClassStore:
+		b.sqCount++
+		b.StoresIssued++
+		if hasMem {
+			b.hier.AccessData(memAddr>>b.hier.LineShift(), true)
+		}
+		lat = 1 // stores retire through the store buffer
+	}
+	// Results reach dependents through the bypass network as soon as
+	// execution finishes; the dispatch-to-retire pipeline depth
+	// (ExecOffset) is charged only to commit and branch resolution.
+	dataReadyAt := issueAt + lat
+	completeAt := dataReadyAt + uint64(b.cfg.ExecOffset)
+	if completeAt > now+ringSize-2 {
+		completeAt = now + ringSize - 2
+		dataReadyAt = completeAt
+	}
+
+	e := robEntry{
+		seq:        b.seq,
+		pc:         pc,
+		completeAt: completeAt,
+		issueAt:    issueAt,
+		isLoad:     cls == trace.ClassLoad,
+		isStore:    cls == trace.ClassStore,
+		wrongPath:  wrongPath,
+		resolves:   resolves,
+	}
+	b.rob[b.tail] = e
+	b.tail = (b.tail + 1) % b.cfg.ROBSize
+	b.count++
+	b.iqCount++
+	b.iqRelease[issueAt&ringMask]++
+	b.lastComplete[b.seq%depWindow] = dataReadyAt
+	b.seq++
+	if wrongPath {
+		b.WrongPathOps++
+	}
+	return completeAt
+}
+
+// completeOf returns the completion time of the instruction `dist`
+// before seq, or 0 when out of window.
+func (b *backend) completeOf(seq, dist uint64) uint64 {
+	if dist == 0 || dist > depWindow || dist > seq {
+		return 0
+	}
+	return b.lastComplete[(seq-dist)%depWindow]
+}
+
+// beginCycle releases issue-queue entries whose issue time has come.
+func (b *backend) beginCycle(now uint64) {
+	slot := now & ringMask
+	b.iqCount -= int(b.iqRelease[slot])
+	b.iqRelease[slot] = 0
+	if b.iqCount < 0 {
+		b.iqCount = 0
+	}
+	// Retire the just-passed cycle's bandwidth slot so it can serve
+	// its future alias (findIssueSlot never reaches an uncleared one).
+	if now > 0 {
+		b.issueBusy[(now-1)&ringMask] = 0
+	}
+}
+
+// iqEmpty is the paper's E signal.
+func (b *backend) iqEmpty() bool { return b.iqCount == 0 }
+
+// At most one unresolved mispredicted branch exists at a time (the
+// front-end cannot detect a second mispredict while already on the
+// wrong path), so resolution tracking is a single record.
+type resolveRecord struct {
+	active     bool
+	seq        uint64
+	completeAt uint64
+}
+
+// registerResolve notes the dispatched mispredicted terminator.
+func (b *backend) registerResolve(seq, completeAt uint64) {
+	b.resolve = resolveRecord{active: true, seq: seq, completeAt: completeAt}
+}
+
+// resolveReady reports whether the pending mispredict has executed.
+func (b *backend) resolveReady(now uint64) (uint64, bool) {
+	if b.resolve.active && b.resolve.completeAt <= now {
+		return b.resolve.seq, true
+	}
+	return 0, false
+}
+
+// flushAfter squashes every entry younger than seq, unwinding
+// occupancy and future scheduling reservations.
+func (b *backend) flushAfter(seq, now uint64) {
+	for b.count > 0 {
+		lastIdx := (b.tail - 1 + b.cfg.ROBSize) % b.cfg.ROBSize
+		e := &b.rob[lastIdx]
+		if e.seq <= seq {
+			break
+		}
+		if e.issueAt > now {
+			// Still waiting in the IQ: free its slot and bandwidth.
+			b.iqCount--
+			b.iqRelease[e.issueAt&ringMask]--
+			b.issueBusy[e.issueAt&ringMask]--
+		}
+		if e.isLoad {
+			b.lqCount--
+		}
+		if e.isStore {
+			b.sqCount--
+		}
+		b.tail = lastIdx
+		b.count--
+	}
+	b.seq = seq + 1
+	b.lastFlushAt = now
+	b.resolve = resolveRecord{}
+	b.Flushes++
+}
+
+// commit retires completed instructions in order; returns the number
+// committed this cycle (correct-path only — wrong-path entries are
+// squashed before they can reach here, but guard anyway).
+func (b *backend) commit(now uint64) int {
+	n := 0
+	for n < b.cfg.CommitWidth && b.count > 0 {
+		e := &b.rob[b.head]
+		if e.completeAt > now {
+			break
+		}
+		if e.isLoad {
+			b.lqCount--
+		}
+		if e.isStore {
+			b.sqCount--
+		}
+		b.head = (b.head + 1) % b.cfg.ROBSize
+		b.count--
+		if !e.wrongPath {
+			b.committed++
+			n++
+		}
+	}
+	if n > 0 {
+		b.CommitActiveCycles++
+	}
+	return n
+}
+
+// classifyStall records the commit-path stall taxonomy for a cycle in
+// which nothing committed.
+func (b *backend) classifyStall(now uint64) {
+	if b.count == 0 {
+		if now-b.lastFlushAt <= 12 && b.lastFlushAt != 0 {
+			b.Stalls.Record(stats.StallFlushRecover, 1)
+		} else {
+			b.Stalls.Record(stats.StallFrontEnd, 1)
+		}
+		return
+	}
+	b.Stalls.Record(stats.StallBackEnd, 1)
+}

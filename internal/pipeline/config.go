@@ -1,0 +1,102 @@
+// Package pipeline implements the simulated core: the decoupled FDIP
+// front-end of §5.2 (basic-block BTB, FTQ, run-ahead instruction
+// prefetching, pre-decoder, decode with starvation tracking) and an
+// approximate out-of-order back-end (ROB/IQ/LSQ occupancy, dependence-
+// and bandwidth-limited issue, in-order commit), driven cycle by cycle
+// against an oracle instruction stream with full wrong-path fetch
+// modeling.
+package pipeline
+
+import "fmt"
+
+// Config sizes the core per Table 4 (Alderlake-like).
+type Config struct {
+	FetchWidth  int // basic blocks predicted per cycle (1)
+	DecodeWidth int
+	IssueWidth  int
+	CommitWidth int
+
+	FTQEntries  int // 24
+	FTQInstrCap int // 192-instruction buffer
+
+	ROBSize int // 512
+	IQSize  int // 240
+	LQSize  int // 128
+	SQSize  int // 72
+
+	BTBEntries int // 16K
+	BTBWays    int
+	RASDepth   int
+
+	// FDIP enables decoupled run-ahead instruction prefetching from
+	// the FTQ; with it off, lines are requested only when decode
+	// demands them (the no-FDIP baseline of §5.2's 33.1% comparison).
+	FDIP bool
+
+	// MaxMSHRs bounds outstanding instruction-line misses.
+	MaxMSHRs int
+
+	// PredecodeLatency is the BTB-miss fill delay (§5.2's pre-decoder).
+	PredecodeLatency int
+
+	// ExecOffset models the dispatch-to-execute pipeline depth; it
+	// adds to every instruction's completion time and therefore to the
+	// branch-resolution (mispredict) penalty.
+	ExecOffset int
+
+	// PriorityResetInterval clears all P bits every this many committed
+	// instructions (§6's reset mechanism); 0 disables.
+	PriorityResetInterval uint64
+
+	// MRCEntries enables a Misprediction Recovery Cache of that many
+	// lines (§7.3); 0 disables (the default — the paper's baseline has
+	// none).
+	MRCEntries int
+
+	// TrackReuse enables per-access reuse-distance tracking and
+	// starvation attribution by reuse bucket (Figure 2); it slows the
+	// simulation noticeably.
+	TrackReuse bool
+}
+
+// DefaultConfig returns the Table 4 core.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:       1,
+		DecodeWidth:      8,
+		IssueWidth:       8,
+		CommitWidth:      8,
+		FTQEntries:       24,
+		FTQInstrCap:      192,
+		ROBSize:          512,
+		IQSize:           240,
+		LQSize:           128,
+		SQSize:           72,
+		BTBEntries:       16384,
+		BTBWays:          4,
+		RASDepth:         32,
+		FDIP:             true,
+		MaxMSHRs:         16,
+		PredecodeLatency: 3,
+		ExecOffset:       4,
+	}
+}
+
+// Validate reports the first implausible field.
+func (c Config) Validate() error {
+	switch {
+	case c.DecodeWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		return fmt.Errorf("pipeline: widths must be positive")
+	case c.FTQEntries <= 0 || c.FTQInstrCap <= 0:
+		return fmt.Errorf("pipeline: FTQ sizes must be positive")
+	case c.ROBSize <= 0 || c.IQSize <= 0 || c.LQSize <= 0 || c.SQSize <= 0:
+		return fmt.Errorf("pipeline: window sizes must be positive")
+	case c.BTBEntries <= 0 || c.BTBWays <= 0 || c.RASDepth <= 0:
+		return fmt.Errorf("pipeline: predictor sizes must be positive")
+	case c.MaxMSHRs <= 0:
+		return fmt.Errorf("pipeline: MaxMSHRs must be positive")
+	case c.PredecodeLatency < 0 || c.ExecOffset < 0:
+		return fmt.Errorf("pipeline: latencies must be non-negative")
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"emissary/internal/branch"
+	"emissary/internal/cache"
+	"emissary/internal/energy"
+	"emissary/internal/rng"
+	"emissary/internal/stats"
+	"emissary/internal/trace"
+)
+
+// Core is the simulated processor: front-end, back-end, and memory
+// hierarchy advanced in lock-step, one cycle per Step.
+type Core struct {
+	cfg  Config
+	fe   *frontend
+	be   *backend
+	hier *cache.Hierarchy
+	src  trace.Source
+
+	cycle   uint64
+	decoded uint64
+
+	// Committed-instruction threshold of the next P-bit reset (§6).
+	nextPriorityReset uint64
+}
+
+// NewCore wires a core together.
+func NewCore(cfg Config, src trace.Source, hier *cache.Hierarchy, seed uint64) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:  cfg,
+		fe:   newFrontend(&cfg, src, hier, rng.Mix2(seed, 0xfe)),
+		be:   newBackend(&cfg, hier, rng.Mix2(seed, 0xbe)),
+		hier: hier,
+		src:  src,
+	}
+	if cfg.PriorityResetInterval > 0 {
+		c.nextPriorityReset = cfg.PriorityResetInterval
+	}
+	return c, nil
+}
+
+// Cycle returns the current cycle count.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Committed returns the committed instruction count.
+func (c *Core) Committed() uint64 { return c.be.committed }
+
+// Step advances the machine one cycle.
+func (c *Core) Step() {
+	c.cycle++
+	now := c.cycle
+
+	c.be.beginCycle(now)
+	c.fe.processCompletions(now)
+
+	// Branch resolution: flush and re-steer.
+	if seq, ok := c.be.resolveReady(now); ok {
+		c.be.flushAfter(seq, now)
+		c.fe.recover()
+	}
+
+	if n := c.be.commit(now); n == 0 {
+		c.be.classifyStall(now)
+	}
+
+	c.decode(now)
+
+	if c.cfg.FDIP {
+		c.fe.prefetchScan(now)
+	}
+	for i := 0; i < c.cfg.FetchWidth; i++ {
+		c.fe.fetchBlock(now)
+	}
+
+	if c.nextPriorityReset > 0 && c.be.committed >= c.nextPriorityReset {
+		c.hier.ResetPriorities()
+		c.nextPriorityReset += c.cfg.PriorityResetInterval
+	}
+}
+
+// decode delivers up to DecodeWidth instructions from the FTQ head
+// into the back-end, tracking decode starvation.
+func (c *Core) decode(now uint64) {
+	delivered := 0
+	for delivered < c.cfg.DecodeWidth {
+		e := c.fe.head()
+		if e == nil {
+			if delivered == 0 {
+				c.fe.FetchStallCycles++
+			}
+			return
+		}
+		pc := e.addr + 4*uint64(e.consumed)
+		li := e.lineIndex(pc)
+		if !c.fe.ensureHeadLine(e, li, now) {
+			return // MSHR pressure; treated as fetch stall next cycle
+		}
+		if m, blocked := c.fe.lineBlocked(e.lines[li]); blocked {
+			if delivered == 0 && c.be.canAccept(trace.ClassALU) {
+				c.fe.markStarvation(m, e.wrongPath, c.be.iqEmpty())
+			}
+			return
+		}
+
+		isTerm := e.consumed == e.n-1 && e.endKind != branch.KindFallthrough
+		cls := trace.ClassBranch
+		if !isTerm {
+			cls = c.src.InstrClass(pc)
+		}
+		if !c.be.canAccept(cls) {
+			return
+		}
+
+		hasMem := false
+		var memAddr uint64
+		if e.memIdx < len(e.mem) && e.mem[e.memIdx].Index == e.consumed {
+			hasMem = true
+			memAddr = e.mem[e.memIdx].Addr
+			e.memIdx++
+		}
+		resolves := isTerm && e.mispredict
+		completeAt := c.be.dispatch(now, pc, cls, hasMem, memAddr, e.wrongPath, resolves)
+		if resolves {
+			c.be.registerResolve(c.be.seq-1, completeAt)
+		}
+		e.consumed++
+		delivered++
+		c.decoded++
+		if e.consumed == e.n {
+			c.fe.pop()
+		}
+	}
+}
+
+// RunCommitted advances until n more instructions commit (or the
+// oracle stream ends). It returns the instructions actually committed.
+func (c *Core) RunCommitted(n uint64) uint64 {
+	target := c.be.committed + n
+	idle := 0
+	for c.be.committed < target {
+		before := c.be.committed
+		c.Step()
+		if c.fe.oracleDone && c.be.count == 0 && c.fe.ftqCount == 0 {
+			break
+		}
+		if c.be.committed == before {
+			idle++
+			if idle > 5_000_000 {
+				panic(fmt.Sprintf("pipeline: no commit progress for %d cycles at cycle %d", idle, c.cycle))
+			}
+		} else {
+			idle = 0
+		}
+	}
+	return c.be.committed
+}
+
+// Snapshot captures every counter a Result is computed from.
+type Snapshot struct {
+	Cycles    uint64
+	Committed uint64
+	Decoded   uint64
+
+	L1I, L1D, L2I, L2D, L3I, L3D stats.CacheCounters
+	MemReads                     uint64
+	CompulsoryL2I                uint64
+
+	Starvation          uint64
+	StarvationIQE       uint64
+	CommitStarvation    uint64
+	CommitStarvationIQE uint64
+	FetchStalls         uint64
+	Mispredicts         uint64
+	Blocks              uint64
+
+	Stalls stats.StallBreakdown
+
+	WrongPathOps       uint64
+	Flushes            uint64
+	CommitActiveCycles uint64
+
+	BTBLookups  uint64
+	BTBMisses   uint64
+	Predictions uint64
+
+	AccessByBucket [3]uint64
+	L2MissByBucket [3]uint64
+	StarvByBucket  [3]uint64
+}
+
+// TakeSnapshot reads the current counters.
+func (c *Core) TakeSnapshot() Snapshot {
+	h := c.hier
+	return Snapshot{
+		Cycles:              c.cycle,
+		Committed:           c.be.committed,
+		Decoded:             c.decoded,
+		L1I:                 h.L1I.InstrStats,
+		L1D:                 h.L1D.DataStats,
+		L2I:                 h.L2.InstrStats,
+		L2D:                 h.L2.DataStats,
+		L3I:                 h.L3.InstrStats,
+		L3D:                 h.L3.DataStats,
+		MemReads:            h.MemReads,
+		CompulsoryL2I:       h.CompulsoryL2IMisses,
+		Starvation:          c.fe.StarvationCycles,
+		StarvationIQE:       c.fe.StarvationIQECycles,
+		CommitStarvation:    c.fe.CommitStarvationCycles,
+		CommitStarvationIQE: c.fe.CommitStarvationIQECycles,
+		FetchStalls:         c.fe.FetchStallCycles,
+		Mispredicts:         c.fe.Mispredicts,
+		Blocks:              c.fe.BlocksFetched,
+		Stalls:              c.be.Stalls,
+		WrongPathOps:        c.be.WrongPathOps,
+		Flushes:             c.be.Flushes,
+		CommitActiveCycles:  c.be.CommitActiveCycles,
+		BTBLookups:          c.fe.btb.Hits + c.fe.btb.Misses,
+		BTBMisses:           c.fe.btb.Misses,
+		Predictions:         c.fe.tage.Lookups + c.fe.ittage.Lookups,
+		AccessByBucket:      c.fe.AccessByBucket,
+		L2MissByBucket:      c.fe.L2MissByBucket,
+		StarvByBucket:       c.fe.StarvByBucket,
+	}
+}
+
+// Result is the measurement-window outcome of a simulation.
+type Result struct {
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+	DecodeRate   float64
+
+	L1IMPKI, L1DMPKI float64
+	L2IMPKI, L2DMPKI float64
+	L3MPKI           float64
+	BranchMPKI       float64
+
+	Starvation          uint64
+	StarvationIQE       uint64
+	CommitStarvation    uint64
+	CommitStarvationIQE uint64
+	FetchStalls         uint64
+
+	FrontEndStalls uint64
+	BackEndStalls  uint64
+	TotalStalls    uint64
+
+	EnergyPJ float64
+
+	WrongPathOps       uint64
+	Flushes            uint64
+	CommitActiveCycles uint64
+	BTBMPKI            float64
+
+	AccessByBucket [3]uint64
+	L2MissByBucket [3]uint64
+	StarvByBucket  [3]uint64
+
+	PriorityCensus []int
+	MemReads       uint64
+}
+
+// Diff computes a Result over the window between two snapshots.
+func Diff(start, end Snapshot, census []int) Result {
+	instr := end.Committed - start.Committed
+	cycles := end.Cycles - start.Cycles
+	sub := func(a, b stats.CacheCounters) stats.CacheCounters {
+		return stats.CacheCounters{Hits: a.Hits - b.Hits, Misses: a.Misses - b.Misses}
+	}
+	l1i := sub(end.L1I, start.L1I)
+	l1d := sub(end.L1D, start.L1D)
+	l2i := sub(end.L2I, start.L2I)
+	l2d := sub(end.L2D, start.L2D)
+	l3i := sub(end.L3I, start.L3I)
+	l3d := sub(end.L3D, start.L3D)
+
+	var ipc, dr float64
+	if cycles > 0 {
+		ipc = float64(instr) / float64(cycles)
+		dr = float64(end.Decoded-start.Decoded) / float64(cycles)
+	}
+
+	e := energy.Model(energy.Counts{
+		Instructions: instr,
+		Cycles:       cycles,
+		L1Accesses:   l1i.Accesses() + l1d.Accesses(),
+		L2Accesses:   l2i.Accesses() + l2d.Accesses(),
+		L3Accesses:   l3i.Accesses() + l3d.Accesses(),
+		DRAMReads:    end.MemReads - start.MemReads,
+		BTBLookups:   end.BTBLookups - start.BTBLookups,
+		Predictions:  end.Predictions - start.Predictions,
+	})
+
+	var fig2a, fig2m, fig2s [3]uint64
+	for i := 0; i < 3; i++ {
+		fig2a[i] = end.AccessByBucket[i] - start.AccessByBucket[i]
+		fig2m[i] = end.L2MissByBucket[i] - start.L2MissByBucket[i]
+		fig2s[i] = end.StarvByBucket[i] - start.StarvByBucket[i]
+	}
+
+	var stalls stats.StallBreakdown
+	for k := range stalls.Cycles {
+		stalls.Cycles[k] = end.Stalls.Cycles[k] - start.Stalls.Cycles[k]
+	}
+
+	return Result{
+		Instructions:        instr,
+		Cycles:              cycles,
+		IPC:                 ipc,
+		DecodeRate:          dr,
+		L1IMPKI:             stats.MPKI(l1i.Misses, instr),
+		L1DMPKI:             stats.MPKI(l1d.Misses, instr),
+		L2IMPKI:             stats.MPKI(l2i.Misses, instr),
+		L2DMPKI:             stats.MPKI(l2d.Misses, instr),
+		L3MPKI:              stats.MPKI(l3i.Misses+l3d.Misses, instr),
+		BranchMPKI:          stats.MPKI(end.Mispredicts-start.Mispredicts, instr),
+		Starvation:          end.Starvation - start.Starvation,
+		StarvationIQE:       end.StarvationIQE - start.StarvationIQE,
+		CommitStarvation:    end.CommitStarvation - start.CommitStarvation,
+		CommitStarvationIQE: end.CommitStarvationIQE - start.CommitStarvationIQE,
+		FetchStalls:         end.FetchStalls - start.FetchStalls,
+		FrontEndStalls:      stalls.FrontEnd(),
+		BackEndStalls:       stalls.BackEnd(),
+		TotalStalls:         stalls.Total(),
+		EnergyPJ:            e.TotalPJ(),
+		WrongPathOps:        end.WrongPathOps - start.WrongPathOps,
+		Flushes:             end.Flushes - start.Flushes,
+		CommitActiveCycles:  end.CommitActiveCycles - start.CommitActiveCycles,
+		BTBMPKI:             stats.MPKI(end.BTBMisses-start.BTBMisses, instr),
+		AccessByBucket:      fig2a,
+		L2MissByBucket:      fig2m,
+		StarvByBucket:       fig2s,
+		PriorityCensus:      census,
+		MemReads:            end.MemReads - start.MemReads,
+	}
+}
+
+// Hierarchy exposes the memory system (for end-of-run census queries).
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// BranchMispredictRate exposes the conditional predictor's accuracy.
+func (c *Core) BranchMispredictRate() float64 { return c.fe.tage.MispredictRate() }
+
+// MispredictsByKind exposes re-steer counts by terminator kind.
+func (c *Core) MispredictsByKind() [8]uint64 { return c.fe.MispredictsByKind }
+
+// StarvedLineEvents exposes per-line starvation-event counts when
+// reuse tracking is enabled (nil otherwise).
+func (c *Core) StarvedLineEvents() map[uint64]uint32 { return c.fe.StarvedLineEvents }
+
+// IQEStarvedLineEvents is StarvedLineEvents restricted to events seen
+// with an empty issue queue.
+func (c *Core) IQEStarvedLineEvents() map[uint64]uint32 { return c.fe.IQEStarvedLineEvents }
+
+// StarvEventsBySrc exposes starvation-event counts by serving level.
+func (c *Core) StarvEventsBySrc() [4]uint64 { return c.fe.StarvEventsBySrc }
+
+// FetchDiagnostics reports (avg FTQ occupancy x1000, cycles blocked
+// full, blocked dead-end, blocked predecode, MSHR-full events).
+func (c *Core) FetchDiagnostics() [5]uint64 {
+	cycles := c.cycle
+	if cycles == 0 {
+		cycles = 1
+	}
+	return [5]uint64{
+		c.fe.FTQOccupancySum * 1000 / cycles,
+		c.fe.FetchBlockFull,
+		c.fe.FetchBlockDeadEnd,
+		c.fe.FetchBlockPredecode,
+		c.fe.MSHRFullEvents,
+	}
+}
+
+// MarkDiagnostics reports (distinct lines ever marked high-priority,
+// starvation events that were L2 misses on previously marked lines).
+func (c *Core) MarkDiagnostics() (int, uint64) {
+	return len(c.fe.MarkedLines), c.fe.StarvOnMarkedMiss
+}

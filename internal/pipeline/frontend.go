@@ -1,0 +1,539 @@
+package pipeline
+
+import (
+	"emissary/internal/branch"
+	"emissary/internal/cache"
+	"emissary/internal/core"
+	"emissary/internal/reuse"
+	"emissary/internal/trace"
+)
+
+// mshrEntry tracks one outstanding instruction-line miss, including
+// the starvation observations that feed EMISSARY's mode selection.
+type mshrEntry struct {
+	line        uint64
+	completeAt  uint64
+	src         cache.Source
+	starved     bool
+	iqEmptySeen bool
+}
+
+// ftqEntry is one fetched basic block in the fetch target queue; the
+// FTQ doubles as the instruction buffer, so per-entry line readiness
+// is what decode consumes.
+type ftqEntry struct {
+	addr    uint64
+	n       int
+	endKind branch.Kind
+
+	wrongPath  bool
+	mispredict bool // terminator was mispredicted (correct path only)
+
+	mem    []trace.MemRef
+	memIdx int
+
+	consumed int
+
+	lines     [2]uint64
+	nLines    int
+	requested uint8 // bitmask over lines
+}
+
+func (e *ftqEntry) lineIndex(pc uint64) int {
+	if pc>>6 == e.lines[0] {
+		return 0
+	}
+	return 1
+}
+
+// resteerState records a detected mispredict awaiting resolution.
+type resteerState struct {
+	pending      bool
+	correctNext  uint64
+	snapshot     branch.RASSnapshot
+	kind         branch.Kind
+	fallthrough_ uint64
+}
+
+// frontend is the decoupled FDIP fetch engine.
+type frontend struct {
+	cfg          *Config
+	src          trace.Source
+	hier         *cache.Hierarchy
+	sel          *core.Selector
+	useSelection bool
+
+	btb    *branch.BTB
+	tage   *branch.TAGE
+	ittage *branch.ITTAGE
+	ras    *branch.RAS
+
+	ftq      []ftqEntry
+	ftqHead  int
+	ftqCount int
+	ftqInstr int
+
+	nextPC     uint64
+	havePC     bool
+	wrongPath  bool
+	deadEnd    bool
+	resteer    resteerState
+	oracleDone bool
+
+	predecodeBusy  bool
+	predecodeAt    uint64
+	predecodeEntry branch.BTBEntry
+
+	primeEvent trace.BlockEvent
+	havePrime  bool
+
+	inflight map[uint64]*mshrEntry
+	pending  []*mshrEntry
+	scratch  []branch.BTBEntry
+	mrc      *mrc
+
+	// Reuse-distance tracking (Figure 2), enabled by cfg.TrackReuse.
+	tracker        *reuse.Tracker
+	lastBucket     map[uint64]reuse.Bucket
+	lastReuseLine  uint64
+	haveReuseLine  bool
+	AccessByBucket [3]uint64
+	L2MissByBucket [3]uint64
+	StarvByBucket  [3]uint64
+
+	// StarvedLineEvents counts distinct starvation events per line
+	// (allocated when cfg.TrackReuse is set); IQEStarvedLineEvents
+	// restricts to events with an empty issue queue (the paper's E
+	// signal).
+	StarvedLineEvents    map[uint64]uint32
+	IQEStarvedLineEvents map[uint64]uint32
+	MarkedLines          map[uint64]bool
+	StarvOnMarkedMiss    uint64
+
+	// Statistics.
+	FTQOccupancySum           uint64
+	FetchBlockFull            uint64
+	FetchBlockDeadEnd         uint64
+	FetchBlockPredecode       uint64
+	MSHRFullEvents            uint64
+	StarvEventsBySrc          [4]uint64
+	StarvationCycles          uint64 // decode starved, any path
+	StarvationIQECycles       uint64 // ... with the issue queue empty
+	CommitStarvationCycles    uint64 // starved on a correct-path line
+	CommitStarvationIQECycles uint64
+	FetchStallCycles          uint64 // FTQ empty or BTB-fill pending
+	Mispredicts               uint64
+	MispredictsByKind         [8]uint64
+	BlocksFetched             uint64
+}
+
+func newFrontend(cfg *Config, src trace.Source, hier *cache.Hierarchy, seed uint64) *frontend {
+	spec := hier.Config().L2Policy
+	f := &frontend{
+		cfg:          cfg,
+		src:          src,
+		hier:         hier,
+		sel:          spec.NewSelector(seed),
+		useSelection: spec.UsesSelection(),
+		btb:          branch.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		tage:         branch.NewTAGE(13),
+		ittage:       branch.NewITTAGE(11),
+		ras:          branch.NewRAS(cfg.RASDepth),
+		ftq:          make([]ftqEntry, cfg.FTQEntries),
+		inflight:     make(map[uint64]*mshrEntry, cfg.MaxMSHRs*2),
+	}
+	f.mrc = newMRC(cfg.MRCEntries)
+	if cfg.TrackReuse {
+		f.tracker = reuse.NewTracker(1 << 18)
+		f.lastBucket = make(map[uint64]reuse.Bucket)
+		f.StarvedLineEvents = make(map[uint64]uint32)
+		f.IQEStarvedLineEvents = make(map[uint64]uint32)
+		f.MarkedLines = make(map[uint64]bool)
+	}
+	return f
+}
+
+// head returns the oldest FTQ entry, or nil.
+func (f *frontend) head() *ftqEntry {
+	if f.ftqCount == 0 {
+		return nil
+	}
+	return &f.ftq[f.ftqHead]
+}
+
+func (f *frontend) pop() {
+	e := &f.ftq[f.ftqHead]
+	f.ftqInstr -= e.n
+	e.mem = nil
+	f.ftqHead = (f.ftqHead + 1) % f.cfg.FTQEntries
+	f.ftqCount--
+}
+
+func (f *frontend) full() bool {
+	return f.ftqCount >= f.cfg.FTQEntries || f.ftqInstr >= f.cfg.FTQInstrCap
+}
+
+// requestLine issues an instruction-line request if the line is not
+// already in flight; returns false when no MSHR is available. trackFig2
+// attributes the access to the reuse tracker (correct-path accesses
+// only).
+func (f *frontend) requestLine(line uint64, now uint64, trackFig2 bool) bool {
+	if trackFig2 && f.tracker != nil {
+		if !f.haveReuseLine || f.lastReuseLine != line {
+			b := reuse.Classify(f.tracker.Access(line))
+			f.lastBucket[line] = b
+			f.AccessByBucket[b]++
+			f.lastReuseLine = line
+			f.haveReuseLine = true
+		}
+	}
+	if _, ok := f.inflight[line]; ok {
+		return true
+	}
+	if len(f.pending) >= f.cfg.MaxMSHRs {
+		f.MSHRFullEvents++
+		return false
+	}
+	if f.mrc != nil && trackFig2 {
+		if f.mrc.contains(line) {
+			// Served by the recovery buffer: no miss penalty; install
+			// the line through the hierarchy as a perfectly timely
+			// fill. (The probe precedes observeRequest so a line only
+			// hits on a *later* re-steer, never the request that
+			// inserted it.)
+			res := f.hier.ProbeFetch(line)
+			if res.NeedFill {
+				f.hier.CompleteFetch(line, res.Source, false)
+			}
+			f.predecodeLine(line)
+			return true
+		}
+		f.mrc.observeRequest(line)
+	}
+	res := f.hier.ProbeFetch(line)
+	if trackFig2 && f.tracker != nil && res.NeedFill && res.Source != cache.SrcL2 {
+		f.L2MissByBucket[f.lastBucket[line]]++
+	}
+	if !res.NeedFill {
+		f.predecodeLine(line)
+		return true
+	}
+	m := &mshrEntry{line: line, completeAt: now + uint64(res.Latency), src: res.Source}
+	f.inflight[line] = m
+	f.pending = append(f.pending, m)
+	return true
+}
+
+// predecodeLine is the proactive pre-decoder of §5.2: every fetched or
+// prefetched instruction line has its basic-block boundaries extracted
+// and installed in the BTB before the branch-prediction unit needs
+// them, minimizing enqueue stalls.
+func (f *frontend) predecodeLine(line uint64) {
+	f.scratch = f.src.BlocksInLine(line, f.scratch[:0])
+	for _, e := range f.scratch {
+		if !f.btb.Probe(e.Start) {
+			f.btb.Insert(e)
+		}
+	}
+}
+
+// processCompletions installs finished misses, evaluating EMISSARY's
+// mode selection with the starvation observed while in flight.
+func (f *frontend) processCompletions(now uint64) {
+	if len(f.pending) == 0 {
+		return
+	}
+	kept := f.pending[:0]
+	for _, m := range f.pending {
+		if m.completeAt > now {
+			kept = append(kept, m)
+			continue
+		}
+		high := false
+		if f.useSelection {
+			high = f.sel.Select(m.starved, m.starved && m.iqEmptySeen)
+			if high && f.MarkedLines != nil {
+				f.MarkedLines[m.line] = true
+			}
+		}
+		f.hier.CompleteFetch(m.line, m.src, high)
+		f.predecodeLine(m.line)
+		delete(f.inflight, m.line)
+	}
+	f.pending = kept
+}
+
+// prefetchScan is FDIP: walk the FTQ issuing line requests ahead of
+// decode.
+func (f *frontend) prefetchScan(now uint64) {
+	idx := f.ftqHead
+	for i := 0; i < f.ftqCount; i++ {
+		e := &f.ftq[idx]
+		for li := 0; li < e.nLines; li++ {
+			if e.requested&(1<<uint(li)) != 0 {
+				continue
+			}
+			if !f.requestLine(e.lines[li], now, !e.wrongPath) {
+				return // MSHRs exhausted
+			}
+			e.requested |= 1 << uint(li)
+		}
+		idx = (idx + 1) % f.cfg.FTQEntries
+	}
+}
+
+// ensureHeadLine is the demand path (and the no-FDIP mode): request
+// the line decode is about to consume. Returns false when the request
+// cannot be issued (MSHR pressure).
+func (f *frontend) ensureHeadLine(e *ftqEntry, li int, now uint64) bool {
+	if e.requested&(1<<uint(li)) != 0 {
+		return true
+	}
+	if !f.requestLine(e.lines[li], now, !e.wrongPath) {
+		return false
+	}
+	e.requested |= 1 << uint(li)
+	return true
+}
+
+// lineBlocked reports whether the line is still in flight, returning
+// the MSHR for starvation marking.
+func (f *frontend) lineBlocked(line uint64) (*mshrEntry, bool) {
+	m, ok := f.inflight[line]
+	return m, ok
+}
+
+// oracleNext pulls the next committed-path block.
+func (f *frontend) oracleNext() (trace.BlockEvent, bool) {
+	ev, ok := f.src.NextBlock()
+	if !ok {
+		f.oracleDone = true
+	}
+	return ev, ok
+}
+
+// fetchBlock runs one cycle of the branch-prediction unit: predict and
+// enqueue up to one basic block (§5.2).
+func (f *frontend) fetchBlock(now uint64) {
+	f.FTQOccupancySum += uint64(f.ftqCount)
+	if f.deadEnd {
+		f.FetchBlockDeadEnd++
+	} else if f.full() {
+		f.FetchBlockFull++
+	} else if f.predecodeBusy && now < f.predecodeAt {
+		f.FetchBlockPredecode++
+	}
+	if f.deadEnd || f.oracleDone || f.full() {
+		if f.predecodeBusy && now >= f.predecodeAt {
+			f.btb.Insert(f.predecodeEntry)
+			f.predecodeBusy = false
+		}
+		return
+	}
+	if f.predecodeBusy {
+		if now < f.predecodeAt {
+			return
+		}
+		f.btb.Insert(f.predecodeEntry)
+		f.predecodeBusy = false
+	}
+	if !f.havePC {
+		// Prime from the first oracle block.
+		ev, ok := f.oracleNext()
+		if !ok {
+			return
+		}
+		f.nextPC = ev.Addr
+		f.havePC = true
+		f.primeEvent = ev
+		f.havePrime = true
+	}
+
+	entry, ok := f.btb.Lookup(f.nextPC)
+	if !ok {
+		// BTB miss: stall enqueue, pre-decode the block, and prefetch
+		// the next two fall-through lines (§5.2).
+		info, exists := f.src.BlockInfo(f.nextPC)
+		if !exists {
+			f.deadEnd = true // speculative walk left the program
+			if !f.wrongPath {
+				// On the correct path the next oracle event would
+				// start here; an unknown block means the stream ended
+				// (finite traces and test programs).
+				f.oracleDone = true
+			}
+			return
+		}
+		f.predecodeBusy = true
+		f.predecodeAt = now + uint64(f.cfg.PredecodeLatency)
+		f.predecodeEntry = info
+		line := f.nextPC >> 6
+		f.requestLine(line+1, now, false)
+		f.requestLine(line+2, now, false)
+		return
+	}
+
+	branchPC := entry.BranchPC()
+	fallthrough_ := entry.FallThrough()
+	predNext := fallthrough_
+	switch entry.EndKind {
+	case branch.KindFallthrough:
+	case branch.KindCond:
+		if f.tage.Predict(branchPC) {
+			predNext = entry.Target
+		}
+	case branch.KindJump, branch.KindCall:
+		predNext = entry.Target
+	case branch.KindReturn:
+		predNext, _ = f.ras.Peek()
+	case branch.KindIndirect, branch.KindIndirectCall:
+		if t, ok := f.ittage.Predict(branchPC); ok {
+			predNext = t
+		} else {
+			predNext = 0
+		}
+	}
+
+	e := ftqEntry{
+		addr:    f.nextPC,
+		n:       entry.NumInstrs,
+		endKind: entry.EndKind,
+	}
+
+	if f.wrongPath {
+		e.wrongPath = true
+		f.applyRASOps(entry.EndKind, fallthrough_)
+	} else {
+		ev, ok := f.currentOracle()
+		if !ok {
+			return
+		}
+		if ev.Addr != f.nextPC {
+			// The oracle stream and the correct-path fetch cursor must
+			// agree; a divergence is a simulator bug.
+			panic("pipeline: oracle desynchronized from correct-path fetch")
+		}
+		// Train predictors with the architectural outcome.
+		switch entry.EndKind {
+		case branch.KindCond:
+			f.tage.Update(branchPC, ev.Taken)
+		case branch.KindIndirect, branch.KindIndirectCall:
+			f.ittage.Update(branchPC, ev.NextAddr)
+		}
+		e.mem = ev.Mem
+		if predNext != ev.NextAddr {
+			e.mispredict = true
+			f.Mispredicts++
+			f.MispredictsByKind[entry.EndKind]++
+			f.resteer = resteerState{
+				pending:      true,
+				correctNext:  ev.NextAddr,
+				snapshot:     f.ras.Snapshot(),
+				kind:         entry.EndKind,
+				fallthrough_: fallthrough_,
+			}
+		}
+		f.applyRASOps(entry.EndKind, fallthrough_)
+		if e.mispredict {
+			f.wrongPath = true
+		}
+	}
+
+	// Enqueue.
+	e.lines[0] = e.addr >> 6
+	e.nLines = 1
+	if last := (e.addr + 4*uint64(e.n) - 1) >> 6; last != e.lines[0] {
+		e.lines[1] = last
+		e.nLines = 2
+	}
+	slot := (f.ftqHead + f.ftqCount) % f.cfg.FTQEntries
+	f.ftq[slot] = e
+	f.ftqCount++
+	f.ftqInstr += e.n
+	f.BlocksFetched++
+
+	f.nextPC = predNext
+	if predNext == 0 {
+		f.deadEnd = true
+	}
+}
+
+// currentOracle returns the oracle event for the block being fetched,
+// honoring the one-event priming buffer.
+func (f *frontend) currentOracle() (trace.BlockEvent, bool) {
+	if f.havePrime {
+		f.havePrime = false
+		return f.primeEvent, true
+	}
+	return f.oracleNext()
+}
+
+// applyRASOps performs the speculative return-stack effects of
+// fetching a block.
+func (f *frontend) applyRASOps(kind branch.Kind, fallthrough_ uint64) {
+	switch {
+	case kind.IsCall():
+		f.ras.Push(fallthrough_)
+	case kind == branch.KindReturn:
+		f.ras.Pop()
+	}
+}
+
+// recover re-steers the front-end after the mispredicted branch
+// resolves: flush the FTQ (everything younger is wrong-path), restore
+// the RAS, apply the branch's architectural stack effect, and resume
+// at the correct target.
+func (f *frontend) recover() {
+	if !f.resteer.pending {
+		// A resolve without a recorded re-steer would be a simulator
+		// bug; recovering from nothing must not move the fetch PC.
+		return
+	}
+	f.ftqHead = 0
+	f.ftqCount = 0
+	f.ftqInstr = 0
+	f.predecodeBusy = false
+	f.ras.Restore(f.resteer.snapshot)
+	f.applyRASOps(f.resteer.kind, f.resteer.fallthrough_)
+	f.nextPC = f.resteer.correctNext
+	f.wrongPath = false
+	f.deadEnd = false
+	f.resteer = resteerState{}
+	f.haveReuseLine = false
+	if f.mrc != nil {
+		f.mrc.onRecover()
+	}
+}
+
+// markStarvation records a decode-starvation cycle blocked on m.
+func (f *frontend) markStarvation(m *mshrEntry, wrongPath, iqEmpty bool) {
+	if f.StarvedLineEvents != nil && !wrongPath && !m.starved {
+		f.StarvedLineEvents[m.line]++
+	}
+	if f.IQEStarvedLineEvents != nil && !wrongPath && iqEmpty && !m.iqEmptySeen {
+		f.IQEStarvedLineEvents[m.line]++
+	}
+	if !m.starved && !wrongPath {
+		f.StarvEventsBySrc[m.src]++
+		if f.MarkedLines != nil && f.MarkedLines[m.line] && m.src != cache.SrcL2 {
+			f.StarvOnMarkedMiss++
+		}
+	}
+	m.starved = true
+	if iqEmpty {
+		m.iqEmptySeen = true
+	}
+	f.StarvationCycles++
+	if iqEmpty {
+		f.StarvationIQECycles++
+	}
+	if !wrongPath {
+		f.CommitStarvationCycles++
+		if iqEmpty {
+			f.CommitStarvationIQECycles++
+		}
+		if f.tracker != nil {
+			f.StarvByBucket[f.lastBucket[m.line]]++
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package pipeline
+
+// mrc is a Misprediction Recovery Cache (§7.3 of the paper: Nanda et
+// al.'s MRC, productized as Samsung's Misprediction Recovery Buffer):
+// a small fully-associative buffer holding the instruction lines
+// needed immediately after branch re-steers, where decode starvation
+// is most exposed. The paper argues MRC and EMISSARY address
+// orthogonal reuse regimes (short vs long); this implementation lets
+// the combination be measured.
+//
+// Model: lines fetched within the first few requests after a recovery
+// are candidates; an MRC hit serves the line with no miss penalty
+// (the buffer sits beside L1I and feeds decode directly).
+type mrc struct {
+	entries []uint64
+	valid   []bool
+	stamps  []uint64
+	clock   uint64
+
+	// fillWindow counts how many more post-recovery line requests are
+	// insertion candidates.
+	fillWindow int
+
+	Hits    uint64
+	Inserts uint64
+}
+
+// mrcFillWindow is how many distinct line requests after a re-steer
+// are captured.
+const mrcFillWindow = 6
+
+func newMRC(entries int) *mrc {
+	if entries <= 0 {
+		return nil
+	}
+	return &mrc{
+		entries: make([]uint64, entries),
+		valid:   make([]bool, entries),
+		stamps:  make([]uint64, entries),
+	}
+}
+
+// contains probes the buffer, refreshing recency on a hit.
+func (m *mrc) contains(line uint64) bool {
+	for i := range m.entries {
+		if m.valid[i] && m.entries[i] == line {
+			m.clock++
+			m.stamps[i] = m.clock
+			m.Hits++
+			return true
+		}
+	}
+	return false
+}
+
+// insert installs a line, evicting the least recently used entry.
+func (m *mrc) insert(line uint64) {
+	victim, oldest := 0, ^uint64(0)
+	for i := range m.entries {
+		if m.valid[i] && m.entries[i] == line {
+			return
+		}
+		if !m.valid[i] {
+			victim, oldest = i, 0
+			break
+		}
+		if m.stamps[i] < oldest {
+			victim, oldest = i, m.stamps[i]
+		}
+	}
+	m.clock++
+	m.entries[victim] = line
+	m.valid[victim] = true
+	m.stamps[victim] = m.clock
+	m.Inserts++
+}
+
+// onRecover opens the post-re-steer capture window.
+func (m *mrc) onRecover() { m.fillWindow = mrcFillWindow }
+
+// observeRequest is called for each correct-path line request; within
+// the capture window the line is installed.
+func (m *mrc) observeRequest(line uint64) {
+	if m.fillWindow > 0 {
+		m.insert(line)
+		m.fillWindow--
+	}
+}

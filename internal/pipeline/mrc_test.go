@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"testing"
+
+	"emissary/internal/cache"
+	"emissary/internal/core"
+)
+
+func TestMRCDisabledIsNil(t *testing.T) {
+	if newMRC(0) != nil {
+		t.Error("newMRC(0) should disable the buffer")
+	}
+}
+
+func TestMRCInsertAndHit(t *testing.T) {
+	m := newMRC(4)
+	m.onRecover()
+	m.observeRequest(0x10)
+	m.observeRequest(0x11)
+	if !m.contains(0x10) || !m.contains(0x11) {
+		t.Error("captured lines missing")
+	}
+	if m.contains(0x99) {
+		t.Error("phantom hit")
+	}
+	if m.Hits != 2 || m.Inserts != 2 {
+		t.Errorf("hits/inserts = %d/%d", m.Hits, m.Inserts)
+	}
+}
+
+func TestMRCFillWindowBounds(t *testing.T) {
+	m := newMRC(16)
+	m.onRecover()
+	for i := 0; i < mrcFillWindow+5; i++ {
+		m.observeRequest(uint64(0x100 + i))
+	}
+	if m.Inserts != mrcFillWindow {
+		t.Errorf("inserts = %d, want window %d", m.Inserts, mrcFillWindow)
+	}
+	// Outside a window nothing is captured.
+	m.observeRequest(0x999)
+	if m.contains(0x999) {
+		t.Error("line captured outside window")
+	}
+}
+
+func TestMRCLRUEviction(t *testing.T) {
+	m := newMRC(2)
+	m.onRecover()
+	m.observeRequest(1)
+	m.observeRequest(2)
+	m.contains(1) // refresh 1
+	m.onRecover()
+	m.observeRequest(3) // evicts 2
+	if m.contains(2) {
+		t.Error("LRU entry survived")
+	}
+	if !m.contains(1) || !m.contains(3) {
+		t.Error("expected entries missing")
+	}
+}
+
+func TestMRCDuplicateInsert(t *testing.T) {
+	m := newMRC(4)
+	m.onRecover()
+	m.observeRequest(7)
+	m.insert(7)
+	count := 0
+	for i := range m.entries {
+		if m.valid[i] && m.entries[i] == 7 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("line stored %d times", count)
+	}
+}
+
+func TestCoreWithMRCRuns(t *testing.T) {
+	src := loopProgram(8, 300)
+	hier := cache.NewHierarchy(cache.DefaultConfig(core.MustParsePolicy("TPLRU")))
+	cfg := DefaultConfig()
+	cfg.MRCEntries = 32
+	c, err := NewCore(cfg, src, hier, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(0)
+	for _, s := range src.path {
+		total += uint64(src.blocks[s.addr].NumInstrs)
+	}
+	if got := c.RunCommitted(1 << 30); got != total {
+		t.Errorf("committed %d, want %d (MRC must not corrupt the stream)", got, total)
+	}
+}

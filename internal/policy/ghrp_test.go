@@ -1,0 +1,91 @@
+package policy
+
+import "testing"
+
+func TestGHRPLearnsDeadSignatures(t *testing.T) {
+	p := NewGHRP(1, 4)
+	ls := fullSet(4, nil)
+	// Fill way 0 repeatedly without ever hitting it: its signatures
+	// should accumulate dead training.
+	for i := 0; i < 50; i++ {
+		p.OnFill(0, 0, ls)
+		p.OnInvalidate(0, 0) // evicted untouched -> dead training
+	}
+	deadTrained := 0
+	for _, c := range p.dead {
+		if c >= ghrpDeadThreshold {
+			deadTrained++
+		}
+	}
+	if deadTrained == 0 {
+		t.Error("no signature learned dead after 50 untouched evictions")
+	}
+}
+
+func TestGHRPLiveTrainingDecays(t *testing.T) {
+	p := NewGHRP(1, 4)
+	ls := fullSet(4, nil)
+	p.OnFill(0, 1, ls)
+	sig := p.sigs[1]
+	p.dead[sig] = ghrpDeadMax
+	p.OnHit(0, 1, ls) // proves live
+	if p.dead[sig] != ghrpDeadMax-1 {
+		t.Errorf("dead counter = %d after live proof, want %d", p.dead[sig], ghrpDeadMax-1)
+	}
+}
+
+func TestGHRPVictimPrefersPredictedDead(t *testing.T) {
+	p := NewGHRP(1, 4)
+	ls := fullSet(4, nil)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, ls)
+		p.OnHit(0, w, ls) // make every line recently used and touched
+	}
+	// Force way 2's current signature to predict dead.
+	p.dead[p.sigs[2]] = ghrpDeadMax
+	if v := p.Victim(0, ls, LineView{Valid: true}); v != 2 {
+		t.Errorf("Victim = %d, want predicted-dead way 2", v)
+	}
+}
+
+func TestGHRPFallsBackToLRU(t *testing.T) {
+	p := NewGHRP(1, 4)
+	ls := fullSet(4, nil)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, ls)
+	}
+	// No dead predictions: victim is the least recently filled (way 0).
+	for i := range p.dead {
+		p.dead[i] = 0
+	}
+	if v := p.Victim(0, ls, LineView{Valid: true}); v != 0 {
+		t.Errorf("Victim = %d, want LRU way 0", v)
+	}
+}
+
+func TestGHRPVictimAmongMask(t *testing.T) {
+	p := NewGHRP(1, 8)
+	ls := fullSet(8, nil)
+	for w := 0; w < 8; w++ {
+		p.OnFill(0, w, ls)
+	}
+	if v := p.VictimAmong(0, ls, 0); v != -1 {
+		t.Errorf("empty mask gave %d", v)
+	}
+	if v := p.VictimAmong(0, ls, 0b10100000); v != 5 && v != 7 {
+		t.Errorf("masked victim %d outside mask", v)
+	}
+}
+
+func TestGHRPTouchedEvictionTrainsLive(t *testing.T) {
+	p := NewGHRP(1, 4)
+	ls := fullSet(4, nil)
+	p.OnFill(0, 3, ls)
+	p.OnHit(0, 3, ls)
+	sig := p.sigs[3]
+	p.dead[sig] = 2
+	p.OnInvalidate(0, 3) // evicted but it was reused: live training
+	if p.dead[sig] != 1 {
+		t.Errorf("dead counter = %d, want 1 (decayed)", p.dead[sig])
+	}
+}

@@ -1,0 +1,206 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrueLRUVictimOrder(t *testing.T) {
+	l := NewTrueLRU(1, 4)
+	for w := 0; w < 4; w++ {
+		l.Touch(0, w)
+	}
+	if v := l.Victim(0); v != 0 {
+		t.Errorf("Victim = %d, want 0 (least recently touched)", v)
+	}
+	l.Touch(0, 0)
+	if v := l.Victim(0); v != 1 {
+		t.Errorf("after touching 0, Victim = %d, want 1", v)
+	}
+}
+
+func TestTrueLRUMakeLRU(t *testing.T) {
+	l := NewTrueLRU(1, 4)
+	for w := 0; w < 4; w++ {
+		l.Touch(0, w)
+	}
+	l.MakeLRU(0, 3)
+	if v := l.Victim(0); v != 3 {
+		t.Errorf("after MakeLRU(3), Victim = %d, want 3", v)
+	}
+	// A later MakeLRU takes over the LRU position (LIP semantics: the
+	// newest LRU-inserted line is the next victim).
+	l.MakeLRU(0, 2)
+	if v := l.Victim(0); v != 2 {
+		t.Errorf("Victim = %d, want 2 (newest LRU insert is next victim)", v)
+	}
+}
+
+func TestTrueLRUVictimAmong(t *testing.T) {
+	l := NewTrueLRU(1, 4)
+	for w := 0; w < 4; w++ {
+		l.Touch(0, w)
+	}
+	if v := l.VictimAmong(0, 0b1100); v != 2 {
+		t.Errorf("VictimAmong(1100) = %d, want 2", v)
+	}
+	if v := l.VictimAmong(0, 0); v != -1 {
+		t.Errorf("VictimAmong(0) = %d, want -1", v)
+	}
+}
+
+func TestTrueLRUSetsIndependent(t *testing.T) {
+	l := NewTrueLRU(2, 2)
+	l.Touch(0, 0)
+	l.Touch(0, 1)
+	l.Touch(1, 1)
+	l.Touch(1, 0)
+	if v := l.Victim(0); v != 0 {
+		t.Errorf("set 0 Victim = %d, want 0", v)
+	}
+	if v := l.Victim(1); v != 1 {
+		t.Errorf("set 1 Victim = %d, want 1", v)
+	}
+}
+
+func TestTrueLRUBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTrueLRU(0,4) did not panic")
+		}
+	}()
+	NewTrueLRU(0, 4)
+}
+
+func TestTPLRUVictimAfterFullTouch(t *testing.T) {
+	p := NewTPLRU(1, 8)
+	for w := 0; w < 8; w++ {
+		p.Touch(0, w)
+	}
+	// After touching 0..7 in order the pseudo-LRU victim is way 0.
+	if v := p.Victim(0); v != 0 {
+		t.Errorf("Victim = %d, want 0", v)
+	}
+}
+
+func TestTPLRUTouchProtects(t *testing.T) {
+	p := NewTPLRU(1, 8)
+	for w := 0; w < 8; w++ {
+		p.Touch(0, w)
+	}
+	v1 := p.Victim(0)
+	p.Touch(0, v1)
+	v2 := p.Victim(0)
+	if v2 == v1 {
+		t.Errorf("victim %d unchanged after touching it", v1)
+	}
+}
+
+func TestTPLRUMakeLRUTargets(t *testing.T) {
+	p := NewTPLRU(1, 8)
+	for w := 0; w < 8; w++ {
+		p.Touch(0, w)
+	}
+	for target := 0; target < 8; target++ {
+		p.MakeLRU(0, target)
+		if v := p.Victim(0); v != target {
+			t.Errorf("after MakeLRU(%d), Victim = %d", target, v)
+		}
+	}
+}
+
+func TestTPLRUVictimAmongRespectsMask(t *testing.T) {
+	p := NewTPLRU(1, 8)
+	for w := 0; w < 8; w++ {
+		p.Touch(0, w)
+	}
+	if err := quick.Check(func(m uint8) bool {
+		mask := uint32(m)
+		v := p.VictimAmong(0, mask)
+		if mask == 0 {
+			return v == -1
+		}
+		return v >= 0 && v < 8 && mask&(1<<uint(v)) != 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTPLRUVictimAmongSingleton(t *testing.T) {
+	p := NewTPLRU(1, 16)
+	for w := 0; w < 16; w++ {
+		p.Touch(0, w)
+	}
+	for w := 0; w < 16; w++ {
+		if v := p.VictimAmong(0, 1<<uint(w)); v != w {
+			t.Errorf("singleton mask for way %d gave %d", w, v)
+		}
+	}
+}
+
+func TestTPLRUVictimAmongFullMaskMatchesVictim(t *testing.T) {
+	p := NewTPLRU(4, 16)
+	// Arbitrary touch pattern.
+	seq := []int{3, 7, 1, 15, 0, 8, 4, 2, 9, 11}
+	for _, w := range seq {
+		p.Touch(2, w)
+	}
+	if got, want := p.VictimAmong(2, (1<<16)-1), p.Victim(2); got != want {
+		t.Errorf("VictimAmong(full) = %d, Victim = %d", got, want)
+	}
+}
+
+func TestTPLRURequiresPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTPLRU with 12 ways did not panic")
+		}
+	}()
+	NewTPLRU(4, 12)
+}
+
+func TestTPLRUSetsIndependent(t *testing.T) {
+	p := NewTPLRU(2, 4)
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w)
+	}
+	p.MakeLRU(0, 2)
+	if p.Bits(1) != 0 {
+		t.Errorf("set 1 bits mutated: %b", p.Bits(1))
+	}
+}
+
+// Property: with true LRU, a victim is never one of the last ways-1
+// touched lines.
+func TestTrueLRUPropertyVictimNotRecent(t *testing.T) {
+	if err := quick.Check(func(seq []uint8) bool {
+		const ways = 8
+		l := NewTrueLRU(1, ways)
+		for w := 0; w < ways; w++ {
+			l.Touch(0, w)
+		}
+		for _, s := range seq {
+			l.Touch(0, int(s%ways))
+		}
+		v := l.Victim(0)
+		// The victim must not have been touched after any other line's
+		// last touch: check stamp is the minimum.
+		for w := 0; w < ways; w++ {
+			if l.Stamp(0, v) > l.Stamp(0, w) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTPLRUTouchVictim(b *testing.B) {
+	p := NewTPLRU(1024, 16)
+	for i := 0; i < b.N; i++ {
+		s := i & 1023
+		p.Touch(s, i&15)
+		_ = p.Victim(s)
+	}
+}

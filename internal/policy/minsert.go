@@ -1,0 +1,82 @@
+package policy
+
+// Recency is the trivial always-MRU-insert policy over a recency base:
+// classic LRU (true or tree pseudo variant). It is the policy used for
+// the L1 caches and the notation "M:1" baseline.
+type Recency struct {
+	name string
+	base RecencyBase
+}
+
+// NewRecency wraps a recency base as a plain LRU-style policy.
+func NewRecency(name string, base RecencyBase) *Recency {
+	return &Recency{name: name, base: base}
+}
+
+// Name implements Policy.
+func (p *Recency) Name() string { return p.name }
+
+// OnHit implements Policy.
+func (p *Recency) OnHit(set, way int, lines []LineView) { p.base.Touch(set, way) }
+
+// OnFill implements Policy.
+func (p *Recency) OnFill(set, way int, lines []LineView) { p.base.Touch(set, way) }
+
+// Victim implements Policy.
+func (p *Recency) Victim(set int, lines []LineView, incoming LineView) int {
+	return p.base.Victim(set)
+}
+
+// OnInvalidate implements Policy.
+func (p *Recency) OnInvalidate(set, way int) {}
+
+// OnPriorityUpdate implements Policy.
+func (p *Recency) OnPriorityUpdate(set, way int, lines []LineView) {}
+
+// MInsert is the M-treatment family from Table 2 of the paper:
+// bimodality expressed purely at insertion. High-priority instruction
+// lines are inserted in the MRU position; low-priority instruction
+// lines in the LRU position. Covers M:1 (LRU), M:0 (LIP), M:R(r) (BIP)
+// and the starvation-gated M:S, M:S&E, M:S&E&R(r) policies — the
+// mode-selection outcome arrives as the filled line's Priority bit.
+//
+// Data lines are outside the bimodal treatment ("all policies apply
+// only to L2 instruction lines", §2) and insert at MRU as in the LRU
+// baseline.
+type MInsert struct {
+	name string
+	base RecencyBase
+}
+
+// NewMInsert builds an M-treatment policy over a recency base.
+func NewMInsert(name string, base RecencyBase) *MInsert {
+	return &MInsert{name: name, base: base}
+}
+
+// Name implements Policy.
+func (p *MInsert) Name() string { return p.name }
+
+// OnHit implements Policy.
+func (p *MInsert) OnHit(set, way int, lines []LineView) { p.base.Touch(set, way) }
+
+// OnFill implements Policy.
+func (p *MInsert) OnFill(set, way int, lines []LineView) {
+	l := lines[way]
+	if l.Instr && !l.Priority {
+		p.base.MakeLRU(set, way)
+		return
+	}
+	p.base.Touch(set, way)
+}
+
+// Victim implements Policy.
+func (p *MInsert) Victim(set int, lines []LineView, incoming LineView) int {
+	return p.base.Victim(set)
+}
+
+// OnInvalidate implements Policy.
+func (p *MInsert) OnInvalidate(set, way int) {}
+
+// OnPriorityUpdate implements Policy. Insertion-only bimodality: a
+// priority bit arriving after insertion (L1I eviction) has no effect.
+func (p *MInsert) OnPriorityUpdate(set, way int, lines []LineView) {}

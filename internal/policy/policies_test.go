@@ -1,0 +1,268 @@
+package policy
+
+import (
+	"testing"
+)
+
+// fullSet returns a LineView slice of `ways` valid lines, instruction
+// lines where instr[w] is true.
+func fullSet(ways int, instr func(w int) bool) []LineView {
+	lines := make([]LineView, ways)
+	for w := range lines {
+		lines[w] = LineView{Valid: true, Instr: instr == nil || instr(w)}
+	}
+	return lines
+}
+
+func TestMInsertLowPriorityInstrInsertsAtLRU(t *testing.T) {
+	p := NewMInsert("M:0", NewTrueLRU(1, 4))
+	lines := fullSet(4, nil)
+	for w := 0; w < 4; w++ {
+		lines[w].Priority = true
+		p.OnFill(0, w, lines)
+	}
+	// Low-priority instruction fill at way 2 should become the victim.
+	lines[2].Priority = false
+	p.OnFill(0, 2, lines)
+	if v := p.Victim(0, lines, LineView{}); v != 2 {
+		t.Errorf("Victim = %d, want 2 (LRU-inserted line)", v)
+	}
+}
+
+func TestMInsertHighPriorityInsertsAtMRU(t *testing.T) {
+	p := NewMInsert("M:1", NewTrueLRU(1, 4))
+	lines := fullSet(4, nil)
+	for w := 0; w < 4; w++ {
+		lines[w].Priority = true
+		p.OnFill(0, w, lines)
+	}
+	if v := p.Victim(0, lines, LineView{}); v != 0 {
+		t.Errorf("Victim = %d, want 0", v)
+	}
+}
+
+func TestMInsertDataAlwaysMRU(t *testing.T) {
+	p := NewMInsert("M:0", NewTrueLRU(1, 4))
+	lines := fullSet(4, func(w int) bool { return w != 3 })
+	for w := 0; w < 3; w++ {
+		lines[w].Priority = true
+		p.OnFill(0, w, lines)
+	}
+	// Data line fills with Priority=false but must still go MRU.
+	lines[3].Priority = false
+	p.OnFill(0, 3, lines)
+	if v := p.Victim(0, lines, LineView{}); v != 0 {
+		t.Errorf("Victim = %d, want 0 (data line not LRU-inserted)", v)
+	}
+}
+
+func TestMInsertHitPromotes(t *testing.T) {
+	p := NewMInsert("M:0", NewTrueLRU(1, 2))
+	lines := fullSet(2, nil)
+	lines[0].Priority = false
+	p.OnFill(0, 0, lines)
+	lines[1].Priority = false
+	p.OnFill(0, 1, lines)
+	// Way 0 was LRU-inserted first, so it's the victim; a hit rescues it.
+	p.OnHit(0, 0, lines)
+	if v := p.Victim(0, lines, LineView{}); v != 1 {
+		t.Errorf("Victim = %d, want 1 after hit promoted way 0", v)
+	}
+}
+
+func TestRecencyPolicyBasics(t *testing.T) {
+	p := NewRecency("TPLRU", NewTPLRU(1, 4))
+	lines := fullSet(4, nil)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, lines)
+	}
+	if v := p.Victim(0, lines, LineView{}); v != 0 {
+		t.Errorf("Victim = %d, want 0", v)
+	}
+	if p.Name() != "TPLRU" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestSRRIPInsertionAndPromotion(t *testing.T) {
+	p := NewSRRIP(1, 4)
+	lines := fullSet(4, nil)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, lines)
+	}
+	// All lines at RRPV=2; aging makes way 0 the first distant line.
+	if v := p.Victim(0, lines, LineView{}); v != 0 {
+		t.Errorf("Victim = %d, want 0", v)
+	}
+	// Promote way 0; next victim should be way 1 after aging.
+	p.OnHit(0, 0, lines)
+	if v := p.Victim(0, lines, LineView{}); v != 1 {
+		t.Errorf("Victim after promoting 0 = %d, want 1", v)
+	}
+}
+
+func TestBRRIPMostlyDistant(t *testing.T) {
+	p := NewBRRIP(1, 4, 42)
+	lines := fullSet(4, nil)
+	distant := 0
+	const trials = 3200
+	for i := 0; i < trials; i++ {
+		p.OnFill(0, 0, lines)
+		if p.rrpv[0] == maxRRPV {
+			distant++
+		}
+	}
+	frac := float64(distant) / trials
+	if frac < 0.93 || frac > 0.99 {
+		t.Errorf("BRRIP distant-insert fraction = %v, want ~31/32", frac)
+	}
+}
+
+func TestDRRIPDuelingMovesPSEL(t *testing.T) {
+	p := NewDRRIP(64, 4, 7)
+	lines := fullSet(4, nil)
+	start := p.PSEL()
+	// Misses in the SRRIP leader set (set 0) push PSEL up.
+	for i := 0; i < 10; i++ {
+		p.OnFill(0, 0, lines)
+	}
+	if p.PSEL() <= start {
+		t.Errorf("PSEL did not increase on SRRIP-leader misses: %d -> %d", start, p.PSEL())
+	}
+	// Misses in the BRRIP leader set push it back down.
+	up := p.PSEL()
+	for i := 0; i < 20; i++ {
+		p.OnFill(duelingPeriod/2, 0, lines)
+	}
+	if p.PSEL() >= up {
+		t.Errorf("PSEL did not decrease on BRRIP-leader misses: %d -> %d", up, p.PSEL())
+	}
+}
+
+func TestDRRIPLeaderKindLayout(t *testing.T) {
+	p := NewDRRIP(128, 4, 7)
+	if p.leaderKind(0) != 1 || p.leaderKind(duelingPeriod) != 1 {
+		t.Error("expected SRRIP leaders at multiples of the dueling period")
+	}
+	if p.leaderKind(duelingPeriod/2) != 2 {
+		t.Error("expected BRRIP leader at offset period/2")
+	}
+	if p.leaderKind(3) != 0 {
+		t.Error("expected follower at offset 3")
+	}
+}
+
+func TestRRIPVictimAlwaysValidWay(t *testing.T) {
+	p := NewSRRIP(2, 8)
+	lines := fullSet(8, nil)
+	for i := 0; i < 100; i++ {
+		w := p.Victim(1, lines, LineView{})
+		if w < 0 || w >= 8 {
+			t.Fatalf("Victim out of range: %d", w)
+		}
+		p.OnFill(1, w, lines)
+		if i%3 == 0 {
+			p.OnHit(1, (i*5)%8, lines)
+		}
+	}
+}
+
+func TestRRIPInvalidateMakesVictim(t *testing.T) {
+	p := NewSRRIP(1, 4)
+	lines := fullSet(4, nil)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, lines)
+		p.OnHit(0, w, lines)
+	}
+	p.OnInvalidate(0, 2)
+	if v := p.Victim(0, lines, LineView{}); v != 2 {
+		t.Errorf("Victim = %d, want invalidated way 2", v)
+	}
+}
+
+func TestPDPProtectsRecentlyInserted(t *testing.T) {
+	p := NewPDP(1, 4, 8)
+	lines := fullSet(4, nil)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, lines)
+	}
+	// All protected: victim is the closest to expiry = way 0 (aged most).
+	if v := p.Victim(0, lines, LineView{}); v != 0 {
+		t.Errorf("Victim = %d, want 0", v)
+	}
+}
+
+func TestPDPExpiredPreferred(t *testing.T) {
+	p := NewPDP(1, 4, 2)
+	lines := fullSet(4, nil)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, lines)
+	}
+	// Repeatedly hit way 3; ways 0-2 expire (PD=2).
+	for i := 0; i < 5; i++ {
+		p.OnHit(0, 3, lines)
+	}
+	v := p.Victim(0, lines, LineView{})
+	if v == 3 {
+		t.Errorf("Victim = 3, which is the only protected line")
+	}
+}
+
+func TestPDPDefaultDistance(t *testing.T) {
+	p := NewPDP(1, 4, 0)
+	if p.pd != DefaultProtectingDistance {
+		t.Errorf("pd = %d, want default %d", p.pd, DefaultProtectingDistance)
+	}
+}
+
+func TestDCLIPPrefersEvictingData(t *testing.T) {
+	p := NewDCLIP(1, 4)
+	// Set 0 is a CLIP-on leader: instruction fills get RRPV 0, data 3.
+	lines := fullSet(4, func(w int) bool { return w < 2 })
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, lines)
+	}
+	v := p.Victim(0, lines, LineView{})
+	if v != 2 && v != 3 {
+		t.Errorf("Victim = %d, want a data way (2 or 3)", v)
+	}
+}
+
+func TestDCLIPDuelingUpdatesOnInstrMissOnly(t *testing.T) {
+	p := NewDCLIP(64, 4)
+	linesI := fullSet(4, nil)
+	linesD := fullSet(4, func(int) bool { return false })
+	start := p.PSEL()
+	p.OnFill(0, 0, linesD) // data miss in CLIP leader: no PSEL change
+	if p.PSEL() != start {
+		t.Errorf("PSEL moved on data miss")
+	}
+	p.OnFill(0, 0, linesI) // instruction miss in CLIP leader
+	if p.PSEL() != start+1 {
+		t.Errorf("PSEL = %d, want %d", p.PSEL(), start+1)
+	}
+}
+
+func TestMasksHelpers(t *testing.T) {
+	lines := []LineView{
+		{Valid: true, Priority: true, Instr: true},
+		{Valid: true, Priority: false, Instr: false},
+		{Valid: false, Priority: true, Instr: true},
+		{Valid: true, Priority: true, Instr: false},
+	}
+	if m := validMask(lines, true); m != 0b1001 {
+		t.Errorf("validMask(high) = %04b", m)
+	}
+	if m := validMask(lines, false); m != 0b0010 {
+		t.Errorf("validMask(low) = %04b", m)
+	}
+	if m := instrMask(lines, true); m != 0b0001 {
+		t.Errorf("instrMask(instr) = %04b", m)
+	}
+	if m := instrMask(lines, false); m != 0b1010 {
+		t.Errorf("instrMask(data) = %04b", m)
+	}
+	if m := maskAll(4); m != 0b1111 {
+		t.Errorf("maskAll(4) = %04b", m)
+	}
+}

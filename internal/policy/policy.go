@@ -1,0 +1,99 @@
+// Package policy defines the cache replacement-policy framework and
+// implements every prior-work policy the paper compares against:
+// true LRU, tree pseudo-LRU (TPLRU), LIP/BIP-style bimodal insertion
+// (the M-treatment family), SRRIP/BRRIP/DRRIP, PDP and DCLIP.
+//
+// The EMISSARY P(N) family — the paper's contribution — lives in
+// internal/core and builds on the recency bases exported here.
+//
+// A cache owns its line metadata and presents it to the policy as a
+// []LineView slice per set. Policies keep whatever recency state they
+// need (stamps, tree bits, RRPVs) indexed by (set, way).
+package policy
+
+import "fmt"
+
+// LineView is the slice of per-line metadata a policy may consult.
+// The cache keeps these up to date; policies never mutate them.
+type LineView struct {
+	Valid    bool
+	Priority bool // EMISSARY P bit (false for all non-EMISSARY policies)
+	Instr    bool // line holds instructions (vs data)
+}
+
+// Policy is the interface caches use to drive replacement decisions.
+//
+// The cache guarantees:
+//   - Victim is called only when every way in the set is valid;
+//   - OnFill is called after the new line is installed, with lines[way]
+//     describing it;
+//   - lines always has exactly `ways` entries.
+type Policy interface {
+	// Name returns the policy's notation string (e.g. "M:R(1/32)").
+	Name() string
+	// OnHit is invoked when an access hits way in set.
+	OnHit(set, way int, lines []LineView)
+	// OnFill is invoked after a miss fill installs a line at way.
+	OnFill(set, way int, lines []LineView)
+	// Victim picks the way to evict for an incoming fill described by
+	// incoming. It must return a valid way index.
+	Victim(set int, lines []LineView, incoming LineView) int
+	// OnInvalidate is invoked when a line is removed without
+	// replacement (back-invalidation, flush).
+	OnInvalidate(set, way int)
+	// OnPriorityUpdate is invoked when a line's Priority bit changes
+	// while resident (an L1I eviction writing its P bit into L2).
+	OnPriorityUpdate(set, way int, lines []LineView)
+}
+
+// RecencyBase is the recency-tracking substrate shared by the
+// M-treatment family and by EMISSARY's P(N) treatment: either true LRU
+// or tree pseudo-LRU. VictimAmong restricts the choice to the ways set
+// in mask, returning -1 if the mask is empty of valid candidates.
+type RecencyBase interface {
+	// Touch marks way as most recently used.
+	Touch(set, way int)
+	// MakeLRU marks way as the next victim (LIP-style insertion).
+	MakeLRU(set, way int)
+	// Victim returns the least recently used way.
+	Victim(set int) int
+	// VictimAmong returns the least recently used way among those set
+	// in mask, or -1 if mask is zero.
+	VictimAmong(set int, mask uint32) int
+}
+
+// maskAll returns a mask with the low `ways` bits set.
+func maskAll(ways int) uint32 { return (1 << uint(ways)) - 1 }
+
+// validMask returns the mask of valid ways matching the given priority.
+func validMask(lines []LineView, priority bool) uint32 {
+	var m uint32
+	for i, l := range lines {
+		if l.Valid && l.Priority == priority {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// instrMask returns the mask of valid instruction (or data) ways.
+func instrMask(lines []LineView, instr bool) uint32 {
+	var m uint32
+	for i, l := range lines {
+		if l.Valid && l.Instr == instr {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// checkGeometry panics when a policy is constructed with a geometry it
+// cannot support.
+func checkGeometry(sets, ways int) {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("policy: invalid geometry %dx%d", sets, ways))
+	}
+	if ways > 32 {
+		panic(fmt.Sprintf("policy: ways = %d exceeds mask width", ways))
+	}
+}

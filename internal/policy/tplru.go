@@ -1,0 +1,120 @@
+package policy
+
+import "fmt"
+
+// TPLRU is a tree pseudo-LRU recency base (the hardware-realistic
+// base used for all of the paper's main evaluations). It requires a
+// power-of-two way count and keeps ways-1 tree bits per set.
+//
+// Convention: each internal node's bit gives the direction (0 = left,
+// 1 = right) toward the pseudo-LRU victim. Touching a way flips the
+// bits on its root path to point away from it; MakeLRU points them at
+// it.
+type TPLRU struct {
+	sets, ways int
+	depth      uint
+	bits       []uint16 // one word of tree bits per set, node i's bit at 1<<i (i from 1)
+}
+
+// NewTPLRU returns a tree-PLRU recency base. Ways must be a power of
+// two between 2 and 16.
+func NewTPLRU(sets, ways int) *TPLRU {
+	checkGeometry(sets, ways)
+	if ways&(ways-1) != 0 || ways < 2 || ways > 16 {
+		panic(fmt.Sprintf("policy: TPLRU requires power-of-two ways in [2,16], got %d", ways))
+	}
+	d := uint(0)
+	for 1<<d < ways {
+		d++
+	}
+	return &TPLRU{sets: sets, ways: ways, depth: d, bits: make([]uint16, sets)}
+}
+
+func (t *TPLRU) getBit(set, node int) int {
+	return int(t.bits[set]>>uint(node)) & 1
+}
+
+func (t *TPLRU) setBit(set, node, v int) {
+	if v != 0 {
+		t.bits[set] |= 1 << uint(node)
+	} else {
+		t.bits[set] &^= 1 << uint(node)
+	}
+}
+
+// pathSet walks from the root toward way, setting each node's bit to
+// point toward the way when toward is true, away otherwise.
+func (t *TPLRU) pathSet(set, way int, toward bool) {
+	node := 1
+	for level := int(t.depth) - 1; level >= 0; level-- {
+		dir := (way >> uint(level)) & 1
+		if toward {
+			t.setBit(set, node, dir)
+		} else {
+			t.setBit(set, node, 1-dir)
+		}
+		node = node*2 + dir
+	}
+}
+
+// Touch implements RecencyBase.
+func (t *TPLRU) Touch(set, way int) { t.pathSet(set, way, false) }
+
+// MakeLRU implements RecencyBase.
+func (t *TPLRU) MakeLRU(set, way int) { t.pathSet(set, way, true) }
+
+// Victim implements RecencyBase.
+func (t *TPLRU) Victim(set int) int {
+	node := 1
+	for node < t.ways {
+		node = node*2 + t.getBit(set, node)
+	}
+	return node - t.ways
+}
+
+// subtreeMask returns the mask of leaf ways underneath heap node.
+func (t *TPLRU) subtreeMask(node int) uint32 {
+	// Node at heap index n with leaves in [n*2^k - ways, ...] — compute
+	// by walking down: the subtree rooted at n spans ways
+	// [ (n - 2^level) << (depth-level), ... ) where level = floor(log2 n).
+	level := 0
+	for 1<<uint(level+1) <= node {
+		level++
+	}
+	span := t.ways >> uint(level)
+	start := (node - 1<<uint(level)) * span
+	return ((1 << uint(span)) - 1) << uint(start)
+}
+
+// VictimAmong implements RecencyBase. The walk follows the tree bits
+// but refuses to descend into subtrees containing no masked way; the
+// result is the tree-PLRU victim restricted to the mask (this is the
+// "skipping any lines that do not match the priority criteria" walk
+// from §4.2 of the paper).
+func (t *TPLRU) VictimAmong(set int, mask uint32) int {
+	mask &= maskAll(t.ways)
+	if mask == 0 {
+		return -1
+	}
+	node := 1
+	for node < t.ways {
+		b := t.getBit(set, node)
+		preferred := node*2 + b
+		other := node*2 + (1 - b)
+		if t.subtreeMask(preferred)&mask != 0 {
+			node = preferred
+		} else {
+			node = other
+		}
+	}
+	way := node - t.ways
+	if mask&(1<<uint(way)) == 0 {
+		// The walk can only land outside the mask if the mask was
+		// empty, which we excluded above.
+		panic("policy: TPLRU VictimAmong walk escaped mask")
+	}
+	return way
+}
+
+// Bits exposes the raw tree bits of a set for tests.
+func (t *TPLRU) Bits(set int) uint16 { return t.bits[set] }

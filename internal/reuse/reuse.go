@@ -1,0 +1,160 @@
+// Package reuse computes exact reuse distances: for each access to a
+// cache line, the number of *unique* lines touched since the previous
+// access to that line (§3 of the paper; consecutive accesses to the
+// same line are not counted). Distances drive the Short [0,100) /
+// Mid [100,5000) / Long [5000,∞) classification of Figure 2.
+//
+// The tracker uses the classic Fenwick-tree algorithm over access
+// timestamps, with periodic timestamp compaction so memory stays
+// proportional to the number of distinct lines rather than the trace
+// length.
+package reuse
+
+import "sort"
+
+// Infinite is returned for a line's first access.
+const Infinite = int64(-1)
+
+// Paper bucket boundaries.
+const (
+	ShortMidBoundary = 100
+	MidLongBoundary  = 5000
+)
+
+// Bucket classifies a reuse distance per the paper's three bins;
+// first accesses (Infinite) classify as Long.
+type Bucket int
+
+// Buckets.
+const (
+	Short Bucket = iota
+	Mid
+	Long
+)
+
+// String implements fmt.Stringer.
+func (b Bucket) String() string {
+	switch b {
+	case Short:
+		return "short"
+	case Mid:
+		return "mid"
+	default:
+		return "long"
+	}
+}
+
+// Classify maps a distance to its bucket.
+func Classify(d int64) Bucket {
+	switch {
+	case d == Infinite || d >= MidLongBoundary:
+		return Long
+	case d >= ShortMidBoundary:
+		return Mid
+	default:
+		return Short
+	}
+}
+
+// Tracker computes exact reuse distances online.
+type Tracker struct {
+	last map[uint64]int64 // line -> timestamp of its latest access
+	tree []int64          // Fenwick tree over timestamps (1-based)
+	time int64            // next timestamp
+	cap  int64
+
+	lastLine uint64
+	haveLast bool
+}
+
+// NewTracker returns a Tracker. capacity bounds the Fenwick tree size;
+// when timestamps exceed it the tracker compacts. A capacity of at
+// least 4x the expected distinct-line count keeps compaction rare.
+func NewTracker(capacity int) *Tracker {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracker{
+		last: make(map[uint64]int64),
+		tree: make([]int64, capacity+1),
+		cap:  int64(capacity),
+		time: 1,
+	}
+}
+
+func (t *Tracker) add(i, delta int64) {
+	for ; i <= t.cap; i += i & (-i) {
+		t.tree[i] += delta
+	}
+}
+
+func (t *Tracker) sum(i int64) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += t.tree[i]
+	}
+	return s
+}
+
+// Access records an access to line and returns its reuse distance
+// (Infinite on first access). Immediately repeated accesses to the
+// same line return 0 without resetting the timestamp, matching the
+// paper's "same line accessed consecutively is not counted".
+func (t *Tracker) Access(line uint64) int64 {
+	if t.haveLast && t.lastLine == line {
+		return 0
+	}
+	t.lastLine = line
+	t.haveLast = true
+
+	if t.time > t.cap {
+		t.compact()
+	}
+	prev, seen := t.last[line]
+	var dist int64
+	if seen {
+		// Unique lines touched strictly after prev.
+		dist = t.sum(t.cap) - t.sum(prev)
+		t.add(prev, -1)
+	} else {
+		dist = Infinite
+	}
+	t.add(t.time, 1)
+	t.last[line] = t.time
+	t.time++
+	return dist
+}
+
+// compact renumbers timestamps 1..len(last), preserving order.
+func (t *Tracker) compact() {
+	type pair struct {
+		line uint64
+		ts   int64
+	}
+	pairs := make([]pair, 0, len(t.last))
+	for l, ts := range t.last {
+		pairs = append(pairs, pair{l, ts})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].ts < pairs[j].ts })
+	for i := range t.tree {
+		t.tree[i] = 0
+	}
+	for i, p := range pairs {
+		ts := int64(i + 1)
+		t.last[p.line] = ts
+		t.add(ts, 1)
+	}
+	t.time = int64(len(pairs)) + 1
+}
+
+// Distinct returns the number of distinct lines seen.
+func (t *Tracker) Distinct() int { return len(t.last) }
+
+// LastBucket returns the bucket of the line's *most recent* observed
+// reuse distance; lines seen only once classify Long. It is a cheap
+// approximation used when a consumer needs a per-line class at miss
+// time; callers wanting exact values should record Access results.
+func (t *Tracker) Seen(line uint64) bool {
+	_, ok := t.last[line]
+	return ok
+}

@@ -1,0 +1,149 @@
+package reuse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emissary/internal/rng"
+)
+
+// naiveDistance computes reuse distance by brute force over the access
+// history: unique lines between the two accesses to `line`.
+func naiveDistances(accs []uint64) []int64 {
+	out := make([]int64, 0, len(accs))
+	var filtered []uint64
+	for i, a := range accs {
+		if i > 0 && accs[i-1] == a {
+			out = append(out, 0)
+			continue
+		}
+		prev := -1
+		for j := len(filtered) - 1; j >= 0; j-- {
+			if filtered[j] == a {
+				prev = j
+				break
+			}
+		}
+		if prev < 0 {
+			out = append(out, Infinite)
+		} else {
+			uniq := map[uint64]bool{}
+			for _, b := range filtered[prev+1:] {
+				uniq[b] = true
+			}
+			out = append(out, int64(len(uniq)))
+		}
+		filtered = append(filtered, a)
+	}
+	return out
+}
+
+func TestTrackerBasics(t *testing.T) {
+	tr := NewTracker(64)
+	if d := tr.Access(1); d != Infinite {
+		t.Errorf("first access = %d", d)
+	}
+	if d := tr.Access(1); d != 0 {
+		t.Errorf("consecutive access = %d", d)
+	}
+	tr.Access(2)
+	tr.Access(3)
+	if d := tr.Access(1); d != 2 {
+		t.Errorf("reuse after 2 unique lines = %d, want 2", d)
+	}
+}
+
+func TestTrackerRepeatsDoNotInflate(t *testing.T) {
+	tr := NewTracker(64)
+	tr.Access(1)
+	tr.Access(2)
+	tr.Access(2)
+	tr.Access(2)
+	if d := tr.Access(1); d != 1 {
+		t.Errorf("distance = %d, want 1 (line 2 counted once)", d)
+	}
+}
+
+func TestTrackerMatchesNaive(t *testing.T) {
+	if err := quick.Check(func(seq []uint8) bool {
+		tr := NewTracker(32) // small capacity to force compaction
+		accs := make([]uint64, len(seq))
+		for i, s := range seq {
+			accs[i] = uint64(s % 16)
+		}
+		want := naiveDistances(accs)
+		for i, a := range accs {
+			if got := tr.Access(a); got != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerCompactionLongRun(t *testing.T) {
+	tr := NewTracker(128)
+	r := rng.NewXoshiro256(5)
+	// Far more accesses than capacity; correctness spot-check at the
+	// end against a known cyclic pattern.
+	for i := 0; i < 10000; i++ {
+		tr.Access(uint64(r.Intn(40)))
+	}
+	// Cyclic sweep over 30 lines: steady-state distance 29.
+	for rep := 0; rep < 5; rep++ {
+		for l := uint64(100); l < 130; l++ {
+			tr.Access(l)
+		}
+	}
+	for l := uint64(100); l < 110; l++ {
+		if d := tr.Access(l); d != 29 {
+			t.Fatalf("cyclic distance = %d, want 29", d)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[int64]Bucket{
+		0:        Short,
+		99:       Short,
+		100:      Mid,
+		4999:     Mid,
+		5000:     Long,
+		1 << 30:  Long,
+		Infinite: Long,
+	}
+	for d, want := range cases {
+		if got := Classify(d); got != want {
+			t.Errorf("Classify(%d) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	if Short.String() != "short" || Mid.String() != "mid" || Long.String() != "long" {
+		t.Error("bucket names wrong")
+	}
+}
+
+func TestDistinctAndSeen(t *testing.T) {
+	tr := NewTracker(16)
+	tr.Access(5)
+	tr.Access(6)
+	tr.Access(5)
+	if tr.Distinct() != 2 {
+		t.Errorf("Distinct = %d", tr.Distinct())
+	}
+	if !tr.Seen(5) || tr.Seen(7) {
+		t.Error("Seen wrong")
+	}
+}
+
+func BenchmarkTrackerAccess(b *testing.B) {
+	tr := NewTracker(1 << 16)
+	r := rng.NewXoshiro256(1)
+	for i := 0; i < b.N; i++ {
+		tr.Access(uint64(r.Intn(1 << 14)))
+	}
+}

@@ -1,0 +1,166 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator.
+//
+// The simulator must be bit-for-bit reproducible across runs and
+// platforms: every stochastic decision (workload generation, the R(r)
+// random mode-selection signal, BRRIP's 1/32 insertion choice, …) draws
+// from an explicitly seeded generator owned by the component making the
+// decision. Nothing in this module uses math/rand's global state.
+package rng
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood.
+// It is tiny, passes BigCrush, and is the canonical way to seed other
+// generators. The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the sequence.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements xoshiro256** by Blackman and Vigna. It is the
+// workhorse generator for workload synthesis: fast, 256 bits of state,
+// and an equidistribution guarantee far beyond what the simulator needs.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator whose state is derived from seed via
+// splitmix64, as recommended by the xoshiro authors.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	// A theoretical all-zero state would be absorbing; splitmix64 cannot
+	// produce four consecutive zeros, but guard anyway for safety.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the sequence.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Uint32 returns the high 32 bits of the next value.
+func (x *Xoshiro256) Uint32() uint32 { return uint32(x.Uint64() >> 32) }
+
+// Intn returns a value uniformly distributed in [0, n). It panics if
+// n <= 0. Uses Lemire's multiply-shift reduction (slightly biased for
+// enormous n, immaterial at simulator scales).
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int((x.Uint64() >> 11) % uint64(n))
+}
+
+// Int63n returns a value uniformly distributed in [0, n) as int64.
+func (x *Xoshiro256) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64((x.Uint64() >> 1) % uint64(n))
+}
+
+// Float64 returns a value uniformly distributed in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (x *Xoshiro256) Bool(p float64) bool {
+	return x.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (number of Bernoulli failures before the first success with
+// p = 1/(m+1)), clamped to [0, 64*m+64] to bound pathological tails.
+func (x *Xoshiro256) Geometric(m float64) int {
+	if m <= 0 {
+		return 0
+	}
+	p := 1.0 / (m + 1.0)
+	n := 0
+	limit := int(64*m) + 64
+	for !x.Bool(p) && n < limit {
+		n++
+	}
+	return n
+}
+
+// Chooser selects an index with probability proportional to the weights
+// supplied at construction. It precomputes the cumulative distribution;
+// Choose is O(log n).
+type Chooser struct {
+	cum []float64
+}
+
+// NewChooser builds a Chooser over weights. Negative weights are
+// treated as zero. If all weights are zero the Chooser always returns 0.
+func NewChooser(weights []float64) *Chooser {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w > 0 {
+			total += w
+		}
+		cum[i] = total
+	}
+	return &Chooser{cum: cum}
+}
+
+// Choose returns an index in [0, len(weights)).
+func (c *Chooser) Choose(r *Xoshiro256) int {
+	if len(c.cum) == 0 {
+		panic("rng: Choose on empty Chooser")
+	}
+	total := c.cum[len(c.cum)-1]
+	if total <= 0 {
+		return 0
+	}
+	target := r.Float64() * total
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Mix2 hashes two 64-bit values into one; used to derive per-component
+// seeds from a master seed and a component tag without correlation.
+func Mix2(a, b uint64) uint64 {
+	sm := SplitMix64{state: a ^ rotl(b, 32)}
+	sm.Uint64()
+	return sm.Uint64()
+}

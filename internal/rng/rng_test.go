@@ -1,0 +1,220 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 1234567 from the splitmix64 reference
+	// implementation (Vigna).
+	s := NewSplitMix64(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := NewXoshiro256(7)
+	b := NewXoshiro256(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a := NewXoshiro256(1)
+	b := NewXoshiro256(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewXoshiro256(99)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewXoshiro256(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewXoshiro256(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewXoshiro256(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewXoshiro256(11)
+	hits := 0
+	const n = 320000
+	for i := 0; i < n; i++ {
+		if r.Bool(1.0 / 32.0) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-1.0/32.0) > 0.003 {
+		t.Errorf("Bool(1/32) rate = %v, want ~%v", got, 1.0/32.0)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewXoshiro256(13)
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(8)
+	}
+	mean := float64(sum) / n
+	if mean < 6.5 || mean > 9.5 {
+		t.Errorf("Geometric(8) mean = %v, want ~8", mean)
+	}
+}
+
+func TestGeometricNonPositive(t *testing.T) {
+	r := NewXoshiro256(13)
+	if g := r.Geometric(0); g != 0 {
+		t.Errorf("Geometric(0) = %d, want 0", g)
+	}
+	if g := r.Geometric(-4); g != 0 {
+		t.Errorf("Geometric(-4) = %d, want 0", g)
+	}
+}
+
+func TestChooserDistribution(t *testing.T) {
+	r := NewXoshiro256(17)
+	c := NewChooser([]float64{1, 3, 6})
+	counts := make([]int, 3)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[c.Choose(r)]++
+	}
+	wants := []float64{0.1, 0.3, 0.6}
+	for i, w := range wants {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("index %d frequency = %v, want ~%v", i, got, w)
+		}
+	}
+}
+
+func TestChooserZeroWeights(t *testing.T) {
+	r := NewXoshiro256(17)
+	c := NewChooser([]float64{0, 0, 0})
+	for i := 0; i < 10; i++ {
+		if idx := c.Choose(r); idx != 0 {
+			t.Fatalf("zero-weight Chooser returned %d, want 0", idx)
+		}
+	}
+}
+
+func TestChooserNegativeWeightTreatedAsZero(t *testing.T) {
+	r := NewXoshiro256(23)
+	c := NewChooser([]float64{-5, 1})
+	for i := 0; i < 1000; i++ {
+		if idx := c.Choose(r); idx != 1 {
+			t.Fatalf("Chooser with weights [-5,1] returned %d, want 1", idx)
+		}
+	}
+}
+
+func TestChooserEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Choose on empty Chooser did not panic")
+		}
+	}()
+	NewChooser(nil).Choose(NewXoshiro256(1))
+}
+
+func TestMix2Decorrelates(t *testing.T) {
+	seen := map[uint64]bool{}
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(0); b < 32; b++ {
+			v := Mix2(a, b)
+			if seen[v] {
+				t.Fatalf("Mix2 collision at (%d,%d)", a, b)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestXoshiroUint32(t *testing.T) {
+	a := NewXoshiro256(3)
+	b := NewXoshiro256(3)
+	if got, want := a.Uint32(), uint32(b.Uint64()>>32); got != want {
+		t.Errorf("Uint32 = %#x, want high bits %#x", got, want)
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	r := NewXoshiro256(29)
+	for i := 0; i < 10000; i++ {
+		v := r.Int63n(1 << 40)
+		if v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	r := NewXoshiro256(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"emissary/internal/core"
+	"emissary/internal/trace"
+	"emissary/internal/workload"
+)
+
+func TestRunFromTraceFile(t *testing.T) {
+	// Capture a short trace from a synthetic benchmark, then replay it
+	// through the full simulator.
+	p, _ := workload.ProfileByName("xapian")
+	prog, err := workload.NewProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := workload.NewEngine(prog)
+	path := filepath.Join(t.TempDir(), "x.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for eng.Instructions() < 400_000 {
+		ev, _ := eng.NextBlock()
+		if err := w.WriteEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := Options{
+		Policy:        core.MustParsePolicy("TPLRU"),
+		WarmupInstrs:  50_000,
+		MeasureInstrs: 200_000,
+		FDIP:          true,
+		NLP:           true,
+		TracePath:     path,
+	}
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 200_000 {
+		t.Errorf("replayed %d instructions", res.Instructions)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC = %v", res.IPC)
+	}
+	if res.FootprintBytes <= 0 {
+		t.Error("replay footprint not computed")
+	}
+	if res.Benchmark != path {
+		t.Errorf("benchmark label = %q", res.Benchmark)
+	}
+}
+
+func TestRunFromMissingTraceFails(t *testing.T) {
+	opt := Options{
+		Policy:        core.MustParsePolicy("TPLRU"),
+		MeasureInstrs: 1000,
+		TracePath:     "/does/not/exist.trc",
+	}
+	if _, err := Run(opt); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"emissary/internal/rng"
+)
+
+// Replicated aggregates one configuration run under several seeds:
+// both the workload synthesis randomness and the policies' stochastic
+// components (R(r) draws, BRRIP) vary across replicas, so the spread
+// estimates how much of a measured speedup is signal.
+type Replicated struct {
+	Runs []Result
+
+	MeanIPC    float64
+	StdIPC     float64
+	MeanL2I    float64
+	MeanCycles float64
+}
+
+// RunReplicated executes opt under n different seeds (derived from
+// opt.Seed) and aggregates. n must be at least 1.
+func RunReplicated(opt Options, n int) (Replicated, error) {
+	if n < 1 {
+		return Replicated{}, fmt.Errorf("sim: need at least one replica, got %d", n)
+	}
+	var out Replicated
+	for i := 0; i < n; i++ {
+		o := opt
+		o.Seed = rng.Mix2(opt.Seed, uint64(i)+0x5eed)
+		if o.TracePath == "" {
+			// Re-synthesize the workload too: replicas measure the
+			// profile, not one particular program instance.
+			o.Benchmark.Seed = rng.Mix2(opt.Benchmark.Seed, uint64(i)+0xbe9c)
+		}
+		res, err := Run(o)
+		if err != nil {
+			return Replicated{}, err
+		}
+		out.Runs = append(out.Runs, res)
+	}
+	var sum, sumSq, l2i, cyc float64
+	for _, r := range out.Runs {
+		sum += r.IPC
+		sumSq += r.IPC * r.IPC
+		l2i += r.L2IMPKI
+		cyc += float64(r.Cycles)
+	}
+	fn := float64(n)
+	out.MeanIPC = sum / fn
+	out.MeanL2I = l2i / fn
+	out.MeanCycles = cyc / fn
+	if n > 1 {
+		variance := (sumSq - sum*sum/fn) / (fn - 1)
+		if variance > 0 {
+			out.StdIPC = math.Sqrt(variance)
+		}
+	}
+	return out, nil
+}
+
+// SpeedupVs returns the mean speedup of r over base (by mean cycles)
+// and a conservative significance flag: true when the IPC gap exceeds
+// the combined standard deviations.
+func (r Replicated) SpeedupVs(base Replicated) (float64, bool) {
+	if r.MeanCycles == 0 {
+		return 0, false
+	}
+	speedup := base.MeanCycles/r.MeanCycles - 1
+	gap := math.Abs(r.MeanIPC - base.MeanIPC)
+	noise := r.StdIPC + base.StdIPC
+	return speedup, gap > noise && noise > 0
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"emissary/internal/core"
+	"emissary/internal/workload"
+)
+
+func TestRunReplicatedAggregates(t *testing.T) {
+	p, _ := workload.ProfileByName("xapian")
+	opt := DefaultOptions(p, core.MustParsePolicy("TPLRU"))
+	opt.WarmupInstrs = 50_000
+	opt.MeasureInstrs = 150_000
+	rep, err := RunReplicated(opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d", len(rep.Runs))
+	}
+	if rep.MeanIPC <= 0 || rep.MeanCycles <= 0 {
+		t.Errorf("aggregates: %+v", rep)
+	}
+	// Different seeds must actually vary the measurement.
+	if rep.Runs[0].Cycles == rep.Runs[1].Cycles && rep.Runs[1].Cycles == rep.Runs[2].Cycles {
+		t.Error("replicas identical; seeds not applied")
+	}
+	if rep.StdIPC <= 0 {
+		t.Errorf("StdIPC = %v, want positive spread", rep.StdIPC)
+	}
+}
+
+func TestRunReplicatedSingle(t *testing.T) {
+	p, _ := workload.ProfileByName("xapian")
+	opt := DefaultOptions(p, core.MustParsePolicy("TPLRU"))
+	opt.WarmupInstrs = 20_000
+	opt.MeasureInstrs = 80_000
+	rep, err := RunReplicated(opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StdIPC != 0 {
+		t.Errorf("single replica StdIPC = %v", rep.StdIPC)
+	}
+	if _, err := RunReplicated(opt, 0); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}
+
+func TestSpeedupVs(t *testing.T) {
+	base := Replicated{MeanIPC: 1.0, StdIPC: 0.01, MeanCycles: 1000}
+	fast := Replicated{MeanIPC: 1.1, StdIPC: 0.01, MeanCycles: 909}
+	s, sig := fast.SpeedupVs(base)
+	if s < 0.09 || s > 0.11 {
+		t.Errorf("speedup = %v", s)
+	}
+	if !sig {
+		t.Error("clear 10% gap not flagged significant")
+	}
+	noisy := Replicated{MeanIPC: 1.005, StdIPC: 0.05, MeanCycles: 995}
+	if _, sig := noisy.SpeedupVs(base); sig {
+		t.Error("within-noise gap flagged significant")
+	}
+	var zero Replicated
+	if s, _ := zero.SpeedupVs(base); s != 0 {
+		t.Errorf("zero-cycle speedup = %v", s)
+	}
+}

@@ -1,0 +1,180 @@
+// Package sim assembles a complete simulation: a synthetic benchmark
+// (workload engine), the Table 4 memory hierarchy with the replacement
+// policy under study, and the pipeline core; it runs a warm-up window
+// followed by a measurement window and reports the paper's metrics.
+package sim
+
+import (
+	"fmt"
+	"os"
+
+	"emissary/internal/cache"
+	"emissary/internal/core"
+	"emissary/internal/pipeline"
+	"emissary/internal/rng"
+	"emissary/internal/trace"
+	"emissary/internal/workload"
+)
+
+// Options selects what to simulate.
+type Options struct {
+	// Benchmark is the workload profile (one of workload.Profiles() or
+	// a custom one).
+	Benchmark workload.Profile
+	// Policy is the L2 replacement policy under study.
+	Policy core.Spec
+
+	WarmupInstrs  uint64
+	MeasureInstrs uint64
+
+	// FDIP disables the decoupled prefetcher when false (§5.2's
+	// no-FDIP comparison).
+	FDIP bool
+	// NLP disables every next-line prefetcher when false (Figure 1
+	// runs "no prefetchers").
+	NLP bool
+	// TrueLRU selects exact-LRU recency state throughout (Figure 1).
+	TrueLRU bool
+	// IdealL2I is the zero-cycle-miss model of §5.6.
+	IdealL2I bool
+	// TrackReuse enables Figure 2 instrumentation.
+	TrackReuse bool
+	// PriorityResetInterval clears P bits every N committed
+	// instructions (§6); 0 disables.
+	PriorityResetInterval uint64
+
+	// TracePath, when set, replays a recorded trace file (see
+	// cmd/emissary-trace) instead of executing Benchmark; the run ends
+	// early if the trace is shorter than warm-up + measurement.
+	TracePath string
+
+	// FTQEntries and MaxMSHRs override the front-end sizing when
+	// non-zero (ablation studies; defaults are the Table 4 values).
+	FTQEntries int
+	MaxMSHRs   int
+
+	// MRCEntries enables the §7.3 misprediction recovery cache with
+	// that many line entries (0 = off, the paper's baseline).
+	MRCEntries int
+
+	Seed uint64
+}
+
+// DefaultOptions returns a baseline-TPLRU run of the benchmark at
+// moderate length.
+func DefaultOptions(bench workload.Profile, policy core.Spec) Options {
+	return Options{
+		Benchmark:     bench,
+		Policy:        policy,
+		WarmupInstrs:  1_000_000,
+		MeasureInstrs: 5_000_000,
+		FDIP:          true,
+		NLP:           true,
+	}
+}
+
+// Result is a finished run.
+type Result struct {
+	pipeline.Result
+	Benchmark string
+	Policy    string
+	// FootprintBytes is the benchmark's instruction footprint (Fig 4).
+	FootprintBytes int
+	// BranchMispredictRate is the conditional predictor's rate over
+	// the whole run.
+	BranchMispredictRate float64
+}
+
+// Run executes one simulation.
+func Run(opt Options) (Result, error) {
+	if opt.MeasureInstrs == 0 {
+		return Result{}, fmt.Errorf("sim: MeasureInstrs must be positive")
+	}
+	var (
+		source    trace.Source
+		footprint int
+		benchName string
+	)
+	if opt.TracePath != "" {
+		f, err := os.Open(opt.TracePath)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+		defer f.Close()
+		replay, err := trace.NewReplay(f)
+		if err != nil {
+			return Result{}, err
+		}
+		source = replay
+		footprint = replay.FootprintBytes()
+		benchName = opt.TracePath
+	} else {
+		prog, err := workload.NewProgram(opt.Benchmark)
+		if err != nil {
+			return Result{}, err
+		}
+		source = workload.NewEngine(prog)
+		footprint = prog.FootprintBytes()
+		benchName = opt.Benchmark.Name
+	}
+
+	spec := opt.Policy
+	if opt.TrueLRU {
+		spec.TrueLRU = true
+	}
+	ccfg := cache.DefaultConfig(spec)
+	ccfg.L1TrueLRU = opt.TrueLRU
+	ccfg.IdealL2I = opt.IdealL2I
+	ccfg.Seed = rng.Mix2(opt.Seed, opt.Benchmark.Seed+1)
+	if !opt.NLP {
+		ccfg.L1I.NLP = false
+		ccfg.L1D.NLP = false
+		ccfg.L2.NLP = false
+		ccfg.L3.NLP = false
+	}
+	hier := cache.NewHierarchy(ccfg)
+
+	pcfg := pipeline.DefaultConfig()
+	pcfg.FDIP = opt.FDIP
+	pcfg.TrackReuse = opt.TrackReuse
+	pcfg.PriorityResetInterval = opt.PriorityResetInterval
+	if opt.FTQEntries > 0 {
+		pcfg.FTQEntries = opt.FTQEntries
+		pcfg.FTQInstrCap = opt.FTQEntries * 8
+	}
+	if opt.MaxMSHRs > 0 {
+		pcfg.MaxMSHRs = opt.MaxMSHRs
+	}
+	pcfg.MRCEntries = opt.MRCEntries
+	c, err := pipeline.NewCore(pcfg, source, hier, ccfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+
+	c.RunCommitted(opt.WarmupInstrs)
+	start := c.TakeSnapshot()
+	c.RunCommitted(opt.MeasureInstrs)
+	end := c.TakeSnapshot()
+
+	res := pipeline.Diff(start, end, hier.L2.PriorityCensus())
+	return Result{
+		Result:               res,
+		Benchmark:            benchName,
+		Policy:               spec.String(),
+		FootprintBytes:       footprint,
+		BranchMispredictRate: c.BranchMispredictRate(),
+	}, nil
+}
+
+// RunPolicy is a convenience wrapper parsing the policy notation.
+func RunPolicy(bench workload.Profile, policyText string, warmup, measure uint64, seed uint64) (Result, error) {
+	spec, err := core.ParsePolicy(policyText)
+	if err != nil {
+		return Result{}, err
+	}
+	opt := DefaultOptions(bench, spec)
+	opt.WarmupInstrs = warmup
+	opt.MeasureInstrs = measure
+	opt.Seed = seed
+	return Run(opt)
+}

@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"testing"
+
+	"emissary/internal/core"
+	"emissary/internal/workload"
+)
+
+func quickOpt(bench string, policy string) Options {
+	p, ok := workload.ProfileByName(bench)
+	if !ok {
+		panic("unknown benchmark " + bench)
+	}
+	opt := DefaultOptions(p, core.MustParsePolicy(policy))
+	opt.WarmupInstrs = 100_000
+	opt.MeasureInstrs = 300_000
+	return opt
+}
+
+func TestRunBaselineProducesSaneMetrics(t *testing.T) {
+	res, err := Run(quickOpt("xapian", "TPLRU"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 300_000 {
+		t.Errorf("Instructions = %d", res.Instructions)
+	}
+	if res.IPC <= 0.1 || res.IPC > 8 {
+		t.Errorf("IPC = %v, implausible", res.IPC)
+	}
+	if res.L1IMPKI <= 0 {
+		t.Errorf("L1I MPKI = %v, expected misses with a 0.29MB footprint", res.L1IMPKI)
+	}
+	if res.Cycles == 0 || res.EnergyPJ <= 0 {
+		t.Errorf("cycles/energy not accounted: %d %v", res.Cycles, res.EnergyPJ)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(quickOpt("xapian", "P(8):S&E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickOpt("xapian", "P(8):S&E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Errorf("nondeterministic: %d/%d vs %d/%d cycles/instrs",
+			a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+	}
+}
+
+func TestRunEmissaryPopulatesPriorityBits(t *testing.T) {
+	res, err := Run(quickOpt("tomcat", "P(8):S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := 0
+	for n, sets := range res.PriorityCensus {
+		if n > 0 {
+			protected += sets
+		}
+	}
+	if protected == 0 {
+		t.Error("no L2 set holds a high-priority line under P(8):S")
+	}
+	if res.CommitStarvation == 0 {
+		t.Error("no decode starvation observed; selection signal dead")
+	}
+}
+
+func TestRunBaselineHasNoPriorityBits(t *testing.T) {
+	res, err := Run(quickOpt("tomcat", "TPLRU"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, sets := range res.PriorityCensus {
+		if n > 0 && sets != 0 {
+			t.Fatalf("baseline census has %d sets with %d high-priority lines", sets, n)
+		}
+	}
+}
+
+func TestFDIPOffIsSlower(t *testing.T) {
+	on := quickOpt("tomcat", "TPLRU")
+	off := on
+	off.FDIP = false
+	a, err := Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC <= b.IPC {
+		t.Errorf("FDIP on IPC %.3f <= off IPC %.3f; decoupled prefetching buys nothing", a.IPC, b.IPC)
+	}
+}
+
+func TestIdealL2IFaster(t *testing.T) {
+	normal := quickOpt("tomcat", "TPLRU")
+	ideal := normal
+	ideal.IdealL2I = true
+	a, err := Run(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.IPC <= a.IPC {
+		t.Errorf("ideal L2-I IPC %.3f <= normal %.3f", b.IPC, a.IPC)
+	}
+}
+
+func TestTrackReuseProducesFig2Data(t *testing.T) {
+	opt := quickOpt("tomcat", "TPLRU")
+	opt.TrackReuse = true
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accesses uint64
+	for _, a := range res.AccessByBucket {
+		accesses += a
+	}
+	if accesses == 0 {
+		t.Fatal("no reuse-bucket accesses recorded")
+	}
+	var starv uint64
+	for _, s := range res.StarvByBucket {
+		starv += s
+	}
+	if starv == 0 {
+		t.Error("no starvation attributed to reuse buckets")
+	}
+}
+
+func TestRunRejectsZeroMeasure(t *testing.T) {
+	opt := quickOpt("xapian", "TPLRU")
+	opt.MeasureInstrs = 0
+	if _, err := Run(opt); err == nil {
+		t.Error("zero-measure run accepted")
+	}
+}
+
+func TestRunPolicyHelper(t *testing.T) {
+	p, _ := workload.ProfileByName("xapian")
+	res, err := RunPolicy(p, "P(4):S", 20_000, 100_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "P(4):S" || res.IPC <= 0 {
+		t.Errorf("RunPolicy result: %s IPC %v", res.Policy, res.IPC)
+	}
+	if _, err := RunPolicy(p, "garbage", 1000, 1000, 1); err == nil {
+		t.Error("bad policy text accepted")
+	}
+}
+
+func TestRunOptionOverrides(t *testing.T) {
+	opt := quickOpt("xapian", "TPLRU")
+	opt.WarmupInstrs = 20_000
+	opt.MeasureInstrs = 100_000
+	opt.FTQEntries = 8
+	opt.MaxMSHRs = 4
+	opt.MRCEntries = 16
+	opt.PriorityResetInterval = 50_000
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC = %v", res.IPC)
+	}
+	// A shallow FTQ + few MSHRs must not beat the default front end.
+	def := quickOpt("xapian", "TPLRU")
+	def.WarmupInstrs = 20_000
+	def.MeasureInstrs = 100_000
+	base, err := Run(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC > base.IPC*1.02 {
+		t.Errorf("crippled front end IPC %v beat default %v", res.IPC, base.IPC)
+	}
+}
+
+func TestRunTrueLRUConfig(t *testing.T) {
+	opt := quickOpt("xapian", "P(4):S")
+	opt.WarmupInstrs = 20_000
+	opt.MeasureInstrs = 100_000
+	opt.TrueLRU = true
+	opt.NLP = false
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "P(4):S+LRU" {
+		t.Errorf("policy label = %q, want the +LRU form", res.Policy)
+	}
+}
+
+func TestRunInvalidBenchmark(t *testing.T) {
+	opt := Options{MeasureInstrs: 1000, Policy: core.MustParsePolicy("TPLRU")}
+	// Zero-valued profile fails workload validation.
+	if _, err := Run(opt); err == nil {
+		t.Error("invalid benchmark profile accepted")
+	}
+}

@@ -1,0 +1,264 @@
+// Package stats provides the counters and summary statistics that every
+// experiment in the repository is computed from: per-cache hit/miss
+// counters, MPKI, commit-path stall taxonomy, decode/issue rates,
+// geometric means and reuse-distance histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MPKI returns misses per thousand (kilo) instructions.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) * 1000.0 / float64(instructions)
+}
+
+// Speedup returns the relative speedup of 'test' over 'base' expressed
+// as a fraction (0.0324 == 3.24%). Both arguments are cycle counts for
+// the same instruction count, so speedup = base/test - 1.
+func Speedup(baseCycles, testCycles uint64) float64 {
+	if testCycles == 0 {
+		return 0
+	}
+	return float64(baseCycles)/float64(testCycles) - 1.0
+}
+
+// Geomean returns the geometric mean of (1+x) over the samples, minus 1.
+// This is the standard way speedup fractions are aggregated in the
+// paper ("geomean speedup"). An empty slice yields 0.
+func Geomean(fractions []float64) float64 {
+	if len(fractions) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, f := range fractions {
+		v := 1.0 + f
+		if v <= 0 {
+			// A slowdown of -100% or worse would make the geomean
+			// undefined; clamp to a tiny positive ratio.
+			v = 1e-9
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum/float64(len(fractions))) - 1.0
+}
+
+// GeomeanRatio returns the plain geometric mean of positive ratios.
+func GeomeanRatio(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		if r <= 0 {
+			r = 1e-9
+		}
+		sum += math.Log(r)
+	}
+	return math.Exp(sum / float64(len(ratios)))
+}
+
+// Mean returns the arithmetic mean; empty yields 0.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// PercentChange returns (test-base)/base; 0 if base is 0.
+func PercentChange(base, test float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (test - base) / base
+}
+
+// CacheCounters tracks accesses for one cache and one request class.
+type CacheCounters struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Accesses returns hits+misses.
+func (c CacheCounters) Accesses() uint64 { return c.Hits + c.Misses }
+
+// MissRate returns misses/accesses, or 0 for an idle cache.
+func (c CacheCounters) MissRate() float64 {
+	a := c.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(a)
+}
+
+// Add accumulates other into c.
+func (c *CacheCounters) Add(other CacheCounters) {
+	c.Hits += other.Hits
+	c.Misses += other.Misses
+}
+
+// StallKind labels the cause of a commit-path stall cycle. A cycle is a
+// front-end stall when the ROB has room but no instruction arrives from
+// decode; it is a back-end stall when decode has instructions but the
+// back-end cannot accept them or commit cannot retire.
+type StallKind int
+
+// Stall cause taxonomy used in Figure 6.
+const (
+	StallNone         StallKind = iota
+	StallFrontEnd               // decode starved or fetch-limited
+	StallBackEnd                // ROB/IQ/LSQ full or long-latency op at head
+	StallFlushRecover           // pipeline refilling after a squash
+	numStallKinds
+)
+
+// String implements fmt.Stringer.
+func (k StallKind) String() string {
+	switch k {
+	case StallNone:
+		return "none"
+	case StallFrontEnd:
+		return "frontend"
+	case StallBackEnd:
+		return "backend"
+	case StallFlushRecover:
+		return "flush"
+	default:
+		return fmt.Sprintf("StallKind(%d)", int(k))
+	}
+}
+
+// StallBreakdown accumulates stall cycles by kind.
+type StallBreakdown struct {
+	Cycles [numStallKinds]uint64
+}
+
+// Record adds n stall cycles of the given kind.
+func (s *StallBreakdown) Record(k StallKind, n uint64) {
+	if k < 0 || k >= numStallKinds {
+		return
+	}
+	s.Cycles[k] += n
+}
+
+// FrontEnd returns front-end stall cycles (starvation + flush recovery,
+// which in the paper's accounting is a front-end-visible stall).
+func (s *StallBreakdown) FrontEnd() uint64 {
+	return s.Cycles[StallFrontEnd] + s.Cycles[StallFlushRecover]
+}
+
+// BackEnd returns back-end stall cycles.
+func (s *StallBreakdown) BackEnd() uint64 { return s.Cycles[StallBackEnd] }
+
+// Total returns all stall cycles.
+func (s *StallBreakdown) Total() uint64 {
+	return s.FrontEnd() + s.BackEnd()
+}
+
+// Histogram is a fixed-bucket histogram over int64 samples, with
+// explicit bucket upper bounds (exclusive) and an implicit overflow
+// bucket at the end.
+type Histogram struct {
+	bounds []int64  // sorted, exclusive upper bounds
+	counts []uint64 // len(bounds)+1
+	total  uint64
+}
+
+// NewHistogram builds a histogram with the given exclusive upper
+// bounds, which must be strictly increasing.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) { h.ObserveN(v, 1) }
+
+// ObserveN records a sample with weight n.
+func (h *Histogram) ObserveN(v int64, n uint64) {
+	idx := sort.Search(len(h.bounds), func(i int) bool { return v < h.bounds[i] })
+	h.counts[idx] += n
+	h.total += n
+}
+
+// Count returns the number of samples in bucket i (the bucket after the
+// last bound is the overflow bucket).
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Buckets returns the number of buckets (len(bounds)+1).
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Total returns the total sample weight.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Fraction returns the fraction of samples in bucket i; 0 if empty.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// Reset zeroes all counts.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
+// Counter is a named monotonic counter set, used for ad-hoc event
+// accounting where a struct field would be overkill.
+type Counter struct {
+	names  []string
+	index  map[string]int
+	counts []uint64
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter {
+	return &Counter{index: make(map[string]int)}
+}
+
+// Inc adds n to the named counter, creating it if needed.
+func (c *Counter) Inc(name string, n uint64) {
+	i, ok := c.index[name]
+	if !ok {
+		i = len(c.names)
+		c.index[name] = i
+		c.names = append(c.names, name)
+		c.counts = append(c.counts, 0)
+	}
+	c.counts[i] += n
+}
+
+// Get returns the named counter's value (0 if never incremented).
+func (c *Counter) Get(name string) uint64 {
+	if i, ok := c.index[name]; ok {
+		return c.counts[i]
+	}
+	return 0
+}
+
+// Names returns counter names in insertion order.
+func (c *Counter) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}

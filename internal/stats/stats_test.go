@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(500, 100000); !almost(got, 5.0) {
+		t.Errorf("MPKI = %v, want 5", got)
+	}
+	if got := MPKI(10, 0); got != 0 {
+		t.Errorf("MPKI with 0 instructions = %v, want 0", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(110, 100); !almost(got, 0.1) {
+		t.Errorf("Speedup(110,100) = %v, want 0.1", got)
+	}
+	if got := Speedup(100, 110); math.Abs(got-(-0.0909090909)) > 1e-6 {
+		t.Errorf("Speedup(100,110) = %v, want ~-0.0909", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Errorf("Speedup with 0 test cycles = %v, want 0", got)
+	}
+}
+
+func TestGeomeanBasics(t *testing.T) {
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", got)
+	}
+	if got := Geomean([]float64{0.1}); !almost(got, 0.1) {
+		t.Errorf("Geomean single = %v, want 0.1", got)
+	}
+	// geomean of +10% and -10%: sqrt(1.1*0.9)-1
+	want := math.Sqrt(1.1*0.9) - 1
+	if got := Geomean([]float64{0.1, -0.1}); !almost(got, want) {
+		t.Errorf("Geomean = %v, want %v", got, want)
+	}
+}
+
+func TestGeomeanClampsCatastrophe(t *testing.T) {
+	got := Geomean([]float64{-1.0, 0.5})
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("Geomean with -100%% sample = %v, want finite", got)
+	}
+}
+
+func TestGeomeanRatio(t *testing.T) {
+	if got := GeomeanRatio([]float64{2, 8}); !almost(got, 4) {
+		t.Errorf("GeomeanRatio(2,8) = %v, want 4", got)
+	}
+	if got := GeomeanRatio(nil); got != 0 {
+		t.Errorf("GeomeanRatio(nil) = %v, want 0", got)
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	if err := quick.Check(func(a, b, c uint8) bool {
+		xs := []float64{float64(a) / 255, float64(b) / 255, float64(c) / 255}
+		g := Geomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndPercentChange(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := PercentChange(10, 12); !almost(got, 0.2) {
+		t.Errorf("PercentChange = %v, want 0.2", got)
+	}
+	if got := PercentChange(0, 5); got != 0 {
+		t.Errorf("PercentChange base 0 = %v, want 0", got)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := CacheCounters{Hits: 90, Misses: 10}
+	if c.Accesses() != 100 {
+		t.Errorf("Accesses = %d", c.Accesses())
+	}
+	if !almost(c.MissRate(), 0.1) {
+		t.Errorf("MissRate = %v", c.MissRate())
+	}
+	var zero CacheCounters
+	if zero.MissRate() != 0 {
+		t.Errorf("idle MissRate = %v", zero.MissRate())
+	}
+	c.Add(CacheCounters{Hits: 10, Misses: 5})
+	if c.Hits != 100 || c.Misses != 15 {
+		t.Errorf("Add gave %+v", c)
+	}
+}
+
+func TestStallBreakdown(t *testing.T) {
+	var s StallBreakdown
+	s.Record(StallFrontEnd, 10)
+	s.Record(StallBackEnd, 20)
+	s.Record(StallFlushRecover, 5)
+	s.Record(StallKind(99), 1000) // ignored
+	s.Record(StallKind(-1), 1000) // ignored
+	if s.FrontEnd() != 15 {
+		t.Errorf("FrontEnd = %d, want 15", s.FrontEnd())
+	}
+	if s.BackEnd() != 20 {
+		t.Errorf("BackEnd = %d, want 20", s.BackEnd())
+	}
+	if s.Total() != 35 {
+		t.Errorf("Total = %d, want 35", s.Total())
+	}
+}
+
+func TestStallKindString(t *testing.T) {
+	cases := map[StallKind]string{
+		StallNone:         "none",
+		StallFrontEnd:     "frontend",
+		StallBackEnd:      "backend",
+		StallFlushRecover: "flush",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if StallKind(42).String() != "StallKind(42)" {
+		t.Errorf("unknown kind String = %q", StallKind(42).String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	// Reuse-distance buckets from the paper: [0,100), [100,5000), [5000,inf)
+	h := NewHistogram(100, 5000)
+	h.Observe(0)
+	h.Observe(99)
+	h.Observe(100)
+	h.Observe(4999)
+	h.Observe(5000)
+	h.ObserveN(1000000, 2)
+	if h.Buckets() != 3 {
+		t.Fatalf("Buckets = %d, want 3", h.Buckets())
+	}
+	if h.Count(0) != 2 || h.Count(1) != 2 || h.Count(2) != 3 {
+		t.Errorf("counts = %d,%d,%d want 2,2,3", h.Count(0), h.Count(1), h.Count(2))
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if !almost(h.Fraction(2), 3.0/7.0) {
+		t.Errorf("Fraction(2) = %v", h.Fraction(2))
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Count(0) != 0 {
+		t.Errorf("Reset did not clear histogram")
+	}
+}
+
+func TestHistogramFractionEmpty(t *testing.T) {
+	h := NewHistogram(10)
+	if h.Fraction(0) != 0 {
+		t.Errorf("Fraction on empty histogram = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing bounds did not panic")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+func TestHistogramPropertyTotalEqualsSum(t *testing.T) {
+	if err := quick.Check(func(vals []int16) bool {
+		h := NewHistogram(-100, 0, 100)
+		for _, v := range vals {
+			h.Observe(int64(v))
+		}
+		var sum uint64
+		for i := 0; i < h.Buckets(); i++ {
+			sum += h.Count(i)
+		}
+		return sum == h.Total() && sum == uint64(len(vals))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("a", 1)
+	c.Inc("b", 2)
+	c.Inc("a", 3)
+	if c.Get("a") != 4 {
+		t.Errorf("Get(a) = %d, want 4", c.Get("a"))
+	}
+	if c.Get("b") != 2 {
+		t.Errorf("Get(b) = %d, want 2", c.Get("b"))
+	}
+	if c.Get("missing") != 0 {
+		t.Errorf("Get(missing) = %d, want 0", c.Get("missing"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"emissary/internal/branch"
+)
+
+// Replay is a trace.Source backed by a recorded trace. Because the
+// front-end needs static-program queries (BlockInfo for the
+// pre-decoder and wrong-path walking) before the corresponding events
+// stream by, Replay pre-scans the whole trace to build the static
+// block index, then streams events from memory.
+type Replay struct {
+	events []BlockEvent
+	pos    int
+
+	index  map[uint64]branch.BTBEntry
+	sorted []uint64 // block start addresses, ascending
+
+	// classes are inferred per PC from the recorded memory references:
+	// a PC that ever loads is a load, ever stores is a store, block
+	// terminators are branches, everything else is ALU.
+	classes map[uint64]Class
+}
+
+// NewReplay reads an entire trace from r.
+func NewReplay(r io.Reader) (*Replay, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	rp := &Replay{
+		index:   make(map[uint64]branch.BTBEntry),
+		classes: make(map[uint64]Class),
+	}
+	for {
+		ev, err := tr.ReadEvent()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rp.events = append(rp.events, ev)
+		if _, ok := rp.index[ev.Addr]; !ok {
+			entry := branch.BTBEntry{
+				Start:     ev.Addr,
+				NumInstrs: ev.NumInstrs,
+				EndKind:   ev.EndKind,
+			}
+			rp.index[ev.Addr] = entry
+			rp.sorted = append(rp.sorted, ev.Addr)
+		}
+		// Record the taken target once observed (direct branches have
+		// a stable one; indirect targets vary and stay 0).
+		if ev.Taken && !ev.EndKind.IsIndirect() && ev.EndKind != branch.KindReturn {
+			e := rp.index[ev.Addr]
+			if e.Target == 0 {
+				e.Target = ev.NextAddr
+				rp.index[ev.Addr] = e
+			}
+		}
+		for _, m := range ev.Mem {
+			pc := ev.Addr + 4*uint64(m.Index)
+			if m.Store {
+				rp.classes[pc] = ClassStore
+			} else if rp.classes[pc] != ClassStore {
+				rp.classes[pc] = ClassLoad
+			}
+		}
+	}
+	if len(rp.events) == 0 {
+		return nil, fmt.Errorf("trace: replay source has no events")
+	}
+	sort.Slice(rp.sorted, func(i, j int) bool { return rp.sorted[i] < rp.sorted[j] })
+	return rp, nil
+}
+
+// Events returns the number of events in the trace.
+func (r *Replay) Events() int { return len(r.events) }
+
+// FootprintBytes returns the static instruction footprint observed in
+// the trace (unique block bytes).
+func (r *Replay) FootprintBytes() int {
+	total := 0
+	for _, e := range r.index {
+		total += 4 * e.NumInstrs
+	}
+	return total
+}
+
+// Rewind restarts the stream (for warm-up plus measurement passes
+// longer than the capture).
+func (r *Replay) Rewind() { r.pos = 0 }
+
+// NextBlock implements Source.
+func (r *Replay) NextBlock() (BlockEvent, bool) {
+	if r.pos >= len(r.events) {
+		return BlockEvent{}, false
+	}
+	ev := r.events[r.pos]
+	r.pos++
+	return ev, true
+}
+
+// BlockInfo implements Source.
+func (r *Replay) BlockInfo(addr uint64) (branch.BTBEntry, bool) {
+	e, ok := r.index[addr]
+	return e, ok
+}
+
+// BlocksInLine implements Source.
+func (r *Replay) BlocksInLine(line uint64, out []branch.BTBEntry) []branch.BTBEntry {
+	lo, hi := line<<6, (line+1)<<6
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= lo })
+	for ; i < len(r.sorted) && r.sorted[i] < hi; i++ {
+		out = append(out, r.index[r.sorted[i]])
+	}
+	return out
+}
+
+// InstrClass implements Source.
+func (r *Replay) InstrClass(pc uint64) Class {
+	if c, ok := r.classes[pc]; ok {
+		return c
+	}
+	return ClassALU
+}

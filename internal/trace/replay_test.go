@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"emissary/internal/branch"
+)
+
+func buildTrace(t *testing.T, events []BlockEvent) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := w.WriteEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func sampleEvents() []BlockEvent {
+	return []BlockEvent{
+		{Addr: 0x1000, NumInstrs: 4, EndKind: branch.KindCond, Taken: true, NextAddr: 0x2000,
+			Mem: []MemRef{{Index: 1, Addr: 0x8000, Store: false}}},
+		{Addr: 0x2000, NumInstrs: 3, EndKind: branch.KindJump, Taken: true, NextAddr: 0x1000},
+		{Addr: 0x1000, NumInstrs: 4, EndKind: branch.KindCond, Taken: false, NextAddr: 0x1010,
+			Mem: []MemRef{{Index: 2, Addr: 0x9000, Store: true}}},
+		{Addr: 0x1010, NumInstrs: 2, EndKind: branch.KindReturn, Taken: true, NextAddr: 0x2000},
+	}
+}
+
+func TestReplayStreamsEvents(t *testing.T) {
+	rp, err := NewReplay(buildTrace(t, sampleEvents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Events() != 4 {
+		t.Fatalf("Events = %d", rp.Events())
+	}
+	var got []uint64
+	for {
+		ev, ok := rp.NextBlock()
+		if !ok {
+			break
+		}
+		got = append(got, ev.Addr)
+	}
+	want := []uint64{0x1000, 0x2000, 0x1000, 0x1010}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d events", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d addr %#x, want %#x", i, got[i], want[i])
+		}
+	}
+	// Rewind restarts.
+	rp.Rewind()
+	if ev, ok := rp.NextBlock(); !ok || ev.Addr != 0x1000 {
+		t.Errorf("after Rewind got %#x,%v", ev.Addr, ok)
+	}
+}
+
+func TestReplayStaticIndex(t *testing.T) {
+	rp, err := NewReplay(buildTrace(t, sampleEvents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := rp.BlockInfo(0x1000)
+	if !ok || e.NumInstrs != 4 || e.EndKind != branch.KindCond {
+		t.Errorf("BlockInfo = %+v, %v", e, ok)
+	}
+	if e.Target != 0x2000 {
+		t.Errorf("learned taken target = %#x, want 0x2000", e.Target)
+	}
+	if _, ok := rp.BlockInfo(0x1004); ok {
+		t.Error("non-block address resolved")
+	}
+}
+
+func TestReplayBlocksInLine(t *testing.T) {
+	rp, err := NewReplay(buildTrace(t, sampleEvents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0x1000 and 0x1010 share line 0x40.
+	blocks := rp.BlocksInLine(0x1000>>6, nil)
+	if len(blocks) != 2 {
+		t.Fatalf("BlocksInLine found %d blocks", len(blocks))
+	}
+	if blocks[0].Start != 0x1000 || blocks[1].Start != 0x1010 {
+		t.Errorf("blocks = %#x, %#x", blocks[0].Start, blocks[1].Start)
+	}
+}
+
+func TestReplayInferredClasses(t *testing.T) {
+	rp, err := NewReplay(buildTrace(t, sampleEvents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := rp.InstrClass(0x1004); c != ClassLoad {
+		t.Errorf("class at 0x1004 = %v, want load", c)
+	}
+	if c := rp.InstrClass(0x1008); c != ClassStore {
+		t.Errorf("class at 0x1008 = %v, want store", c)
+	}
+	if c := rp.InstrClass(0x1000); c != ClassALU {
+		t.Errorf("class at 0x1000 = %v, want alu", c)
+	}
+}
+
+func TestReplayEmptyTraceRejected(t *testing.T) {
+	if _, err := NewReplay(buildTrace(t, nil)); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestReplayPropagatesReadErrors(t *testing.T) {
+	buf := buildTrace(t, sampleEvents())
+	data := buf.Bytes()
+	if _, err := NewReplay(bytes.NewReader(data[:len(data)-1])); err == nil || err == io.EOF {
+		t.Errorf("truncated replay error = %v", err)
+	}
+}
+
+var _ Source = (*Replay)(nil)

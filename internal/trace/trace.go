@@ -1,0 +1,226 @@
+// Package trace defines the dynamic instruction-stream representation
+// that connects workload generators to the simulated core: basic-block
+// events with attached memory references, a Source interface the
+// pipeline consumes, and a compact binary serialization so traces can
+// be captured and replayed.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"emissary/internal/branch"
+)
+
+// Class is the static class of an instruction.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassFP
+	ClassLoad
+	ClassStore
+	ClassBranch
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassMul:
+		return "mul"
+	case ClassFP:
+		return "fp"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Latency returns the execution latency of the class in cycles
+// (memory classes add cache access time on top).
+func (c Class) Latency() int {
+	switch c {
+	case ClassMul:
+		return 3
+	case ClassFP:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// MemRef is one memory reference within a block instance.
+type MemRef struct {
+	Index int    // instruction index within the block
+	Addr  uint64 // byte address
+	Store bool
+}
+
+// BlockEvent is one dynamic basic-block execution on the committed
+// path: the oracle record the pipeline validates its predictions
+// against.
+type BlockEvent struct {
+	Addr      uint64 // block start address
+	NumInstrs int
+	EndKind   branch.Kind
+	Taken     bool   // actual direction (conditional terminators)
+	NextAddr  uint64 // actual successor block address
+	Mem       []MemRef
+}
+
+// BranchPC returns the terminating instruction's address.
+func (e BlockEvent) BranchPC() uint64 { return e.Addr + 4*uint64(e.NumInstrs-1) }
+
+// Source supplies the oracle stream plus the static-program queries
+// the front-end needs: block descriptors at arbitrary addresses (for
+// the pre-decoder and wrong-path walking) and per-PC instruction
+// classes.
+type Source interface {
+	// NextBlock returns the next committed-path block; ok is false at
+	// end of stream.
+	NextBlock() (BlockEvent, bool)
+	// BlockInfo returns the static descriptor of the block starting at
+	// addr (what a pre-decoder would extract from the raw bytes).
+	BlockInfo(addr uint64) (branch.BTBEntry, bool)
+	// BlocksInLine appends the descriptors of every block starting
+	// within the 64-byte line to out (the proactive pre-decoder's view
+	// of a fetched line).
+	BlocksInLine(line uint64, out []branch.BTBEntry) []branch.BTBEntry
+	// InstrClass returns the static class of the instruction at pc.
+	InstrClass(pc uint64) Class
+}
+
+// traceMagic guards the binary format.
+const traceMagic = 0x454d4953 // "EMIS"
+
+// Writer serializes BlockEvents.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+	n   uint64
+}
+
+// NewWriter wraps w in a trace serializer and writes the header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], traceMagic)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw, buf: make([]byte, 0, 256)}, nil
+}
+
+// WriteEvent appends one event.
+func (w *Writer) WriteEvent(e BlockEvent) error {
+	b := w.buf[:0]
+	b = binary.AppendUvarint(b, e.Addr)
+	b = binary.AppendUvarint(b, uint64(e.NumInstrs))
+	flags := uint64(e.EndKind) << 1
+	if e.Taken {
+		flags |= 1
+	}
+	b = binary.AppendUvarint(b, flags)
+	b = binary.AppendUvarint(b, e.NextAddr)
+	b = binary.AppendUvarint(b, uint64(len(e.Mem)))
+	for _, m := range e.Mem {
+		idx := uint64(m.Index) << 1
+		if m.Store {
+			idx |= 1
+		}
+		b = binary.AppendUvarint(b, idx)
+		b = binary.AppendUvarint(b, m.Addr)
+	}
+	w.buf = b
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing event: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Events returns the number of events written.
+func (w *Writer) Events() uint64 { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader deserializes BlockEvents.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps r and validates the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:]) != traceMagic {
+		return nil, errors.New("trace: bad magic; not a trace file")
+	}
+	return &Reader{r: br}, nil
+}
+
+// ReadEvent reads the next event; io.EOF marks a clean end of trace.
+func (r *Reader) ReadEvent() (BlockEvent, error) {
+	var e BlockEvent
+	addr, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return e, io.EOF
+		}
+		return e, fmt.Errorf("trace: reading event: %w", err)
+	}
+	e.Addr = addr
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return e, fmt.Errorf("trace: truncated event: %w", err)
+	}
+	e.NumInstrs = int(n)
+	flags, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return e, fmt.Errorf("trace: truncated event: %w", err)
+	}
+	e.Taken = flags&1 != 0
+	e.EndKind = branch.Kind(flags >> 1)
+	if e.NextAddr, err = binary.ReadUvarint(r.r); err != nil {
+		return e, fmt.Errorf("trace: truncated event: %w", err)
+	}
+	nm, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return e, fmt.Errorf("trace: truncated event: %w", err)
+	}
+	if nm > 1<<20 {
+		return e, fmt.Errorf("trace: implausible mem-ref count %d", nm)
+	}
+	if nm > 0 {
+		e.Mem = make([]MemRef, nm)
+		for i := range e.Mem {
+			idx, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return e, fmt.Errorf("trace: truncated mem ref: %w", err)
+			}
+			e.Mem[i].Store = idx&1 != 0
+			e.Mem[i].Index = int(idx >> 1)
+			if e.Mem[i].Addr, err = binary.ReadUvarint(r.r); err != nil {
+				return e, fmt.Errorf("trace: truncated mem ref: %w", err)
+			}
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"emissary/internal/branch"
+)
+
+func TestClassStringsAndLatency(t *testing.T) {
+	for c := ClassALU; c < numClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+		if c.Latency() < 1 {
+			t.Errorf("class %v latency %d", c, c.Latency())
+		}
+	}
+	if ClassMul.Latency() <= ClassALU.Latency() {
+		t.Error("mul should be slower than alu")
+	}
+}
+
+func TestBlockEventBranchPC(t *testing.T) {
+	e := BlockEvent{Addr: 0x100, NumInstrs: 4}
+	if e.BranchPC() != 0x10C {
+		t.Errorf("BranchPC = %#x", e.BranchPC())
+	}
+}
+
+func TestRoundTripEvents(t *testing.T) {
+	events := []BlockEvent{
+		{Addr: 0x1000, NumInstrs: 6, EndKind: branch.KindCond, Taken: true, NextAddr: 0x2000,
+			Mem: []MemRef{{Index: 2, Addr: 0xdeadbeef, Store: false}, {Index: 4, Addr: 0x1234, Store: true}}},
+		{Addr: 0x2000, NumInstrs: 1, EndKind: branch.KindReturn, NextAddr: 0x1018},
+		{Addr: 0x3000, NumInstrs: 12, EndKind: branch.KindFallthrough, NextAddr: 0x3030},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := w.WriteEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Events() != uint64(len(events)) {
+		t.Errorf("Events = %d", w.Events())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		got, err := r.ReadEvent()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("event %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.ReadEvent(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5})); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.WriteEvent(BlockEvent{Addr: 1, NumInstrs: 2, NextAddr: 3})
+	w.Flush()
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadEvent(); err == nil || err == io.EOF {
+		t.Errorf("truncated read error = %v, want decode error", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(addr, next uint64, n uint8, taken bool, memAddr uint64, memIdx uint8) bool {
+		e := BlockEvent{
+			Addr:      addr,
+			NumInstrs: int(n%32) + 1,
+			EndKind:   branch.KindCond,
+			Taken:     taken,
+			NextAddr:  next,
+		}
+		if memIdx%2 == 0 {
+			e.Mem = []MemRef{{Index: int(memIdx), Addr: memAddr, Store: taken}}
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		if err := w.WriteEvent(e); err != nil {
+			return false
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadEvent()
+		return err == nil && reflect.DeepEqual(got, e)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"emissary/internal/branch"
+	"emissary/internal/rng"
+	"emissary/internal/trace"
+)
+
+// Engine executes a Program, producing the oracle committed-path
+// stream of basic-block events (implementing trace.Source). The walk
+// is unbounded — the dispatcher loops forever — so callers stop after
+// however many instructions they want.
+type Engine struct {
+	prog *Program
+	r    *rng.Xoshiro256
+
+	cur   int32    // current block index
+	stack []uint64 // return addresses
+	trips map[uint64]int32
+
+	// Per-request data state.
+	recordBase   uint64
+	recordCursor uint64
+	requests     uint64
+
+	instrs uint64
+	memBuf []trace.MemRef
+}
+
+// NewEngine starts an execution of prog at its dispatcher.
+func NewEngine(prog *Program) *Engine {
+	e := &Engine{
+		prog:  prog,
+		r:     rng.NewXoshiro256(rng.Mix2(prog.profile.Seed, 0xe4617e)),
+		trips: make(map[uint64]int32),
+		stack: make([]uint64, 0, 64),
+	}
+	e.cur = prog.index[prog.dispatcher]
+	e.newRecord()
+	return e
+}
+
+// Instructions returns the committed instruction count so far.
+func (e *Engine) Instructions() uint64 { return e.instrs }
+
+// Requests returns the number of dispatched requests so far.
+func (e *Engine) Requests() uint64 { return e.requests }
+
+// BlockInfo implements trace.Source.
+func (e *Engine) BlockInfo(addr uint64) (branch.BTBEntry, bool) {
+	return e.prog.BlockInfo(addr)
+}
+
+// InstrClass implements trace.Source.
+func (e *Engine) InstrClass(pc uint64) trace.Class {
+	return e.prog.InstrClass(pc)
+}
+
+// BlocksInLine implements trace.Source.
+func (e *Engine) BlocksInLine(line uint64, out []branch.BTBEntry) []branch.BTBEntry {
+	return e.prog.BlocksInLine(line, out)
+}
+
+// newRecord rotates the per-request record pointer within the cold
+// data pool.
+func (e *Engine) newRecord() {
+	span := uint64(e.prog.profile.ColdDataMB * 1024 * 1024)
+	rec := uint64(e.prog.profile.RecordKB) * 1024
+	if span <= rec {
+		e.recordBase = coldBase
+		return
+	}
+	slots := span / rec
+	e.recordBase = coldBase + rec*uint64(e.r.Int63n(int64(slots)))
+}
+
+// dataAddr generates the byte address for the memory instruction at
+// pc. Heap accesses have per-PC spatial affinity — each static memory
+// instruction prefers a home region it strides around, with an
+// occasional excursion across the whole pool — which is what gives
+// real programs their L1D hit rates.
+func (e *Engine) dataAddr(pc uint64) uint64 {
+	switch e.prog.poolOf(pc) {
+	case poolStack:
+		// Hot per-frame slots: depth-scaled base plus a per-PC slot.
+		frame := stackBase - uint64(len(e.stack))*256
+		return frame + (rng.Mix2(pc, 0x57ac)&0x1f)*8
+	case poolCold:
+		// Records are scanned roughly sequentially (parse/serialize
+		// passes), the pattern next-line prefetchers are built for.
+		off := e.recordCursor % uint64(e.prog.profile.RecordKB*1024)
+		e.recordCursor += 24
+		return e.recordBase + off&^7
+	default:
+		pool := uint64(e.prog.profile.HotDataKB) * 1024
+		if e.r.Bool(0.2) {
+			// Pool-wide excursion: the long-reuse tail of the heap.
+			return hotBase + uint64(e.r.Int63n(int64(pool)))&^7
+		}
+		// Home region: a per-PC 512-byte window.
+		home := rng.Mix2(pc, 0x40e) % pool &^ 511
+		return hotBase + home + uint64(e.r.Intn(512))&^7
+	}
+}
+
+// NextBlock implements trace.Source: emit the current block's event
+// and advance the architectural state.
+func (e *Engine) NextBlock() (trace.BlockEvent, bool) {
+	b := &e.prog.blocks[e.cur]
+	ev := trace.BlockEvent{
+		Addr:      b.Addr,
+		NumInstrs: int(b.NInstr),
+		EndKind:   b.End,
+	}
+
+	// Memory references for body instructions.
+	e.memBuf = e.memBuf[:0]
+	n := int(b.NInstr)
+	bodyEnd := n
+	if b.End != branch.KindFallthrough {
+		bodyEnd = n - 1 // terminator is a branch, not a memory op
+	}
+	for i := 0; i < bodyEnd; i++ {
+		pc := b.Addr + instrBytes*uint64(i)
+		switch e.prog.InstrClass(pc) {
+		case trace.ClassLoad:
+			e.memBuf = append(e.memBuf, trace.MemRef{Index: i, Addr: e.dataAddr(pc)})
+		case trace.ClassStore:
+			e.memBuf = append(e.memBuf, trace.MemRef{Index: i, Addr: e.dataAddr(pc), Store: true})
+		}
+	}
+	if len(e.memBuf) > 0 {
+		ev.Mem = append([]trace.MemRef(nil), e.memBuf...)
+	}
+
+	// Resolve the successor.
+	var next uint64
+	switch b.End {
+	case branch.KindFallthrough:
+		next = b.FallThrough()
+	case branch.KindJump:
+		next = b.Target
+		ev.Taken = true
+	case branch.KindCond:
+		taken := false
+		switch b.Behavior {
+		case BehaveLoop:
+			rem, ok := e.trips[b.Addr]
+			if !ok {
+				rem = int32(b.MeanTrips)
+			}
+			if rem > 1 {
+				taken = true
+				e.trips[b.Addr] = rem - 1
+			} else {
+				delete(e.trips, b.Addr)
+			}
+		default: // BehaveBiased
+			taken = e.r.Bool(float64(b.Bias))
+		}
+		ev.Taken = taken
+		if taken {
+			next = b.Target
+		} else {
+			next = b.FallThrough()
+		}
+	case branch.KindCall:
+		e.stack = append(e.stack, b.FallThrough())
+		next = b.Target
+		ev.Taken = true
+	case branch.KindIndirectCall, branch.KindIndirect:
+		if b.End == branch.KindIndirectCall {
+			e.stack = append(e.stack, b.FallThrough())
+		}
+		if b.Addr == e.prog.dispatcher {
+			// New request: pick a service and rotate the data record.
+			idx := e.prog.serviceChooser.Choose(e.r)
+			next = e.prog.serviceEntries[idx]
+			e.requests++
+			e.newRecord()
+		} else {
+			next = b.ITargets[e.r.Intn(len(b.ITargets))]
+		}
+		ev.Taken = true
+	case branch.KindReturn:
+		if len(e.stack) > 0 {
+			next = e.stack[len(e.stack)-1]
+			e.stack = e.stack[:len(e.stack)-1]
+		} else {
+			next = e.prog.dispatcher
+		}
+		ev.Taken = true
+	}
+
+	ev.NextAddr = next
+	idx, ok := e.prog.index[next]
+	if !ok {
+		// A successor outside the program would be a generator bug;
+		// recover to the dispatcher to keep the stream alive.
+		idx = e.prog.index[e.prog.dispatcher]
+	}
+	e.cur = idx
+	e.instrs += uint64(b.NInstr)
+	return ev, true
+}

@@ -1,0 +1,259 @@
+// Package workload synthesizes the 13 datacenter benchmarks of §5.3 as
+// executable synthetic programs: a static control-flow graph (functions,
+// basic blocks, loops, diamonds, call trees, indirect dispatch) plus an
+// execution engine that walks it, producing the oracle instruction
+// stream the pipeline validates its predictions against.
+//
+// The real workloads (tomcat, kafka, tpcc, …) are JVM/C++ server
+// binaries run under a full OS; none of that is available to a pure-Go
+// reproduction, so each profile is parameterized on the properties the
+// paper identifies as the mechanism behind EMISSARY's win: instruction
+// footprint (Fig 4), the Short/Mid/Long reuse-distance mixture (Fig 2),
+// branch predictability, and data-side working sets (Fig 3). The
+// request/service structure below produces exactly the paper's §3
+// landscape: a small fraction of long-reuse lines causes most decode
+// starvations.
+package workload
+
+import "fmt"
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+	Seed uint64
+
+	// Code shape.
+	FootprintMB    float64 // instruction footprint target (Fig 4)
+	HotLibFrac     float64 // fraction of code in the hot shared library
+	NumServices    int     // distinct request types (long-reuse driver)
+	ServiceZipf    float64 // popularity skew across services (0 = uniform)
+	AvgBlockInstr  int     // mean basic-block size in instructions
+	LoopFrac       float64 // probability a body construct is a loop
+	AvgLoopTrips   float64 // mean loop trip count
+	HardBranchFrac float64 // fraction of diamonds with noisy outcomes
+	HardBranchBias float64 // P(taken) of a noisy branch
+	VariantFanout  int     // indirect-call variants inside services
+
+	// Data side.
+	LoadFrac   float64 // loads per instruction
+	StoreFrac  float64 // stores per instruction
+	StackFrac  float64 // fraction of memory ops hitting the stack
+	ColdFrac   float64 // fraction of memory ops hitting per-request records
+	HotDataKB  int     // hot heap working set
+	ColdDataMB float64 // total record space (per-request long-reuse data)
+	RecordKB   int     // bytes touched per request within its record
+}
+
+// Validate reports the first implausible parameter.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile has no name")
+	case p.FootprintMB <= 0 || p.FootprintMB > 64:
+		return fmt.Errorf("workload %s: footprint %.2f MB out of range", p.Name, p.FootprintMB)
+	case p.HotLibFrac < 0 || p.HotLibFrac > 0.95:
+		return fmt.Errorf("workload %s: hot-lib fraction %.2f out of range", p.Name, p.HotLibFrac)
+	case p.NumServices < 1:
+		return fmt.Errorf("workload %s: needs at least one service", p.Name)
+	case p.AvgBlockInstr < 3 || p.AvgBlockInstr > 14:
+		return fmt.Errorf("workload %s: block size %d out of range", p.Name, p.AvgBlockInstr)
+	case p.LoadFrac < 0 || p.StoreFrac < 0 || p.LoadFrac+p.StoreFrac > 0.8:
+		return fmt.Errorf("workload %s: memory-op fractions implausible", p.Name)
+	case p.StackFrac < 0 || p.ColdFrac < 0 || p.StackFrac+p.ColdFrac > 1:
+		return fmt.Errorf("workload %s: memory pool fractions implausible", p.Name)
+	case p.HotDataKB <= 0 || p.ColdDataMB <= 0 || p.RecordKB <= 0:
+		return fmt.Errorf("workload %s: data sizes must be positive", p.Name)
+	case p.AvgLoopTrips < 1:
+		return fmt.Errorf("workload %s: loop trips must be >= 1", p.Name)
+	}
+	return nil
+}
+
+// base returns the template the 13 profiles specialize.
+func base(name string, seed uint64) Profile {
+	return Profile{
+		Name:           name,
+		Seed:           seed,
+		FootprintMB:    1.0,
+		HotLibFrac:     0.25,
+		NumServices:    32,
+		ServiceZipf:    0.9,
+		AvgBlockInstr:  7,
+		LoopFrac:       0.10,
+		AvgLoopTrips:   6,
+		HardBranchFrac: 0.02,
+		HardBranchBias: 0.88,
+		VariantFanout:  3,
+		LoadFrac:       0.26,
+		StoreFrac:      0.11,
+		StackFrac:      0.35,
+		ColdFrac:       0.15,
+		HotDataKB:      96,
+		ColdDataMB:     48,
+		RecordKB:       4,
+	}
+}
+
+// Profiles returns the 13 benchmark profiles of §5.3, keyed to the
+// characteristics reported in Figures 3 and 4: per-benchmark
+// instruction footprints (tomcat largest at ~2.57 MB, xapian smallest
+// at ~0.29 MB), instruction-vs-data MPKI balance (specjbb/kafka/
+// media-stream are data-heavy), and front-end hostility (verilator's
+// generated code has a huge, flat footprint).
+func Profiles() []Profile {
+	specjbb := base("specjbb", 101)
+	specjbb.FootprintMB = 1.0
+	specjbb.NumServices = 24
+	specjbb.HotDataKB = 1024 // data-dominated: very high L1D MPKI
+	specjbb.ColdDataMB = 96
+	specjbb.ColdFrac = 0.30
+	specjbb.LoadFrac = 0.30
+
+	xapian := base("xapian", 102)
+	xapian.FootprintMB = 0.29
+	xapian.NumServices = 6
+	xapian.HotLibFrac = 0.45
+	xapian.HotDataKB = 256
+	xapian.ColdDataMB = 64
+	xapian.ColdFrac = 0.22
+
+	finagleHTTP := base("finagle-http", 103)
+	finagleHTTP.FootprintMB = 1.6
+	finagleHTTP.NumServices = 48
+	finagleHTTP.ServiceZipf = 0.6
+	finagleHTTP.HotLibFrac = 0.15
+
+	finagleChirper := base("finagle-chirper", 104)
+	finagleChirper.FootprintMB = 1.5
+	finagleChirper.NumServices = 44
+	finagleChirper.ServiceZipf = 0.6
+	finagleChirper.HotLibFrac = 0.15
+
+	tomcat := base("tomcat", 105)
+	tomcat.FootprintMB = 2.57
+	tomcat.NumServices = 64
+	tomcat.ServiceZipf = 0.5
+	tomcat.HotLibFrac = 0.12
+
+	kafka := base("kafka", 106)
+	kafka.FootprintMB = 0.8
+	kafka.NumServices = 16
+	kafka.HotDataKB = 768
+	kafka.ColdDataMB = 128
+	kafka.ColdFrac = 0.35
+	kafka.LoadFrac = 0.30
+
+	tpcc := base("tpcc", 107)
+	tpcc.FootprintMB = 0.55
+	tpcc.NumServices = 5
+	tpcc.HotLibFrac = 0.40
+	tpcc.ColdDataMB = 96
+	tpcc.ColdFrac = 0.30
+
+	wikipedia := base("wikipedia", 108)
+	wikipedia.FootprintMB = 1.1
+	wikipedia.NumServices = 28
+	wikipedia.ServiceZipf = 1.0
+
+	mediaStream := base("media-stream", 109)
+	mediaStream.FootprintMB = 0.5
+	mediaStream.NumServices = 8
+	mediaStream.HotLibFrac = 0.40
+	mediaStream.HotDataKB = 640
+	mediaStream.ColdDataMB = 192
+	mediaStream.ColdFrac = 0.40
+	mediaStream.LoadFrac = 0.30
+
+	webSearch := base("web-search", 110)
+	webSearch.FootprintMB = 0.7
+	webSearch.NumServices = 6
+	webSearch.HotLibFrac = 0.50
+	webSearch.ServiceZipf = 1.2
+	webSearch.HotDataKB = 384
+
+	dataServing := base("data-serving", 111)
+	dataServing.FootprintMB = 1.2
+	dataServing.NumServices = 36
+	dataServing.ServiceZipf = 0.7
+	dataServing.ColdDataMB = 96
+	dataServing.ColdFrac = 0.25
+
+	verilator := base("verilator", 112)
+	verilator.FootprintMB = 1.9
+	verilator.NumServices = 96 // generated RTL evaluation code: flat, huge
+	verilator.ServiceZipf = 0.2
+	verilator.HotLibFrac = 0.05
+	verilator.LoopFrac = 0.10
+	verilator.HardBranchFrac = 0.06
+	verilator.HotDataKB = 192
+
+	speedometer := base("speedometer2.0", 113)
+	speedometer.FootprintMB = 0.9
+	speedometer.NumServices = 20
+	speedometer.ServiceZipf = 1.1
+	speedometer.HotLibFrac = 0.35
+
+	return []Profile{
+		specjbb, xapian, finagleHTTP, finagleChirper, tomcat, kafka,
+		tpcc, wikipedia, mediaStream, webSearch, dataServing, verilator,
+		speedometer,
+	}
+}
+
+// SPECLikeProfiles returns three small-footprint profiles in the mold
+// of traditional SPEC CPU workloads. The paper's §5.3 explains why its
+// evaluation rejects SPEC: the code footprints "easily fit into the
+// larger L2 caches of modern processors", leaving nothing for an L2
+// instruction replacement policy to do. These profiles exist to let
+// that rationale be measured (their L2 instruction MPKI should be
+// near zero and EMISSARY's effect nil).
+func SPECLikeProfiles() []Profile {
+	gcc := base("spec-gcc-like", 201)
+	gcc.FootprintMB = 0.12
+	gcc.NumServices = 3
+	gcc.HotLibFrac = 0.5
+	gcc.ServiceZipf = 1.2
+
+	mcf := base("spec-mcf-like", 202)
+	mcf.FootprintMB = 0.05
+	mcf.NumServices = 2
+	mcf.HotLibFrac = 0.4
+	mcf.LoadFrac = 0.33
+	mcf.HotDataKB = 2048 // pointer chasing over a big working set
+	mcf.ColdDataMB = 256
+	mcf.ColdFrac = 0.35
+
+	perl := base("spec-perlbench-like", 203)
+	perl.FootprintMB = 0.18
+	perl.NumServices = 4
+	perl.HotLibFrac = 0.45
+	perl.ServiceZipf = 1.0
+
+	return []Profile{gcc, mcf, perl}
+}
+
+// ProfileByName finds a built-in profile, searching the 13 paper
+// benchmarks and then the SPEC-like comparison profiles.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range SPECLikeProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// ProfileNames lists the built-in benchmark names in paper order.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}

@@ -1,0 +1,476 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"emissary/internal/branch"
+	"emissary/internal/rng"
+	"emissary/internal/trace"
+)
+
+// Address-space layout. Instruction addresses are 4-byte aligned
+// (fixed-width encoding, §5.2); the data pools live far above code.
+const (
+	instrBytes = 4
+	codeBase   = uint64(0x0001_0000_0000)
+	stackBase  = uint64(0x7000_0000_0000)
+	hotBase    = uint64(0x6000_0000_0000)
+	coldBase   = uint64(0x5000_0000_0000)
+
+	// blockMaxInstr caps basic-block size (a BTB entry's size field).
+	blockMaxInstr = 14
+)
+
+// Behavior tells the engine how a conditional terminator resolves.
+type Behavior uint8
+
+// Behaviors.
+const (
+	BehaveNone   Behavior = iota
+	BehaveLoop            // back-edge, taken while trips remain
+	BehaveBiased          // data-dependent, P(taken) = Bias
+)
+
+// Block is one static basic block.
+type Block struct {
+	Addr      uint64
+	NInstr    uint16
+	End       branch.Kind
+	Behavior  Behavior
+	Bias      float32
+	MeanTrips float32
+	Target    uint64   // taken/call target
+	ITargets  []uint64 // indirect-terminator targets
+	IWeights  []float64
+}
+
+// FallThrough returns the next sequential block's address.
+func (b *Block) FallThrough() uint64 {
+	return b.Addr + instrBytes*uint64(b.NInstr)
+}
+
+// BranchPC returns the terminator's address.
+func (b *Block) BranchPC() uint64 {
+	return b.Addr + instrBytes*uint64(b.NInstr-1)
+}
+
+// Program is a complete synthetic binary: the static CFG plus the
+// behavioral metadata the engine executes.
+type Program struct {
+	profile Profile
+
+	blocks []Block
+	index  map[uint64]int32
+
+	dispatcher     uint64 // dispatch-loop head block
+	serviceEntries []uint64
+	serviceChooser *rng.Chooser
+
+	totalInstrs int
+	classSeed   uint64
+}
+
+// Profile returns the generating profile.
+func (p *Program) Profile() Profile { return p.profile }
+
+// NumBlocks returns the static block count.
+func (p *Program) NumBlocks() int { return len(p.blocks) }
+
+// TotalInstrs returns the static instruction count.
+func (p *Program) TotalInstrs() int { return p.totalInstrs }
+
+// FootprintBytes returns the instruction footprint (Fig 4's metric is
+// unique lines touched x line size; the static size is its upper
+// bound and, for these workloads, its steady-state value).
+func (p *Program) FootprintBytes() int { return p.totalInstrs * instrBytes }
+
+// BlockAt returns the static block starting at addr.
+func (p *Program) BlockAt(addr uint64) (*Block, bool) {
+	if i, ok := p.index[addr]; ok {
+		return &p.blocks[i], true
+	}
+	return nil, false
+}
+
+// BlockInfo implements the static-descriptor query of trace.Source.
+func (p *Program) BlockInfo(addr uint64) (branch.BTBEntry, bool) {
+	b, ok := p.BlockAt(addr)
+	if !ok {
+		return branch.BTBEntry{}, false
+	}
+	return branch.BTBEntry{
+		Start:     b.Addr,
+		NumInstrs: int(b.NInstr),
+		EndKind:   b.End,
+		Target:    b.Target,
+	}, true
+}
+
+// BlocksInLine implements trace.Source's pre-decoder query: all blocks
+// starting within the 64-byte line. Blocks are laid out contiguously
+// in address order, so a binary search finds the first candidate.
+func (p *Program) BlocksInLine(line uint64, out []branch.BTBEntry) []branch.BTBEntry {
+	lo, hi := line<<6, (line+1)<<6
+	// Binary search for the first block with Addr >= lo.
+	i, j := 0, len(p.blocks)
+	for i < j {
+		mid := (i + j) / 2
+		if p.blocks[mid].Addr < lo {
+			i = mid + 1
+		} else {
+			j = mid
+		}
+	}
+	for ; i < len(p.blocks) && p.blocks[i].Addr < hi; i++ {
+		b := &p.blocks[i]
+		out = append(out, branch.BTBEntry{
+			Start:     b.Addr,
+			NumInstrs: int(b.NInstr),
+			EndKind:   b.End,
+			Target:    b.Target,
+		})
+	}
+	return out
+}
+
+// InstrClass returns the static class of the instruction at pc. Block
+// terminators are classified by the front-end from the block
+// descriptor; for body instructions the class is a deterministic hash
+// of the PC thresholded by the profile's instruction mix.
+func (p *Program) InstrClass(pc uint64) trace.Class {
+	h := rng.Mix2(p.classSeed, pc)
+	u := float64(h>>11) / (1 << 53)
+	switch {
+	case u < p.profile.LoadFrac:
+		return trace.ClassLoad
+	case u < p.profile.LoadFrac+p.profile.StoreFrac:
+		return trace.ClassStore
+	case u < p.profile.LoadFrac+p.profile.StoreFrac+0.08:
+		return trace.ClassMul
+	case u < p.profile.LoadFrac+p.profile.StoreFrac+0.14:
+		return trace.ClassFP
+	default:
+		return trace.ClassALU
+	}
+}
+
+// memPool classifies a memory instruction's pool (stable per PC).
+type memPool uint8
+
+const (
+	poolStack memPool = iota
+	poolHot
+	poolCold
+)
+
+func (p *Program) poolOf(pc uint64) memPool {
+	h := rng.Mix2(p.classSeed^0xda7a, pc)
+	u := float64(h>>11) / (1 << 53)
+	switch {
+	case u < p.profile.StackFrac:
+		return poolStack
+	case u < p.profile.StackFrac+p.profile.ColdFrac:
+		return poolCold
+	default:
+		return poolHot
+	}
+}
+
+// generator carries program-synthesis state.
+type generator struct {
+	prog *Program
+	r    *rng.Xoshiro256
+	next uint64 // next block address
+}
+
+// NewProgram synthesizes the static program for a profile.
+func NewProgram(profile Profile) (*Program, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		profile:   profile,
+		index:     make(map[uint64]int32),
+		classSeed: rng.Mix2(profile.Seed, 0xc1a55),
+	}
+	g := &generator{
+		prog: prog,
+		r:    rng.NewXoshiro256(rng.Mix2(profile.Seed, 0xc0de)),
+		next: codeBase,
+	}
+
+	targetInstrs := int(profile.FootprintMB * 1024 * 1024 / instrBytes)
+	hotBudget := int(float64(targetInstrs) * profile.HotLibFrac)
+
+	// 1. Hot shared library: small leaf utility functions.
+	var hotEntries []uint64
+	for used := 0; used < hotBudget; {
+		size := 24 + g.r.Intn(48)
+		entry, n := g.buildFunction(size, nil, nil)
+		hotEntries = append(hotEntries, entry)
+		used += n
+	}
+	if len(hotEntries) == 0 {
+		// Degenerate profiles still need at least one callee.
+		entry, _ := g.buildFunction(24, nil, nil)
+		hotEntries = append(hotEntries, entry)
+	}
+
+	// 2. Services: each is a call tree over private functions that
+	// also leans on the hot library.
+	serviceBudget := (targetInstrs - hotBudget) / profile.NumServices
+	if serviceBudget < 64 {
+		serviceBudget = 64
+	}
+	for s := 0; s < profile.NumServices; s++ {
+		entry := g.buildService(serviceBudget, hotEntries)
+		prog.serviceEntries = append(prog.serviceEntries, entry)
+	}
+	// The tree builder under-spends its budget (leftover child shares
+	// below the minimum function size are dropped); top the program up
+	// with extra services until the footprint target is met, keeping
+	// Figure 4 calibrated.
+	for prog.totalInstrs < targetInstrs-serviceBudget/2 {
+		entry := g.buildService(serviceBudget, hotEntries)
+		prog.serviceEntries = append(prog.serviceEntries, entry)
+	}
+
+	// 3. Dispatcher: an infinite loop indirect-calling one service per
+	// iteration, with Zipf-distributed popularity.
+	weights := make([]float64, len(prog.serviceEntries))
+	for i := range weights {
+		weights[i] = zipfWeight(i, profile.ServiceZipf)
+	}
+	prog.serviceChooser = rng.NewChooser(weights)
+
+	head := g.addBlock(Block{
+		NInstr:   4,
+		End:      branch.KindIndirectCall,
+		ITargets: prog.serviceEntries,
+		IWeights: weights,
+	})
+	g.addBlock(Block{
+		NInstr: 2,
+		End:    branch.KindJump,
+		Target: head,
+	})
+	prog.dispatcher = head
+
+	if len(prog.blocks) == 0 {
+		return nil, fmt.Errorf("workload %s: generated empty program", profile.Name)
+	}
+	return prog, nil
+}
+
+// zipfWeight gives rank i (0-based) weight 1/(i+1)^s.
+func zipfWeight(i int, s float64) float64 {
+	if s <= 0 {
+		return 1.0
+	}
+	return 1.0 / math.Pow(float64(i+1), s)
+}
+
+// addBlock appends a block at the next address and returns its address.
+func (g *generator) addBlock(b Block) uint64 {
+	b.Addr = g.next
+	if b.NInstr == 0 {
+		b.NInstr = 1
+	}
+	if b.NInstr > blockMaxInstr {
+		b.NInstr = blockMaxInstr
+	}
+	g.prog.index[b.Addr] = int32(len(g.prog.blocks))
+	g.prog.blocks = append(g.prog.blocks, b)
+	g.prog.totalInstrs += int(b.NInstr)
+	g.next += instrBytes * uint64(b.NInstr)
+	return b.Addr
+}
+
+// blockSize draws a block size around the profile mean.
+func (g *generator) blockSize() uint16 {
+	mean := g.prog.profile.AvgBlockInstr
+	n := 2 + g.r.Geometric(float64(mean-2))
+	if n > blockMaxInstr {
+		n = blockMaxInstr
+	}
+	return uint16(n)
+}
+
+// callSite is a call the function body must embed.
+type callSite struct {
+	target   uint64
+	variants []uint64 // non-empty: indirect call among variants
+}
+
+// buildFunction lays out one function of roughly ownInstrs body
+// instructions embedding the given call sites, returning its entry
+// address and the instructions actually emitted.
+func (g *generator) buildFunction(ownInstrs int, calls []callSite, hotEntries []uint64) (uint64, int) {
+	p := g.prog.profile
+	startBlocks := len(g.prog.blocks)
+	entry := uint64(0)
+	emitted := 0
+	callIdx := 0
+
+	record := func(addr uint64) {
+		if entry == 0 {
+			entry = addr
+		}
+	}
+
+	for emitted < ownInstrs || callIdx < len(calls) {
+		switch {
+		case callIdx < len(calls) && (emitted >= ownInstrs || g.r.Bool(0.35)):
+			// Call block.
+			cs := calls[callIdx]
+			callIdx++
+			b := Block{NInstr: g.blockSize()}
+			if len(cs.variants) > 0 {
+				b.End = branch.KindIndirectCall
+				b.ITargets = cs.variants
+			} else {
+				b.End = branch.KindCall
+				b.Target = cs.target
+			}
+			record(g.addBlock(b))
+			emitted += int(b.NInstr)
+
+		case g.r.Bool(p.LoopFrac):
+			// Loop: 1-2 body blocks, back edge on the last.
+			bodyBlocks := 1 + g.r.Intn(2)
+			var head uint64
+			for i := 0; i < bodyBlocks; i++ {
+				if i == bodyBlocks-1 {
+					// Per-loop trip counts are fixed at build time:
+					// real loops mostly iterate the same number of
+					// times per activation, a pattern history-based
+					// predictors learn.
+					trips := 2 + g.r.Geometric(p.AvgLoopTrips-2)
+					b := Block{
+						NInstr:    g.blockSize(),
+						End:       branch.KindCond,
+						Behavior:  BehaveLoop,
+						MeanTrips: float32(trips),
+					}
+					addr := g.addBlock(b)
+					if i == 0 {
+						head = addr
+					}
+					g.prog.blocks[len(g.prog.blocks)-1].Target = head
+					record(addr)
+					emitted += int(b.NInstr)
+				} else {
+					b := Block{NInstr: g.blockSize(), End: branch.KindFallthrough}
+					addr := g.addBlock(b)
+					if i == 0 {
+						head = addr
+					}
+					record(addr)
+					emitted += int(b.NInstr)
+				}
+			}
+
+		case g.r.Bool(0.45):
+			// Diamond: cond skips the next block.
+			hard := g.r.Bool(p.HardBranchFrac)
+			bias := 0.995 // error paths, null checks: essentially static
+			if hard {
+				bias = p.HardBranchBias
+			}
+			cond := Block{
+				NInstr:   g.blockSize(),
+				End:      branch.KindCond,
+				Behavior: BehaveBiased,
+				Bias:     float32(bias),
+			}
+			condAddr := g.addBlock(cond)
+			record(condAddr)
+			emitted += int(cond.NInstr)
+			then := Block{NInstr: g.blockSize(), End: branch.KindFallthrough}
+			g.addBlock(then)
+			emitted += int(then.NInstr)
+			// Taken path skips the then-block.
+			g.prog.blocks[g.prog.index[condAddr]].Target = g.next
+
+		case len(hotEntries) > 0 && g.r.Bool(0.25):
+			// Utility call into the hot library.
+			b := Block{
+				NInstr: g.blockSize(),
+				End:    branch.KindCall,
+				Target: hotEntries[g.r.Intn(len(hotEntries))],
+			}
+			record(g.addBlock(b))
+			emitted += int(b.NInstr)
+
+		default:
+			b := Block{NInstr: g.blockSize(), End: branch.KindFallthrough}
+			record(g.addBlock(b))
+			emitted += int(b.NInstr)
+		}
+	}
+
+	// Terminating return block.
+	ret := Block{NInstr: 2, End: branch.KindReturn}
+	record(g.addBlock(ret))
+	emitted += int(ret.NInstr)
+
+	_ = startBlocks
+	return entry, emitted
+}
+
+// buildService generates one service: a strict call tree of private
+// functions (each private function called from exactly one site, so a
+// request touches the whole tree once) decorated with hot-library
+// calls and indirect-call variant groups.
+func (g *generator) buildService(budget int, hotEntries []uint64) uint64 {
+	p := g.prog.profile
+	// Reserve a slice of the budget for variant leaves.
+	variantShare := 0.2
+	leafBudget := int(float64(budget) * variantShare)
+	treeBudget := budget - leafBudget
+
+	// Build a variant group: V sibling leaf functions targeted by one
+	// indirect call site.
+	var variantGroup []uint64
+	if p.VariantFanout > 1 && leafBudget > 48 {
+		per := leafBudget / p.VariantFanout
+		if per < 24 {
+			per = 24
+		}
+		for v := 0; v < p.VariantFanout; v++ {
+			entry, _ := g.buildFunction(per, nil, hotEntries)
+			variantGroup = append(variantGroup, entry)
+		}
+	}
+
+	return g.buildTree(treeBudget, variantGroup, hotEntries, 0)
+}
+
+// buildTree recursively builds the service call tree bottom-up.
+func (g *generator) buildTree(budget int, variants []uint64, hotEntries []uint64, depth int) uint64 {
+	own := 60 + g.r.Intn(120)
+	if own > budget {
+		own = budget
+	}
+	remaining := budget - own
+
+	var calls []callSite
+	if depth < 5 && remaining > 96 {
+		nChildren := 1 + g.r.Intn(3)
+		per := remaining / nChildren
+		for c := 0; c < nChildren; c++ {
+			if per < 64 {
+				break
+			}
+			child := g.buildTree(per, nil, hotEntries, depth+1)
+			calls = append(calls, callSite{target: child})
+		}
+	}
+	if len(variants) > 0 {
+		calls = append(calls, callSite{variants: variants})
+	}
+
+	entry, _ := g.buildFunction(own, calls, hotEntries)
+	return entry
+}
