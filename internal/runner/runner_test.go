@@ -1,0 +1,230 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"emissary/internal/core"
+	"emissary/internal/sim"
+	"emissary/internal/workload"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if w := Workers(0); w < 1 {
+		t.Errorf("Workers(0) = %d", w)
+	}
+	if w := Workers(-3); w < 1 {
+		t.Errorf("Workers(-3) = %d", w)
+	}
+	if w := Workers(7); w != 7 {
+		t.Errorf("Workers(7) = %d", w)
+	}
+}
+
+func TestDoReturnsResultsInJobOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Do(context.Background(), 50, workers, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	out, err := Do(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called with no jobs")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Errorf("out = %v, err = %v", out, err)
+	}
+}
+
+func TestDoNilContext(t *testing.T) {
+	out, err := Do(nil, 3, 2, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 3 {
+		t.Errorf("out = %v, err = %v", out, err)
+	}
+}
+
+// TestDoFirstErrorCancels proves cancellation reaches in-flight jobs:
+// job 0 fails while every other job blocks until its context is
+// cancelled. The test hangs (and times out) if the error does not
+// propagate.
+func TestDoFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Do(context.Background(), 8, 4, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			return 0, boom
+		}
+		<-ctx.Done()
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestDoStopsSchedulingAfterError(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	// Sequential path: the error on job 2 must prevent jobs 3+.
+	_, err := Do(context.Background(), 10, 1, func(_ context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if n := started.Load(); n != 3 {
+		t.Errorf("started %d jobs, want 3", n)
+	}
+}
+
+func TestDoParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		_, err := Do(ctx, 5, workers, func(_ context.Context, i int) (int, error) {
+			calls.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Workers may each observe cancellation only after claiming an
+		// index, but none should run more than one job.
+		if n := calls.Load(); n > int64(workers) {
+			t.Errorf("workers=%d: %d jobs ran after cancellation", workers, n)
+		}
+	}
+}
+
+func TestMapPassesItems(t *testing.T) {
+	items := []string{"a", "bb", "ccc"}
+	out, err := Map(context.Background(), items, 2, func(_ context.Context, i int, s string) (int, error) {
+		return len(s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []int{1, 2, 3}) {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func tinyOptions(t *testing.T, policy string, seed uint64) sim.Options {
+	t.Helper()
+	p, ok := workload.ProfileByName("xapian")
+	if !ok {
+		t.Fatal("xapian profile missing")
+	}
+	opt := sim.DefaultOptions(p, core.MustParsePolicy(policy))
+	opt.WarmupInstrs = 20_000
+	opt.MeasureInstrs = 80_000
+	opt.Seed = seed
+	return opt
+}
+
+// TestSimsMatchSequentialAtAnyWorkerCount is the core determinism
+// guarantee: the same job list produces identical results at workers=1
+// and workers=8.
+func TestSimsMatchSequentialAtAnyWorkerCount(t *testing.T) {
+	jobs := []sim.Options{
+		tinyOptions(t, "TPLRU", 1),
+		tinyOptions(t, "P(8):S&E", 2),
+		tinyOptions(t, "P(8):S&E&R(1/32)", 3),
+		tinyOptions(t, "DRRIP", 4),
+	}
+	seq, err := Sims(context.Background(), jobs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sims(context.Background(), jobs, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel results differ from sequential")
+	}
+	// And against direct sim.Run calls.
+	for i, job := range jobs {
+		direct, err := sim.Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(direct, seq[i]) {
+			t.Errorf("job %d: pooled result differs from direct sim.Run", i)
+		}
+	}
+}
+
+func TestSimsProgressSerialized(t *testing.T) {
+	jobs := make([]sim.Options, 6)
+	for i := range jobs {
+		jobs[i] = tinyOptions(t, "TPLRU", uint64(i+1))
+	}
+	var (
+		mu    sync.Mutex
+		lines []string
+		depth atomic.Int64
+	)
+	progress := func(r sim.Result) {
+		if depth.Add(1) != 1 {
+			t.Error("progress callback reentered")
+		}
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf("%s %d", r.Policy, r.Cycles))
+		mu.Unlock()
+		depth.Add(-1)
+	}
+	if _, err := Sims(context.Background(), jobs, 4, progress); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(jobs) {
+		t.Errorf("progress called %d times, want %d", len(lines), len(jobs))
+	}
+}
+
+func TestSimsErrorPropagates(t *testing.T) {
+	bad := sim.Options{} // MeasureInstrs == 0 is rejected by sim.Run
+	if _, err := Sims(context.Background(), []sim.Options{bad}, 4, nil); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+// TestReplicatedMatchesSequential proves the parallel replica path is
+// bit-identical to sim.RunReplicated.
+func TestReplicatedMatchesSequential(t *testing.T) {
+	opt := tinyOptions(t, "P(8):S&E&R(1/32)", 7)
+	seq, err := sim.RunReplicated(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Replicated(context.Background(), opt, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel replication differs from sequential")
+	}
+	if _, err := Replicated(context.Background(), opt, 0, 2); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}

@@ -20,14 +20,17 @@ type Replicated struct {
 	MeanCycles float64
 }
 
-// RunReplicated executes opt under n different seeds (derived from
-// opt.Seed) and aggregates. n must be at least 1.
-func RunReplicated(opt Options, n int) (Replicated, error) {
+// ReplicaOptions derives the n per-replica option sets RunReplicated
+// executes: the simulation seed and (for synthetic workloads) the
+// program-synthesis seed both vary per replica, derived from opt.Seed
+// alone so the set is independent of execution order. n must be at
+// least 1.
+func ReplicaOptions(opt Options, n int) ([]Options, error) {
 	if n < 1 {
-		return Replicated{}, fmt.Errorf("sim: need at least one replica, got %d", n)
+		return nil, fmt.Errorf("sim: need at least one replica, got %d", n)
 	}
-	var out Replicated
-	for i := 0; i < n; i++ {
+	opts := make([]Options, n)
+	for i := range opts {
 		o := opt
 		o.Seed = rng.Mix2(opt.Seed, uint64(i)+0x5eed)
 		if o.TracePath == "" {
@@ -35,18 +38,24 @@ func RunReplicated(opt Options, n int) (Replicated, error) {
 			// profile, not one particular program instance.
 			o.Benchmark.Seed = rng.Mix2(opt.Benchmark.Seed, uint64(i)+0xbe9c)
 		}
-		res, err := Run(o)
-		if err != nil {
-			return Replicated{}, err
-		}
-		out.Runs = append(out.Runs, res)
+		opts[i] = o
 	}
+	return opts, nil
+}
+
+// Aggregate summarizes finished replica runs.
+func Aggregate(runs []Result) Replicated {
+	out := Replicated{Runs: runs}
 	var sum, sumSq, l2i, cyc float64
-	for _, r := range out.Runs {
+	for _, r := range runs {
 		sum += r.IPC
 		sumSq += r.IPC * r.IPC
 		l2i += r.L2IMPKI
 		cyc += float64(r.Cycles)
+	}
+	n := len(runs)
+	if n == 0 {
+		return out
 	}
 	fn := float64(n)
 	out.MeanIPC = sum / fn
@@ -58,7 +67,26 @@ func RunReplicated(opt Options, n int) (Replicated, error) {
 			out.StdIPC = math.Sqrt(variance)
 		}
 	}
-	return out, nil
+	return out
+}
+
+// RunReplicated executes opt under n different seeds (derived from
+// opt.Seed) and aggregates. n must be at least 1. For a parallel
+// version see runner.Replicated, which produces identical output.
+func RunReplicated(opt Options, n int) (Replicated, error) {
+	opts, err := ReplicaOptions(opt, n)
+	if err != nil {
+		return Replicated{}, err
+	}
+	runs := make([]Result, 0, n)
+	for _, o := range opts {
+		res, err := Run(o)
+		if err != nil {
+			return Replicated{}, err
+		}
+		runs = append(runs, res)
+	}
+	return Aggregate(runs), nil
 }
 
 // SpeedupVs returns the mean speedup of r over base (by mean cycles)
