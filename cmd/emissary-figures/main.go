@@ -4,12 +4,15 @@
 //
 //	emissary-figures [flags] <artifact>...
 //	emissary-figures -measure 20000000 fig1 fig7
-//	emissary-figures all
+//	emissary-figures -j 8 all
 //
 // Artifacts: fig1 fig2 fig3 fig4 tab5 fig5 fig6 fig7 fig8 ideal fdip
 // reset all. The paper simulates 5M+100M instructions per point; the
 // defaults here are sized for minutes — pass -warmup/-measure to scale
 // up (EMISSARY's gains grow with horizon as priority marks accumulate).
+// Independent simulations fan out across all CPUs; -j caps the worker
+// count (-j 1 forces the sequential schedule) without changing any
+// output byte.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 		benches  = flag.String("benchmarks", "", "comma-separated subset of benchmarks (default: all 13)")
 		progress = flag.Bool("progress", false, "print one line per completed simulation")
 		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		jobs     = flag.Int("j", 0, "simulations to run in parallel (0 = all CPUs, 1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -43,6 +47,7 @@ func main() {
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure
 	cfg.Seed = *seed
+	cfg.Parallelism = *jobs
 	if *progress {
 		cfg.Progress = os.Stderr
 	}

@@ -6,14 +6,17 @@
 //	emissary-sim -bench tomcat -policy "P(8):S&E&R(1/32)"
 //	emissary-sim -bench verilator -policy TPLRU -instructions 10000000
 //	emissary-sim -bench tomcat -policy TPLRU -fdip=false
+//	emissary-sim -bench tomcat -policy "P(8):S&E" -replicas 8 -j 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"emissary/internal/core"
+	"emissary/internal/runner"
 	"emissary/internal/sim"
 	"emissary/internal/workload"
 )
@@ -32,6 +35,8 @@ func main() {
 		reset     = flag.Uint64("priority-reset", 0, "reset P bits every N instructions (§6); 0 = never")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		tracePath = flag.String("trace", "", "replay a recorded trace file instead of a synthetic benchmark")
+		replicas  = flag.Int("replicas", 1, "run N derived-seed replicas and report mean +/- std instead of one run")
+		jobs      = flag.Int("j", 0, "replicas to run in parallel (0 = all CPUs; only meaningful with -replicas)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -73,6 +78,25 @@ func main() {
 		TracePath:             *tracePath,
 		Seed:                  *seed,
 	}
+	if *replicas > 1 {
+		rep, err := runner.Replicated(context.Background(), opt, *replicas, *jobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark            %s\n", rep.Runs[0].Benchmark)
+		fmt.Printf("policy               %s\n", rep.Runs[0].Policy)
+		fmt.Printf("replicas             %d\n", len(rep.Runs))
+		for i, r := range rep.Runs {
+			fmt.Printf("  replica %-2d         IPC %.4f  cycles %d  L2-I MPKI %.2f\n",
+				i, r.IPC, r.Cycles, r.L2IMPKI)
+		}
+		fmt.Printf("mean IPC             %.4f +/- %.4f\n", rep.MeanIPC, rep.StdIPC)
+		fmt.Printf("mean cycles          %.0f\n", rep.MeanCycles)
+		fmt.Printf("mean L2-I MPKI       %.2f\n", rep.MeanL2I)
+		return
+	}
+
 	res, err := sim.Run(opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

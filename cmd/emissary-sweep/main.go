@@ -1,21 +1,25 @@
 // Command emissary-sweep runs custom policy sweeps: a set of policies
 // against a set of benchmarks, reporting per-benchmark speedups and
 // geomeans versus the TPLRU+FDIP baseline. It is the free-form
-// companion to emissary-figures' fixed artifacts.
+// companion to emissary-figures' fixed artifacts. The whole
+// (benchmark x policy) matrix fans out across CPUs; -j caps the worker
+// count without changing any output byte.
 //
 // Examples:
 //
 //	emissary-sweep -policies "P(4):S&E,P(8):S&E,P(12):S&E"
-//	emissary-sweep -benchmarks tomcat,verilator -policies "DRRIP,P(8):S&E&R(1/32)" -measure 30000000
+//	emissary-sweep -benchmarks tomcat,verilator -policies "DRRIP,P(8):S&E&R(1/32)" -measure 30000000 -j 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"emissary/internal/core"
+	"emissary/internal/runner"
 	"emissary/internal/sim"
 	"emissary/internal/stats"
 	"emissary/internal/workload"
@@ -28,6 +32,7 @@ func main() {
 		warmup   = flag.Uint64("warmup", 2_000_000, "warm-up instructions")
 		measure  = flag.Uint64("measure", 8_000_000, "measured instructions")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		jobs     = flag.Int("j", 0, "simulations to run in parallel (0 = all CPUs, 1 = sequential)")
 		verbose  = flag.Bool("v", false, "print progress to stderr")
 	)
 	flag.Parse()
@@ -56,8 +61,11 @@ func main() {
 		}
 	}
 
-	run := func(bench workload.Profile, spec core.Spec) sim.Result {
-		opt := sim.Options{
+	// One flat batch: per benchmark, the baseline then every policy.
+	stride := 1 + len(specs)
+	batch := make([]sim.Options, 0, len(profiles)*stride)
+	addJob := func(bench workload.Profile, spec core.Spec) {
+		batch = append(batch, sim.Options{
 			Benchmark:     bench,
 			Policy:        spec,
 			WarmupInstrs:  *warmup,
@@ -65,16 +73,25 @@ func main() {
 			FDIP:          true,
 			NLP:           true,
 			Seed:          *seed,
+		})
+	}
+	for _, bench := range profiles {
+		addJob(bench, core.Spec{})
+		for _, spec := range specs {
+			addJob(bench, spec)
 		}
-		res, err := sim.Run(opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	}
+
+	var progress func(sim.Result)
+	if *verbose {
+		progress = func(r sim.Result) {
+			fmt.Fprintf(os.Stderr, "done %-16s %-20s IPC %.4f\n", r.Benchmark, r.Policy, r.IPC)
 		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "done %-16s %-20s IPC %.4f\n", bench.Name, spec.String(), res.IPC)
-		}
-		return res
+	}
+	results, err := runner.Sims(context.Background(), batch, *jobs, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	// Header.
@@ -85,11 +102,11 @@ func main() {
 	fmt.Println()
 
 	speedups := make([][]float64, len(specs))
-	for _, bench := range profiles {
-		base := run(bench, core.Spec{})
+	for bi, bench := range profiles {
+		base := results[bi*stride]
 		fmt.Printf("%-16s", bench.Name)
-		for i, spec := range specs {
-			res := run(bench, spec)
+		for i := range specs {
+			res := results[bi*stride+1+i]
 			s := stats.Speedup(base.Cycles, res.Cycles)
 			speedups[i] = append(speedups[i], s)
 			fmt.Printf("  %17.2f%%", s*100)

@@ -9,11 +9,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"emissary/internal/core"
+	"emissary/internal/runner"
 	"emissary/internal/sim"
 	"emissary/internal/stats"
 	"emissary/internal/workload"
@@ -31,8 +33,13 @@ type Config struct {
 	// Seed decorrelates stochastic components across repetitions.
 	Seed uint64
 	// Progress, when non-nil, receives one line per completed
-	// simulation.
+	// simulation (completion order; lines never interleave).
 	Progress io.Writer
+	// Parallelism is the number of worker goroutines independent
+	// simulations run across: 0 uses every available CPU
+	// (GOMAXPROCS), 1 forces the sequential schedule. Every artifact
+	// is bit-identical at any setting; only wall-clock changes.
+	Parallelism int
 }
 
 // DefaultConfig returns a configuration sized to minutes, not hours.
@@ -52,8 +59,10 @@ func (c Config) benchmarks() []workload.Profile {
 	return workload.Profiles()
 }
 
-// run executes one simulation, reporting progress.
-func (c Config) run(opt sim.Options) (sim.Result, error) {
+// fill applies the Config's default instruction counts and seed to one
+// job. Every field of the returned options is fully determined, so a
+// filled job can run on any worker at any time with the same outcome.
+func (c Config) fill(opt sim.Options) sim.Options {
 	if opt.WarmupInstrs == 0 {
 		opt.WarmupInstrs = c.Warmup
 	}
@@ -63,14 +72,41 @@ func (c Config) run(opt sim.Options) (sim.Result, error) {
 	if opt.Seed == 0 {
 		opt.Seed = c.Seed
 	}
-	res, err := sim.Run(opt)
+	return opt
+}
+
+// progress returns the serialized per-simulation progress callback, or
+// nil when no Progress writer is configured.
+func (c Config) progress() func(sim.Result) {
+	if c.Progress == nil {
+		return nil
+	}
+	return func(r sim.Result) {
+		fmt.Fprintf(c.Progress, "  done %-16s %-20s IPC %.4f\n", r.Benchmark, r.Policy, r.IPC)
+	}
+}
+
+// run executes one simulation, reporting progress.
+func (c Config) run(opt sim.Options) (sim.Result, error) {
+	res, err := sim.Run(c.fill(opt))
 	if err != nil {
 		return res, err
 	}
-	if c.Progress != nil {
-		fmt.Fprintf(c.Progress, "  done %-16s %-20s IPC %.4f\n", res.Benchmark, res.Policy, res.IPC)
+	if p := c.progress(); p != nil {
+		p(res)
 	}
 	return res, nil
+}
+
+// runBatch executes a set of independent jobs across the worker pool,
+// returning results in job order. The first failure cancels the
+// outstanding jobs.
+func (c Config) runBatch(jobs []sim.Options) ([]sim.Result, error) {
+	filled := make([]sim.Options, len(jobs))
+	for i, job := range jobs {
+		filled[i] = c.fill(job)
+	}
+	return runner.Sims(context.Background(), filled, c.Parallelism, c.progress())
 }
 
 // baseOptions is the TPLRU + FDIP + NLP baseline the evaluations
@@ -100,23 +136,30 @@ type Cell struct {
 	Result    sim.Result
 }
 
-// runPolicies runs the baseline plus each policy for every benchmark.
-// Results are keyed [benchmark][policy-index]; baselines come back
-// separately.
+// runPolicies runs the baseline plus each policy for every benchmark,
+// all as one flat batch across the worker pool. Results are keyed
+// [benchmark][policy-index]; baselines come back separately.
 func (c Config) runPolicies(policies []core.Spec) (map[string]sim.Result, map[string][]Cell, error) {
+	benches := c.benchmarks()
+	stride := 1 + len(policies)
+	jobs := make([]sim.Options, 0, len(benches)*stride)
+	for _, bench := range benches {
+		jobs = append(jobs, c.baseOptions(bench))
+		for _, spec := range policies {
+			jobs = append(jobs, c.policyOptions(bench, spec))
+		}
+	}
+	results, err := c.runBatch(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
 	baselines := make(map[string]sim.Result)
 	cells := make(map[string][]Cell)
-	for _, bench := range c.benchmarks() {
-		base, err := c.run(c.baseOptions(bench))
-		if err != nil {
-			return nil, nil, err
-		}
+	for bi, bench := range benches {
+		base := results[bi*stride]
 		baselines[bench.Name] = base
-		for _, spec := range policies {
-			res, err := c.run(c.policyOptions(bench, spec))
-			if err != nil {
-				return nil, nil, err
-			}
+		for pi, spec := range policies {
+			res := results[bi*stride+1+pi]
 			cells[bench.Name] = append(cells[bench.Name], Cell{
 				Benchmark: bench.Name,
 				Policy:    spec.String(),

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"emissary/internal/core"
+	"emissary/internal/runner"
 	"emissary/internal/sim"
 	"emissary/internal/stats"
 	"emissary/internal/workload"
@@ -27,23 +29,24 @@ type Fig1Point struct {
 func Fig1(cfg Config) ([]Fig1Point, error) {
 	bench, _ := workload.ProfileByName("tomcat")
 	policies := []string{"M:1", "M:S", "P(8):S", "P(8):S&E", "P(8):S&E&R(1/32)"}
-	points := make([]Fig1Point, 0, len(policies))
-	var baseCycles uint64
+	jobs := make([]sim.Options, len(policies))
 	for i, text := range policies {
-		opt := sim.Options{
+		jobs[i] = sim.Options{
 			Benchmark: bench,
 			Policy:    core.MustParsePolicy(text),
 			FDIP:      true,
 			NLP:       false,
 			TrueLRU:   true,
 		}
-		res, err := cfg.run(opt)
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			baseCycles = res.Cycles
-		}
+	}
+	results, err := cfg.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	baseCycles := results[0].Cycles
+	points := make([]Fig1Point, 0, len(policies))
+	for i, text := range policies {
+		res := results[i]
 		points = append(points, Fig1Point{
 			Policy:     text,
 			Speedup:    stats.Speedup(baseCycles, res.Cycles),
@@ -83,14 +86,19 @@ type Fig2Row struct {
 // Fig2 reproduces Figure 2 on the TPLRU+FDIP baseline with reuse
 // tracking enabled.
 func Fig2(cfg Config) ([]Fig2Row, error) {
-	rows := make([]Fig2Row, 0, len(cfg.benchmarks()))
-	for _, bench := range cfg.benchmarks() {
-		opt := cfg.baseOptions(bench)
-		opt.TrackReuse = true
-		res, err := cfg.run(opt)
-		if err != nil {
-			return nil, err
-		}
+	benches := cfg.benchmarks()
+	jobs := make([]sim.Options, len(benches))
+	for i, bench := range benches {
+		jobs[i] = cfg.baseOptions(bench)
+		jobs[i].TrackReuse = true
+	}
+	results, err := cfg.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig2Row, 0, len(benches))
+	for i, bench := range benches {
+		res := results[i]
 		row := Fig2Row{Benchmark: bench.Name}
 		var accTot, missTot, starvTot float64
 		for i := 0; i < 3; i++ {
@@ -142,12 +150,18 @@ type Fig3Row struct {
 
 // Fig3 reproduces Figure 3: baseline cache MPKIs.
 func Fig3(cfg Config) ([]Fig3Row, error) {
-	rows := make([]Fig3Row, 0, len(cfg.benchmarks()))
-	for _, bench := range cfg.benchmarks() {
-		res, err := cfg.run(cfg.baseOptions(bench))
-		if err != nil {
-			return nil, err
-		}
+	benches := cfg.benchmarks()
+	jobs := make([]sim.Options, len(benches))
+	for i, bench := range benches {
+		jobs[i] = cfg.baseOptions(bench)
+	}
+	results, err := cfg.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig3Row, 0, len(benches))
+	for i, bench := range benches {
+		res := results[i]
 		rows = append(rows, Fig3Row{
 			Benchmark: bench.Name,
 			L1I:       res.L1IMPKI, L1D: res.L1DMPKI,
@@ -182,18 +196,17 @@ type Fig4Row struct {
 // Fig4 reproduces Figure 4 (no simulation needed: the synthesized
 // program's code size is the footprint).
 func Fig4(cfg Config) ([]Fig4Row, error) {
-	rows := make([]Fig4Row, 0, len(cfg.benchmarks()))
-	for _, bench := range cfg.benchmarks() {
-		prog, err := workload.NewProgram(bench)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig4Row{
-			Benchmark:   bench.Name,
-			FootprintMB: float64(prog.FootprintBytes()) / (1 << 20),
+	return runner.Map(context.Background(), cfg.benchmarks(), cfg.Parallelism,
+		func(_ context.Context, _ int, bench workload.Profile) (Fig4Row, error) {
+			prog, err := workload.NewProgram(bench)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			return Fig4Row{
+				Benchmark:   bench.Name,
+				FootprintMB: float64(prog.FootprintBytes()) / (1 << 20),
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // WriteFig4 renders the footprints.
@@ -323,15 +336,43 @@ func Fig5(cfg Config, ns []int) ([]Fig5Series, error) {
 	if len(ns) == 0 {
 		ns = []int{2, 4, 6, 8, 10, 12, 14}
 	}
-	var out []Fig5Series
+	nsNZ := make([]int, 0, len(ns))
+	for _, n := range ns {
+		if n != 0 { // N = 0 is the baseline by definition, not a run.
+			nsNZ = append(nsNZ, n)
+		}
+	}
+	var benches []workload.Profile
 	for _, bench := range cfg.benchmarks() {
-		if bench.Name == "tpcc" {
-			continue
+		if bench.Name != "tpcc" {
+			benches = append(benches, bench)
 		}
-		base, err := cfg.run(cfg.baseOptions(bench))
-		if err != nil {
-			return nil, err
+	}
+
+	// Per-bench job layout: baseline, then each family's N sweep, then
+	// the insertion-treatment priors.
+	stride := 1 + len(Fig5Families)*len(nsNZ) + len(Fig5Priors)
+	jobs := make([]sim.Options, 0, len(benches)*stride)
+	for _, bench := range benches {
+		jobs = append(jobs, cfg.baseOptions(bench))
+		for _, fam := range Fig5Families {
+			for _, n := range nsNZ {
+				spec := core.MustParsePolicy(fmt.Sprintf("P(%d):%s", n, fam))
+				jobs = append(jobs, cfg.policyOptions(bench, spec))
+			}
 		}
+		for _, text := range Fig5Priors {
+			jobs = append(jobs, cfg.policyOptions(bench, core.MustParsePolicy(text)))
+		}
+	}
+	results, err := cfg.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Fig5Series
+	for bi, bench := range benches {
+		base := results[bi*stride]
 		mkPoint := func(label string, n int, res sim.Result) Fig5Point {
 			return Fig5Point{
 				Label:      label,
@@ -341,30 +382,22 @@ func Fig5(cfg Config, ns []int) ([]Fig5Series, error) {
 				StarvDelta: stats.PercentChange(float64(base.CommitStarvationIQE), float64(res.CommitStarvationIQE)),
 			}
 		}
+		next := bi*stride + 1
 		for _, fam := range Fig5Families {
 			series := Fig5Series{Benchmark: bench.Name, Family: "P(N):" + fam}
-			// N = 0 is the baseline by definition.
 			series.Points = append(series.Points, mkPoint("P(0):"+fam, 0, base))
-			for _, n := range ns {
-				if n == 0 {
-					continue
-				}
+			for _, n := range nsNZ {
+				res := results[next]
+				next++
 				spec := core.MustParsePolicy(fmt.Sprintf("P(%d):%s", n, fam))
-				res, err := cfg.run(cfg.policyOptions(bench, spec))
-				if err != nil {
-					return nil, err
-				}
 				series.Points = append(series.Points, mkPoint(spec.String(), n, res))
 			}
 			out = append(out, series)
 		}
 		prior := Fig5Series{Benchmark: bench.Name, Family: "prior"}
 		for _, text := range Fig5Priors {
-			spec := core.MustParsePolicy(text)
-			res, err := cfg.run(cfg.policyOptions(bench, spec))
-			if err != nil {
-				return nil, err
-			}
+			res := results[next]
+			next++
 			prior.Points = append(prior.Points, mkPoint(text, -1, res))
 		}
 		out = append(out, prior)
@@ -400,16 +433,18 @@ type Fig6Row struct {
 // Fig6 reproduces the stall-cycle reduction of P(8):S&E&R(1/32).
 func Fig6(cfg Config) ([]Fig6Row, error) {
 	spec := core.MustParsePolicy("P(8):S&E&R(1/32)")
-	rows := make([]Fig6Row, 0, len(cfg.benchmarks()))
-	for _, bench := range cfg.benchmarks() {
-		base, err := cfg.run(cfg.baseOptions(bench))
-		if err != nil {
-			return nil, err
-		}
-		res, err := cfg.run(cfg.policyOptions(bench, spec))
-		if err != nil {
-			return nil, err
-		}
+	benches := cfg.benchmarks()
+	jobs := make([]sim.Options, 0, 2*len(benches))
+	for _, bench := range benches {
+		jobs = append(jobs, cfg.baseOptions(bench), cfg.policyOptions(bench, spec))
+	}
+	results, err := cfg.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, 0, len(benches))
+	for bi, bench := range benches {
+		base, res := results[2*bi], results[2*bi+1]
 		red := func(b, t uint64) float64 {
 			if b == 0 {
 				return 0
@@ -528,14 +563,22 @@ type Fig8Result struct {
 func Fig8(cfg Config) (*Fig8Result, error) {
 	policies := []string{"P(8):S&E", "P(8):S&E&R(1/32)"}
 	out := &Fig8Result{Policies: policies}
+	benches := cfg.benchmarks()
+	jobs := make([]sim.Options, 0, len(policies)*len(benches))
 	for _, text := range policies {
 		spec := core.MustParsePolicy(text)
+		for _, bench := range benches {
+			jobs = append(jobs, cfg.policyOptions(bench, spec))
+		}
+	}
+	results, err := cfg.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for pi := range policies {
 		var dist []float64
-		for _, bench := range cfg.benchmarks() {
-			res, err := cfg.run(cfg.policyOptions(bench, spec))
-			if err != nil {
-				return nil, err
-			}
+		for bi := range benches {
+			res := results[pi*len(benches)+bi]
 			census := res.PriorityCensus
 			if dist == nil {
 				dist = make([]float64, len(census))
@@ -592,23 +635,21 @@ type IdealRow struct {
 // zero-miss-latency L2-I model vs EMISSARY's capture of that headroom.
 func Ideal(cfg Config) ([]IdealRow, float64, error) {
 	spec := core.MustParsePolicy("P(8):S&E&R(1/32)")
-	rows := make([]IdealRow, 0, len(cfg.benchmarks()))
-	var idealXs, emisXs []float64
-	for _, bench := range cfg.benchmarks() {
-		base, err := cfg.run(cfg.baseOptions(bench))
-		if err != nil {
-			return nil, 0, err
-		}
+	benches := cfg.benchmarks()
+	jobs := make([]sim.Options, 0, 3*len(benches))
+	for _, bench := range benches {
 		idealOpt := cfg.baseOptions(bench)
 		idealOpt.IdealL2I = true
-		ideal, err := cfg.run(idealOpt)
-		if err != nil {
-			return nil, 0, err
-		}
-		emis, err := cfg.run(cfg.policyOptions(bench, spec))
-		if err != nil {
-			return nil, 0, err
-		}
+		jobs = append(jobs, cfg.baseOptions(bench), idealOpt, cfg.policyOptions(bench, spec))
+	}
+	results, err := cfg.runBatch(jobs)
+	if err != nil {
+		return nil, 0, err
+	}
+	rows := make([]IdealRow, 0, len(benches))
+	var idealXs, emisXs []float64
+	for bi, bench := range benches {
+		base, ideal, emis := results[3*bi], results[3*bi+1], results[3*bi+2]
 		row := IdealRow{
 			Benchmark:    bench.Name,
 			IdealSpeedup: stats.Speedup(base.Cycles, ideal.Cycles),
@@ -646,19 +687,21 @@ type FDIPRow struct {
 // FDIP reproduces §5.2's claim that the decoupled front-end alone is a
 // large win (paper: 33.1% geomean).
 func FDIP(cfg Config) ([]FDIPRow, float64, error) {
-	rows := make([]FDIPRow, 0, len(cfg.benchmarks()))
-	var xs []float64
-	for _, bench := range cfg.benchmarks() {
+	benches := cfg.benchmarks()
+	jobs := make([]sim.Options, 0, 2*len(benches))
+	for _, bench := range benches {
 		off := cfg.baseOptions(bench)
 		off.FDIP = false
-		noFdip, err := cfg.run(off)
-		if err != nil {
-			return nil, 0, err
-		}
-		on, err := cfg.run(cfg.baseOptions(bench))
-		if err != nil {
-			return nil, 0, err
-		}
+		jobs = append(jobs, off, cfg.baseOptions(bench))
+	}
+	results, err := cfg.runBatch(jobs)
+	if err != nil {
+		return nil, 0, err
+	}
+	rows := make([]FDIPRow, 0, len(benches))
+	var xs []float64
+	for bi, bench := range benches {
+		noFdip, on := results[2*bi], results[2*bi+1]
 		s := stats.Speedup(noFdip.Cycles, on.Cycles)
 		rows = append(rows, FDIPRow{Benchmark: bench.Name, Speedup: s})
 		xs = append(xs, s)
@@ -691,22 +734,20 @@ func Reset(cfg Config, interval uint64) ([]ResetRow, error) {
 		interval = (cfg.Warmup + cfg.Measure) / 8
 	}
 	spec := core.MustParsePolicy("P(8):S&E&R(1/32)")
-	rows := make([]ResetRow, 0, len(cfg.benchmarks()))
-	for _, bench := range cfg.benchmarks() {
-		base, err := cfg.run(cfg.baseOptions(bench))
-		if err != nil {
-			return nil, err
-		}
-		plain, err := cfg.run(cfg.policyOptions(bench, spec))
-		if err != nil {
-			return nil, err
-		}
+	benches := cfg.benchmarks()
+	jobs := make([]sim.Options, 0, 3*len(benches))
+	for _, bench := range benches {
 		withReset := cfg.policyOptions(bench, spec)
 		withReset.PriorityResetInterval = interval
-		reset, err := cfg.run(withReset)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, cfg.baseOptions(bench), cfg.policyOptions(bench, spec), withReset)
+	}
+	results, err := cfg.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ResetRow, 0, len(benches))
+	for bi, bench := range benches {
+		base, plain, reset := results[3*bi], results[3*bi+1], results[3*bi+2]
 		rows = append(rows, ResetRow{
 			Benchmark: bench.Name,
 			NoReset:   stats.Speedup(base.Cycles, plain.Cycles),

@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"emissary/internal/cache"
 	"emissary/internal/core"
 	"emissary/internal/pipeline"
 	"emissary/internal/rng"
+	"emissary/internal/runner"
 	"emissary/internal/workload"
 )
 
@@ -36,41 +39,46 @@ func Horizon(cfg Config, benchName string, policies []string, windows int, windo
 		windowInstrs = cfg.Measure
 	}
 	all := append([]string{"TPLRU"}, policies...)
-	out := make([]HorizonResult, 0, len(all))
-	for _, text := range all {
-		spec, err := core.ParsePolicy(text)
-		if err != nil {
-			return nil, err
-		}
-		prog, err := workload.NewProgram(bench)
-		if err != nil {
-			return nil, err
-		}
-		eng := workload.NewEngine(prog)
-		ccfg := cache.DefaultConfig(spec)
-		ccfg.Seed = rng.Mix2(cfg.Seed, bench.Seed)
-		hier := cache.NewHierarchy(ccfg)
-		c, err := pipeline.NewCore(pipeline.DefaultConfig(), eng, hier, ccfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		r := HorizonResult{Policy: spec.String()}
-		var lastCycles, lastInstrs uint64
-		for w := 0; w < windows; w++ {
-			c.RunCommitted(windowInstrs)
-			cyc, ins := c.Cycle(), c.Committed()
-			if cyc == lastCycles {
-				break
+	// Each policy's long run is independent (own program synthesis,
+	// hierarchy and core), so the sweep fans out across the pool; the
+	// windows within one run stay sequential by nature.
+	var progressMu sync.Mutex
+	return runner.Map(context.Background(), all, cfg.Parallelism,
+		func(_ context.Context, _ int, text string) (HorizonResult, error) {
+			spec, err := core.ParsePolicy(text)
+			if err != nil {
+				return HorizonResult{}, err
 			}
-			r.Windows = append(r.Windows, float64(ins-lastInstrs)/float64(cyc-lastCycles))
-			lastCycles, lastInstrs = cyc, ins
-		}
-		out = append(out, r)
-		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, "  done horizon %-20s\n", r.Policy)
-		}
-	}
-	return out, nil
+			prog, err := workload.NewProgram(bench)
+			if err != nil {
+				return HorizonResult{}, err
+			}
+			eng := workload.NewEngine(prog)
+			ccfg := cache.DefaultConfig(spec)
+			ccfg.Seed = rng.Mix2(cfg.Seed, bench.Seed)
+			hier := cache.NewHierarchy(ccfg)
+			c, err := pipeline.NewCore(pipeline.DefaultConfig(), eng, hier, ccfg.Seed)
+			if err != nil {
+				return HorizonResult{}, err
+			}
+			r := HorizonResult{Policy: spec.String()}
+			var lastCycles, lastInstrs uint64
+			for w := 0; w < windows; w++ {
+				c.RunCommitted(windowInstrs)
+				cyc, ins := c.Cycle(), c.Committed()
+				if cyc == lastCycles {
+					break
+				}
+				r.Windows = append(r.Windows, float64(ins-lastInstrs)/float64(cyc-lastCycles))
+				lastCycles, lastInstrs = cyc, ins
+			}
+			if cfg.Progress != nil {
+				progressMu.Lock()
+				fmt.Fprintf(cfg.Progress, "  done horizon %-20s\n", r.Policy)
+				progressMu.Unlock()
+			}
+			return r, nil
+		})
 }
 
 // WriteHorizon renders per-window IPC and the speedup-vs-baseline
