@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"emissary/internal/core"
@@ -173,11 +174,19 @@ func (c Config) runPolicies(policies []core.Spec) (map[string]sim.Result, map[st
 }
 
 // geomeanOver computes the geomean speedup of policy index i across
-// benchmarks.
+// benchmarks. Benchmarks are visited in sorted-name order: float
+// accumulation is order-sensitive in the last bits, and Go randomizes
+// map iteration, so a fixed order is required for run-to-run
+// byte-identical artifacts.
 func geomeanOver(cells map[string][]Cell, idx int, pick func(Cell) float64) float64 {
-	var xs []float64
-	for _, row := range cells {
-		xs = append(xs, pick(row[idx]))
+	names := make([]string, 0, len(cells))
+	for name := range cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	xs := make([]float64, 0, len(names))
+	for _, name := range names {
+		xs = append(xs, pick(cells[name][idx]))
 	}
 	return stats.Geomean(xs)
 }
