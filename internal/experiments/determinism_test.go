@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"emissary/internal/core"
+)
+
+// renderSweep runs the core experiment path (baseline + policies over
+// benchmarks through the worker pool) at the given parallelism and
+// renders every byte an artifact would contain: per-cell CSV, the
+// geomean aggregates, and the baseline cycle counts.
+func renderSweep(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	cfg := tinyConfig(t, "xapian", "web-search")
+	cfg.Parallelism = parallelism
+	specs := []core.Spec{
+		core.MustParsePolicy("P(8):S&E&R(1/32)"),
+		core.MustParsePolicy("M:0"),
+		core.MustParsePolicy("DRRIP"),
+	}
+	baselines, cells, err := cfg.runPolicies(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"xapian", "web-search"}
+	polNames := make([]string, len(specs))
+	for i, s := range specs {
+		polNames[i] = s.String()
+	}
+	var buf bytes.Buffer
+	r := &Fig7Result{Policies: polNames, Cells: cells}
+	for i := range specs {
+		r.GeomeanSpeedup = append(r.GeomeanSpeedup,
+			geomeanOver(cells, i, func(c Cell) float64 { return c.Speedup }))
+		r.GeomeanEnergy = append(r.GeomeanEnergy,
+			geomeanOver(cells, i, func(c Cell) float64 { return c.EnergyRed }))
+	}
+	if err := CSVFig7(&buf, r, names); err != nil {
+		t.Fatal(err)
+	}
+	WriteFig7(&buf, r, names)
+	for _, name := range names {
+		fmt.Fprintf(&buf, "baseline %s cycles %d energy %v\n",
+			name, baselines[name].Cycles, baselines[name].EnergyPJ)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelArtifactsAreByteIdentical is the determinism regression
+// test for the work pool: the same experiment rendered at
+// Parallelism 1 and Parallelism 8 must produce byte-identical output,
+// and repeating the parallel run must be stable run to run.
+func TestParallelArtifactsAreByteIdentical(t *testing.T) {
+	seq := renderSweep(t, 1)
+	par := renderSweep(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("Parallelism 1 vs 8 output differs:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	again := renderSweep(t, 8)
+	if !bytes.Equal(par, again) {
+		t.Error("two Parallelism 8 runs differ (scheduling leaked into results)")
+	}
+}
+
+// TestHorizonParallelMatchesSequential covers the one generator that
+// does not go through runBatch (it drives cores window by window).
+func TestHorizonParallelMatchesSequential(t *testing.T) {
+	run := func(parallelism int) []HorizonResult {
+		cfg := tinyConfig(t)
+		cfg.Parallelism = parallelism
+		rows, err := Horizon(cfg, "xapian", []string{"P(8):S&E", "DRRIP"}, 2, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	seq, par := run(1), run(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("horizon results differ:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+// TestFig1ParallelMatchesSequential covers the true-LRU / no-NLP
+// configuration path under the pool.
+func TestFig1ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five tomcat simulations; skipped in -short")
+	}
+	run := func(parallelism int) []Fig1Point {
+		cfg := tinyConfig(t)
+		cfg.Parallelism = parallelism
+		pts, err := Fig1(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	seq, par := run(1), run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("fig1 points differ:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+// TestProgressLinesNeverInterleave checks the serialized progress
+// contract: with many workers, every progress line arrives whole.
+func TestProgressLinesNeverInterleave(t *testing.T) {
+	cfg := tinyConfig(t, "xapian", "web-search")
+	cfg.Parallelism = 8
+	var buf bytes.Buffer
+	cfg.Progress = &buf
+	if _, err := Fig3(cfg); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d progress lines, want 2: %q", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		if !bytes.HasPrefix(line, []byte("  done ")) || !bytes.Contains(line, []byte("IPC")) {
+			t.Errorf("malformed progress line %q", line)
+		}
+	}
+}

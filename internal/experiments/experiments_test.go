@@ -91,6 +91,9 @@ func TestFig3And4(t *testing.T) {
 }
 
 func TestTable5GridShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("77 simulations (~8s, minutes under -race); skipped in -short")
+	}
 	// A 2x2 sub-grid via the internal machinery would not exercise the
 	// real function; run the real one on one benchmark with the full
 	// column set but verify only shape (values need long horizons).
