@@ -1,0 +1,161 @@
+// Command emissary-lint runs the determinism and simulator-invariant
+// analyzer suite (internal/lint) over the module.
+//
+// Usage:
+//
+//	emissary-lint [flags] [patterns...]
+//
+// Patterns are directory paths, optionally ending in /... for a
+// recursive match; the default is ./... (the whole module containing
+// the current directory). Diagnostics print one per line as
+//
+//	file:line:col: [rule] message
+//
+// and the exit status is 1 if any diagnostic was reported, 2 on usage
+// or load errors, 0 otherwise. Suppress a finding with a directive on
+// the same line or the line above — the reason is mandatory:
+//
+//	//lint:ignore rule reason
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"emissary/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("emissary-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	listFlag := fs.Bool("list", false, "list available rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: emissary-lint [flags] [patterns...]\n\n")
+		fmt.Fprintf(stderr, "Runs the EMISSARY determinism lint suite. Patterns are directories,\noptionally ending in /...; default ./...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listFlag {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-16s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+
+	rules, err := lint.Select(*rulesFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "emissary-lint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "emissary-lint:", err)
+		return 2
+	}
+
+	units, err := filterUnits(mod, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "emissary-lint:", err)
+		return 2
+	}
+
+	diags := lint.Run(units, rules)
+
+	cwd, _ := os.Getwd()
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "emissary-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+
+	if len(diags) > 0 {
+		if !*jsonFlag {
+			fmt.Fprintf(stderr, "emissary-lint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// filterUnits narrows the module's units to those whose directory
+// matches one of the patterns (dir, or dir/... for a recursive match).
+func filterUnits(mod *lint.Module, patterns []string) ([]*lint.Unit, error) {
+	type match struct {
+		dir       string
+		recursive bool
+	}
+	matches := make([]match, 0, len(patterns))
+	for _, p := range patterns {
+		rec := false
+		if strings.HasSuffix(p, "/...") {
+			rec = true
+			p = strings.TrimSuffix(p, "/...")
+		} else if p == "..." {
+			rec = true
+			p = "."
+		}
+		abs, err := filepath.Abs(p)
+		if err != nil {
+			return nil, err
+		}
+		matches = append(matches, match{dir: abs, recursive: rec})
+	}
+
+	var units []*lint.Unit
+	for _, u := range mod.Units {
+		dir := unitDir(mod, u)
+		for _, m := range matches {
+			if dir == m.dir || (m.recursive && strings.HasPrefix(dir, m.dir+string(filepath.Separator))) {
+				units = append(units, u)
+				break
+			}
+		}
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	return units, nil
+}
+
+// unitDir returns the directory a unit's files live in.
+func unitDir(mod *lint.Module, u *lint.Unit) string {
+	if len(u.Files) == 0 {
+		return mod.Dir
+	}
+	return filepath.Dir(u.Fset.Position(u.Files[0].Pos()).Filename)
+}

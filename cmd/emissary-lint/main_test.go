@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmoke builds the emissary-lint binary and runs it against a
+// temporary module containing one known violation, asserting the exit
+// code and the diagnostic line — covering the CLI path end to end,
+// not just the analyzers.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the linter binary; skipped with -short")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+
+	bin := filepath.Join(t.TempDir(), "emissary-lint")
+	build := exec.Command(gobin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module tmpmod\n\ngo 1.22\n")
+	violation := filepath.Join(mod, "internal", "pipeline", "p.go")
+	writeFile(t, violation, `package pipeline
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+
+	// Violation present: exit 1 with the expected diagnostic line.
+	out, code := runLint(t, bin, mod, "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d with violation present, want 1\noutput:\n%s", code, out)
+	}
+	wantPrefix := filepath.Join("internal", "pipeline", "p.go") + ":5:"
+	if !strings.Contains(out, wantPrefix) || !strings.Contains(out, "[nondeterm-source]") ||
+		!strings.Contains(out, "time.Now") {
+		t.Fatalf("output missing %q / [nondeterm-source] / time.Now:\n%s", wantPrefix, out)
+	}
+
+	// Same run as JSON: one structured diagnostic.
+	jsonOut, code := runLint(t, bin, mod, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d for -json run, want 1\noutput:\n%s", code, jsonOut)
+	}
+	var diags []struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Rule string `json:"rule"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &diags); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, jsonOut)
+	}
+	if len(diags) != 1 || diags[0].Rule != "nondeterm-source" || diags[0].Line != 5 {
+		t.Fatalf("json diagnostics = %+v, want one nondeterm-source at line 5", diags)
+	}
+
+	// Violation fixed: exit 0 and silence.
+	writeFile(t, violation, `package pipeline
+
+func Stamp() int64 { return 0 }
+`)
+	out, code = runLint(t, bin, mod, "./...")
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("clean module: exit %d, output %q; want 0 and no output", code, out)
+	}
+
+	// A suppression without a reason still fails the run.
+	writeFile(t, violation, `package pipeline
+
+import "time"
+
+//lint:ignore nondeterm-source
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	out, code = runLint(t, bin, mod, "./...")
+	if code != 1 || !strings.Contains(out, "[bad-ignore]") {
+		t.Fatalf("reasonless ignore: exit %d, output:\n%s\nwant exit 1 with a bad-ignore diagnostic", code, out)
+	}
+}
+
+func runLint(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %s: %v", bin, err)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var ruleFloatFold = &Rule{
+	Name: "float-fold",
+	Doc: "flag floating-point compound accumulation (+= -= *= /=) inside range-over-map bodies: " +
+		"float arithmetic is not associative, so randomized map order perturbs the low bits of the " +
+		"fold and breaks byte-identical artifacts — exactly the geomean nondeterminism fixed in " +
+		"commit a6288a4; iterate keys in sorted order instead",
+	run: runFloatFold,
+}
+
+func runFloatFold(u *Unit, report reportFunc) {
+	for _, file := range u.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := mapRangeX(u.Info, rs); !isMap {
+				return true
+			}
+			checkFloatFold(u, rs, report)
+			return true
+		})
+	}
+}
+
+func checkFloatFold(u *Unit, rs *ast.RangeStmt, report reportFunc) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges are visited on their own.
+			if _, isMap := mapRangeX(u.Info, n); isMap {
+				return false
+			}
+		case *ast.AssignStmt:
+			var op string
+			switch n.Tok {
+			case token.ADD_ASSIGN:
+				op = "+="
+			case token.SUB_ASSIGN:
+				op = "-="
+			case token.MUL_ASSIGN:
+				op = "*="
+			case token.QUO_ASSIGN:
+				op = "/="
+			default:
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if t := u.Info.TypeOf(lhs); t != nil && isFloat(t) {
+					report(n.Pos(), "floating-point %s inside range over map: addition order perturbs the result (the a6288a4 geomean bug class); accumulate over sorted keys", op)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var ruleRawGoroutine = &Rule{
+	Name: "raw-goroutine",
+	Doc: "forbid go statements, sync.WaitGroup and channel construction outside internal/runner " +
+		"(and _test.go files); all concurrency goes through the runner work pool so that job order, " +
+		"seeding and result placement stay deterministic at any -j",
+	run: runRawGoroutine,
+}
+
+func runRawGoroutine(u *Unit, report reportFunc) {
+	if underInternal(u.Path, "runner") {
+		return
+	}
+	for _, file := range u.Files {
+		if isTestPos(u, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				report(n.Pos(), "go statement outside internal/runner; spawn work through the runner pool so scheduling stays deterministic")
+			case *ast.Ident:
+				// Covers both sync.WaitGroup (the selector's Sel
+				// ident) and dot-imported/aliased uses.
+				if obj, ok := u.Info.Uses[n]; ok && isSyncWaitGroup(obj) {
+					report(n.Pos(), "sync.WaitGroup outside internal/runner; the runner pool owns goroutine lifecycle")
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" {
+					if _, isBuiltin := u.Info.Uses[id].(*types.Builtin); isBuiltin {
+						if t := u.Info.TypeOf(n); t != nil {
+							if _, isChan := t.Underlying().(*types.Chan); isChan {
+								report(n.Pos(), "channel construction outside internal/runner; coordinate through the runner pool instead")
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSyncWaitGroup reports whether obj names the sync.WaitGroup type.
+func isSyncWaitGroup(obj types.Object) bool {
+	tn, ok := obj.(*types.TypeName)
+	return ok && tn.Pkg() != nil && tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup"
+}

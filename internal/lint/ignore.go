@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment. It suppresses
+// diagnostics for the named rules on its own line and on the line
+// immediately below (so it works both as a trailing comment and as a
+// standalone comment above the offending statement).
+type ignoreDirective struct {
+	file  string
+	line  int
+	rules map[string]bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// scanIgnores parses every //lint:ignore directive in the unit. A
+// directive must name at least one known rule and give a non-empty
+// reason; violations are reported as bad-ignore diagnostics so that a
+// suppression can never silently decay into a blanket waiver.
+func scanIgnores(u *Unit, known map[string]bool) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+
+	report := func(pos token.Pos, msg string) {
+		p := u.Fset.Position(pos)
+		bad = append(bad, Diagnostic{
+			Pos:     p,
+			File:    p.Filename,
+			Line:    p.Line,
+			Col:     p.Column,
+			Rule:    "bad-ignore",
+			Message: msg,
+		})
+	}
+
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorefoo — not our directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "//lint:ignore needs a rule name and a reason: //lint:ignore rule reason")
+					continue
+				}
+				ruleList := fields[0]
+				if len(fields) < 2 {
+					report(c.Pos(), "//lint:ignore "+ruleList+" is missing a reason; suppressions must say why")
+					continue
+				}
+				rules := make(map[string]bool)
+				ok := true
+				for _, name := range strings.Split(ruleList, ",") {
+					if !known[name] {
+						report(c.Pos(), "//lint:ignore names unknown rule "+strconv.Quote(name))
+						ok = false
+						break
+					}
+					rules[name] = true
+				}
+				if !ok {
+					continue
+				}
+				p := u.Fset.Position(c.Pos())
+				dirs = append(dirs, ignoreDirective{file: p.Filename, line: p.Line, rules: rules})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// applyIgnores drops diagnostics covered by a directive. bad-ignore
+// itself cannot be suppressed.
+func applyIgnores(diags []Diagnostic, dirs []ignoreDirective) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	covered := make(map[key]bool)
+	for _, d := range dirs {
+		for rule := range d.rules {
+			covered[key{d.file, d.line, rule}] = true
+			covered[key{d.file, d.line + 1, rule}] = true
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Rule != "bad-ignore" && covered[key{d.File, d.Line, d.Rule}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+// Package lint implements the emissary-lint static analyzer suite: a
+// set of determinism and simulator-invariant checks built purely on the
+// standard library's go/ast, go/parser, go/token and go/types packages.
+//
+// The simulator's headline guarantee — byte-identical results at any
+// worker count — rests on invariants that used to be enforced only by
+// convention: every stochastic decision draws from an explicitly seeded
+// internal/rng generator, no wall-clock or environment state leaks into
+// simulation, concurrency lives only in internal/runner, and map
+// iteration never feeds ordered output unsorted (the geomean bug fixed
+// in commit a6288a4). This package turns those conventions into
+// machine-checked rules; cmd/emissary-lint runs them over the module
+// and CI fails on any diagnostic.
+//
+// Diagnostics can be suppressed with a directive comment on the same
+// line or the line immediately above:
+//
+//	//lint:ignore rule[,rule...] reason
+//
+// The reason is mandatory; a directive without one (or naming an
+// unknown rule) is itself reported under the always-on bad-ignore rule.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is a single finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Rule    string         `json:"rule"`
+	Message string         `json:"message"`
+}
+
+// String renders the canonical file:line:col: [rule] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Unit is one typechecked compilation unit: a package's library files,
+// or its files augmented with in-package tests, or an external test
+// package. Rules run over units; the loader in load.go produces them.
+type Unit struct {
+	Fset  *token.FileSet
+	Path  string // import path
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// TestsOnly marks units whose non-test files are duplicates of
+	// another unit (the test-augmented build of a package): rules run
+	// over the whole unit for correct type information, but only
+	// diagnostics located in _test.go files are reported.
+	TestsOnly bool
+}
+
+// Rule is a single named analyzer.
+type Rule struct {
+	Name string
+	Doc  string
+	run  func(u *Unit, report reportFunc)
+}
+
+type reportFunc func(pos token.Pos, format string, args ...any)
+
+// Rules returns the full analyzer suite in stable order. bad-ignore is
+// not listed: it guards the suppression mechanism itself and is always
+// on (a disabled hygiene check would let suppressions rot silently).
+func Rules() []*Rule {
+	return []*Rule{
+		ruleNondetermSource,
+		ruleRawGoroutine,
+		ruleUnseededRNG,
+		ruleMapOrderSink,
+		ruleFloatFold,
+	}
+}
+
+// RuleNames returns the names of all selectable rules, in order.
+func RuleNames() []string {
+	rules := Rules()
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// Select resolves a comma-separated rule list to rules. An empty spec
+// selects the whole suite.
+func Select(spec string) ([]*Rule, error) {
+	if spec == "" {
+		return Rules(), nil
+	}
+	byName := make(map[string]*Rule)
+	for _, r := range Rules() {
+		byName[r.Name] = r
+	}
+	var out []*Rule
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (available: %s)", name, strings.Join(RuleNames(), ", "))
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty rule selection")
+	}
+	return out, nil
+}
+
+// Run executes the given rules over the units, applies //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by
+// position. Malformed directives are reported under bad-ignore.
+func Run(units []*Unit, rules []*Rule) []Diagnostic {
+	known := make(map[string]bool)
+	for _, r := range Rules() {
+		known[r.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, u := range units {
+		var unitDiags []Diagnostic
+		for _, r := range rules {
+			rule := r
+			r.run(u, func(pos token.Pos, format string, args ...any) {
+				p := u.Fset.Position(pos)
+				unitDiags = append(unitDiags, Diagnostic{
+					Pos:     p,
+					File:    p.Filename,
+					Line:    p.Line,
+					Col:     p.Column,
+					Rule:    rule.Name,
+					Message: fmt.Sprintf(format, args...),
+				})
+			})
+		}
+
+		ignores, bad := scanIgnores(u, known)
+		unitDiags = append(unitDiags, bad...)
+		unitDiags = applyIgnores(unitDiags, ignores)
+
+		if u.TestsOnly {
+			kept := unitDiags[:0]
+			for _, d := range unitDiags {
+				if isTestFilename(d.File) {
+					kept = append(kept, d)
+				}
+			}
+			unitDiags = kept
+		}
+		diags = append(diags, unitDiags...)
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+
+	// A package's library files are typechecked both alone and inside
+	// the test-augmented unit; dedupe in case both were analyzed.
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// --- shared helpers used by the rules ---
+
+func isTestFilename(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// isTestPos reports whether pos lies in a _test.go file.
+func isTestPos(u *Unit, pos token.Pos) bool {
+	return isTestFilename(u.Fset.Position(pos).Filename)
+}
+
+// underInternal reports whether the import path contains the package
+// segment internal/<name> (matching any enclosing module path, so the
+// rules work on the emissary module and on fixture/temp modules alike).
+func underInternal(path, name string) bool {
+	seg := "internal/" + name
+	return path == seg ||
+		strings.HasSuffix(path, "/"+seg) ||
+		strings.Contains(path, "/"+seg+"/") ||
+		strings.HasPrefix(path, seg+"/")
+}
+
+// funcObj resolves the called function for a call expression, or nil.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// stdlibFunc reports whether call invokes pkgPath.name from the
+// standard library (resolved through the type checker, so renamed
+// imports are handled).
+func stdlibFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := funcObj(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isString reports whether t is a string type.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// mapRangeX returns the ranged-over expression if rs iterates a map.
+func mapRangeX(info *types.Info, rs *ast.RangeStmt) (ast.Expr, bool) {
+	if rs.X == nil {
+		return nil, false
+	}
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return nil, false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return rs.X, ok
+}

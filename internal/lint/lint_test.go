@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Each directory under testdata/src is one fixture package: its .go
+// files are typechecked together and all rules run over the result.
+// Expectations ride on the offending lines as comments:
+//
+//	total += v // want "floating-point"
+//
+// Every want must be matched by exactly one diagnostic on its line
+// (substring match against "[rule] message") and every diagnostic must
+// be claimed by a want. For diagnostics whose position is itself a
+// comment (bad-ignore), the want can point at a neighbouring line with
+// an offset: `// want@-1 "missing a reason"`.
+//
+// A fixture can pin its import path — which several rules key off —
+// with a `//lintpath <path>` comment; the default is fix/<dirname>.
+func TestFixtures(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("reading testdata/src: %v", err)
+	}
+	fset := token.NewFileSet()
+	imp := newFixtureImporter(t, fset)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := e.Name()
+		t.Run(dir, func(t *testing.T) {
+			runFixture(t, fset, imp, filepath.Join("testdata", "src", dir), dir)
+		})
+	}
+}
+
+func runFixture(t *testing.T, fset *token.FileSet, imp types.Importer, dir, name string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+
+	pkgPath := "fix/" + name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//lintpath "); ok {
+					pkgPath = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+
+	u, err := check(fset, imp, pkgPath, files, false)
+	if err != nil {
+		t.Fatalf("typecheck fixture: %v", err)
+	}
+	diags := Run([]*Unit{u}, Rules())
+
+	wants := collectWants(t, fset, files)
+	type lineKey struct {
+		file string
+		line int
+	}
+	unclaimed := make(map[lineKey][]Diagnostic)
+	for _, d := range diags {
+		k := lineKey{d.File, d.Line}
+		unclaimed[k] = append(unclaimed[k], d)
+	}
+	for _, w := range wants {
+		k := lineKey{w.file, w.line}
+		found := -1
+		for i, d := range unclaimed[k] {
+			if strings.Contains("["+d.Rule+"] "+d.Message, w.substr) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Errorf("%s:%d: want %q: no matching diagnostic (have %v)",
+				w.file, w.line, w.substr, unclaimed[k])
+			continue
+		}
+		unclaimed[k] = append(unclaimed[k][:found], unclaimed[k][found+1:]...)
+	}
+	var leftover []Diagnostic
+	for _, ds := range unclaimed {
+		leftover = append(leftover, ds...)
+	}
+	sort.Slice(leftover, func(i, j int) bool {
+		a, b := leftover[i], leftover[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	for _, d := range leftover {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+type want struct {
+	file   string
+	line   int
+	substr string
+}
+
+var (
+	wantRE   = regexp.MustCompile(`//\s*want(@(-?\d+))?\s+(.*)`)
+	quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if m[2] != "" {
+					delta, err := strconv.Atoi(m[2])
+					if err != nil {
+						t.Fatalf("%s: bad want offset: %v", pos, err)
+					}
+					line += delta
+				}
+				quoted := quotedRE.FindAllString(m[3], -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: want comment without quoted expectation", pos)
+				}
+				for _, q := range quoted {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					wants = append(wants, want{pos.Filename, line, s})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// fixtureImporter resolves the standard library from GOROOT source and
+// emissary/internal/rng from the real package, so unseeded-rng
+// fixtures exercise the genuine constructors.
+type fixtureImporter struct {
+	std types.Importer
+	rng *types.Package
+}
+
+func newFixtureImporter(t *testing.T, fset *token.FileSet) *fixtureImporter {
+	std := importer.ForCompiler(fset, "source", nil)
+	rngDir := filepath.Join("..", "rng")
+	entries, err := os.ReadDir(rngDir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", rngDir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(rngDir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse rng: %v", err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: std}
+	pkg, err := conf.Check("emissary/internal/rng", fset, files, nil)
+	if err != nil {
+		t.Fatalf("typecheck rng: %v", err)
+	}
+	return &fixtureImporter{std: std, rng: pkg}
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "emissary/internal/rng" {
+		return fi.rng, nil
+	}
+	return fi.std.Import(path)
+}
+
+// TestLoadModule loads the fixture module under testdata/mod end to
+// end — go.mod discovery, topo-sorted typechecking, test units — and
+// checks the one planted violation is found at the right position.
+func TestLoadModule(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "mod", "internal", "pipeline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "fixmod" {
+		t.Errorf("module path = %q, want fixmod", mod.Path)
+	}
+	diags := Run(mod.Units, Rules())
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s:%d [%s]", filepath.Base(d.File), d.Line, d.Rule))
+	}
+	want := []string{"p.go:11 [nondeterm-source]"}
+	if strings.Join(got, ", ") != strings.Join(want, ", ") {
+		t.Errorf("diagnostics = %v, want %v", got, want)
+	}
+}
+
+// TestSelect covers rule-subset resolution.
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Rules()) {
+		t.Fatalf("Select(\"\") = %d rules, err %v", len(all), err)
+	}
+	two, err := Select("float-fold, map-order-sink")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select subset: %d rules, err %v", len(two), err)
+	}
+	if _, err := Select("no-such-rule"); err == nil {
+		t.Fatal("Select(no-such-rule) did not error")
+	}
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Module is a fully parsed and typechecked Go module, ready for the
+// analyzers. The loader is deliberately stdlib-only: packages are
+// discovered by walking the module tree, typechecked in dependency
+// order with go/types, and standard-library imports are resolved from
+// GOROOT source via go/importer's "source" compiler. This keeps the
+// module at zero third-party dependencies (no x/tools).
+type Module struct {
+	Dir   string // absolute module root (directory containing go.mod)
+	Path  string // module path from go.mod
+	Fset  *token.FileSet
+	Units []*Unit
+}
+
+// dirFiles is one directory's parsed source, partitioned the way the
+// go tool builds it: library files, in-package test files, and
+// external (package foo_test) test files.
+type dirFiles struct {
+	dir     string // absolute
+	path    string // import path
+	lib     []*ast.File
+	inTest  []*ast.File
+	extTest []*ast.File
+	imports []string // module-internal imports of lib files
+}
+
+var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// LoadModule locates the module containing dir, parses every package
+// under it and typechecks them all. Besides each package's library
+// unit it also typechecks test-augmented and external-test units so
+// the analyzers see test files with full type information.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found at or above %s", abs)
+		}
+		root = parent
+	}
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := moduleLineRE.FindSubmatch(gomod)
+	if m == nil {
+		return nil, fmt.Errorf("lint: %s/go.mod has no module line", root)
+	}
+	modPath := string(m[1])
+
+	fset := token.NewFileSet()
+	dirs, err := parseTree(fset, root, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	order, err := topoSort(dirs)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*types.Package),
+	}
+
+	// Library units first, in dependency order, so every internal
+	// import resolves; test units in a second pass, since test files
+	// may import packages that sort later in the library topo order.
+	mod := &Module{Dir: root, Path: modPath, Fset: fset}
+	for _, d := range order {
+		if len(d.lib) == 0 {
+			continue
+		}
+		u, err := check(fset, imp, d.path, d.lib, false)
+		if err != nil {
+			return nil, err
+		}
+		imp.pkgs[d.path] = u.Pkg
+		mod.Units = append(mod.Units, u)
+	}
+	for _, d := range order {
+		if len(d.inTest) > 0 {
+			files := append(append([]*ast.File{}, d.lib...), d.inTest...)
+			tu, err := check(fset, imp, d.path, files, true)
+			if err != nil {
+				return nil, err
+			}
+			mod.Units = append(mod.Units, tu)
+		}
+		if len(d.extTest) > 0 {
+			eu, err := check(fset, imp, d.path+"_test", d.extTest, true)
+			if err != nil {
+				return nil, err
+			}
+			mod.Units = append(mod.Units, eu)
+		}
+	}
+	return mod, nil
+}
+
+// parseTree walks the module and parses every Go package directory,
+// skipping testdata, vendor, hidden and underscore-prefixed entries.
+func parseTree(fset *token.FileSet, root, modPath string) (map[string]*dirFiles, error) {
+	dirs := make(map[string]*dirFiles)
+	err := filepath.WalkDir(root, func(p string, e os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := e.Name()
+		if e.IsDir() {
+			if p == root {
+				return nil
+			}
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %w", p, err)
+		}
+		dir := filepath.Dir(p)
+		df := dirs[dir]
+		if df == nil {
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				return err
+			}
+			path := modPath
+			if rel != "." {
+				path = modPath + "/" + filepath.ToSlash(rel)
+			}
+			df = &dirFiles{dir: dir, path: path}
+			dirs[dir] = df
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			df.lib = append(df.lib, f)
+			for _, spec := range f.Imports {
+				ip, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					df.imports = append(df.imports, ip)
+				}
+			}
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			df.extTest = append(df.extTest, f)
+		default:
+			df.inTest = append(df.inTest, f)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// WalkDir visits entries lexically, so per-dir file lists are
+	// already deterministic.
+	return dirs, nil
+}
+
+// topoSort orders directories so every module-internal import is
+// typechecked before its importers. Ties break on import path, so the
+// load order — and with it all downstream output — is deterministic.
+func topoSort(dirs map[string]*dirFiles) ([]*dirFiles, error) {
+	byPath := make(map[string]*dirFiles, len(dirs))
+	paths := make([]string, 0, len(dirs))
+	for _, df := range dirs {
+		byPath[df.path] = df
+		paths = append(paths, df.path)
+	}
+	sort.Strings(paths)
+
+	indeg := make(map[string]int, len(paths))
+	rdeps := make(map[string][]string, len(paths))
+	for _, p := range paths {
+		indeg[p] += 0
+		for _, dep := range byPath[p].imports {
+			if _, ok := byPath[dep]; !ok {
+				continue
+			}
+			indeg[p]++
+			rdeps[dep] = append(rdeps[dep], p)
+		}
+	}
+	var queue []string
+	for _, p := range paths {
+		if indeg[p] == 0 {
+			queue = append(queue, p)
+		}
+	}
+	var order []*dirFiles
+	for len(queue) > 0 {
+		sort.Strings(queue)
+		p := queue[0]
+		queue = queue[1:]
+		order = append(order, byPath[p])
+		for _, r := range rdeps[p] {
+			indeg[r]--
+			if indeg[r] == 0 {
+				queue = append(queue, r)
+			}
+		}
+	}
+	if len(order) != len(paths) {
+		var stuck []string
+		for _, p := range paths {
+			if indeg[p] > 0 {
+				stuck = append(stuck, p)
+			}
+		}
+		return nil, fmt.Errorf("lint: import cycle among %s", strings.Join(stuck, ", "))
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// already typechecked this load, and everything else (the standard
+// library) from GOROOT source.
+type moduleImporter struct {
+	modPath string
+	std     types.Importer
+	pkgs    map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		return nil, fmt.Errorf("lint: internal package %s not loaded (import cycle?)", path)
+	}
+	return m.std.Import(path)
+}
+
+// check typechecks one unit and fills the types.Info the rules need.
+func check(fset *token.FileSet, imp types.Importer, path string, files []*ast.File, testsOnly bool) (*Unit, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	if len(errs) > 0 {
+		max := len(errs)
+		if max > 5 {
+			max = 5
+		}
+		msgs := make([]string, 0, max)
+		for _, e := range errs[:max] {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint: typecheck %s: %s", path, strings.Join(msgs, "; "))
+	}
+	return &Unit{Fset: fset, Path: path, Files: files, Pkg: pkg, Info: info, TestsOnly: testsOnly}, nil
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var ruleMapOrderSink = &Rule{
+	Name: "map-order-sink",
+	Doc: "flag range-over-map bodies that feed order-sensitive sinks: appends to a slice that is " +
+		"never sorted afterwards, writes through fmt.Fprint*/fmt.Print*/strings.Builder/bytes.Buffer, " +
+		"or string concatenation — Go randomizes map iteration, so each such sink makes output differ " +
+		"run to run; collect the keys, sort them, and iterate the sorted slice instead " +
+		"(float accumulation, the a6288a4 geomean bug class, is reported separately by float-fold)",
+	run: runMapOrderSink,
+}
+
+func runMapOrderSink(u *Unit, report reportFunc) {
+	for _, file := range u.Files {
+		var funcStack []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, n)
+				ast.Inspect(bodyOf(n), walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				if _, isMap := mapRangeX(u.Info, n); isMap && len(funcStack) > 0 {
+					checkMapRangeBody(u, n, funcStack[len(funcStack)-1], report)
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+}
+
+func bodyOf(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body != nil {
+			return n.Body
+		}
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+// checkMapRangeBody reports order-sensitive sinks inside one
+// range-over-map body. enclosing is the function the range lives in;
+// it is scanned for later sort calls that launder an append.
+func checkMapRangeBody(u *Unit, rs *ast.RangeStmt, enclosing ast.Node, report reportFunc) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := u.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 {
+					if target, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+						if obj := identObj(u.Info, target); obj != nil && sortedLater(u, enclosing, rs, obj) {
+							return true // the collect-keys-then-sort idiom
+						}
+					}
+					report(n.Pos(), "append inside range over map: iteration order is randomized, so the slice order differs run to run; collect and sort, or sort the result before use")
+				}
+			}
+			if fn := funcObj(u.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				switch fn.Name() {
+				case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+					report(n.Pos(), "fmt.%s inside range over map: output line order is randomized; iterate sorted keys instead", fn.Name())
+				}
+			}
+			if recvWriteSink(u.Info, n) {
+				report(n.Pos(), "buffered write inside range over map: emitted order is randomized; iterate sorted keys instead")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t := u.Info.TypeOf(n.Lhs[0]); t != nil && isString(t) {
+					report(n.Pos(), "string concatenation inside range over map: result depends on randomized iteration order; iterate sorted keys instead")
+				}
+			}
+		case *ast.RangeStmt:
+			// A nested map range gets its own visit from the walker.
+			if _, isMap := mapRangeX(u.Info, n); isMap {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// identObj resolves an identifier to its object (use or def).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// sortedLater reports whether obj (the slice being appended to inside
+// the map range) is passed to a sort call somewhere in the enclosing
+// function after the range: the canonical deterministic-iteration fix
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// must not be flagged.
+func sortedLater(u *Unit, enclosing ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(bodyOf(enclosing), func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := funcObj(u.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if !isSortFunc(fn) || len(call.Args) == 0 {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			arg = ast.Unparen(un.X)
+		}
+		if id, ok := arg.(*ast.Ident); ok && identObj(u.Info, id) == obj {
+			sorted = true
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isSortFunc recognizes the stdlib sorting entry points.
+func isSortFunc(fn *types.Func) bool {
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// recvWriteSink reports whether call is an ordered write on a
+// strings.Builder or bytes.Buffer receiver.
+func recvWriteSink(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	isBuf := (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+	if !isBuf {
+		return false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// restrictedPkgs are the internal packages that make up the simulated
+// machine and the experiment harness: everything inside them must be a
+// pure function of (configuration, seed). Wall-clock reads, global
+// math/rand state and environment lookups all smuggle in hidden inputs
+// that break the byte-identical-replay guarantee.
+var restrictedPkgs = []string{"pipeline", "cache", "policy", "workload", "sim", "experiments"}
+
+var ruleNondetermSource = &Rule{
+	Name: "nondeterm-source",
+	Doc: "forbid time.Now/time.Since, math/rand package-level state and os.Getenv/os.LookupEnv " +
+		"in the deterministic simulator packages (internal/{pipeline,cache,policy,workload,sim,experiments}); " +
+		"simulation must be a pure function of configuration and seed",
+	run: runNondetermSource,
+}
+
+func runNondetermSource(u *Unit, report reportFunc) {
+	restricted := false
+	for _, name := range restrictedPkgs {
+		if underInternal(u.Path, name) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return
+	}
+
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var found []finding
+
+	// Info.Uses has nondeterministic iteration order; collect then
+	// sort by position so the linter's own output is reproducible.
+	for id, obj := range u.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if isTestPos(u, id.Pos()) {
+			continue
+		}
+		var msg string
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				msg = "use of time." + fn.Name() + ": deterministic simulator packages must not read the wall clock; time comes from the simulated cycle counter"
+			}
+		case "math/rand", "math/rand/v2":
+			msg = "use of " + fn.Pkg().Path() + "." + fn.Name() + ": stochastic decisions must draw from an explicitly seeded internal/rng generator"
+		case "os":
+			if fn.Name() == "Getenv" || fn.Name() == "LookupEnv" || fn.Name() == "Environ" {
+				msg = "use of os." + fn.Name() + ": simulation behavior must not depend on the process environment"
+			}
+		}
+		if msg != "" {
+			found = append(found, finding{id.Pos(), msg})
+		}
+	}
+
+	sort.Slice(found, func(i, j int) bool { return found[i].pos < found[j].pos })
+	for _, f := range found {
+		report(f.pos, "%s", f.msg)
+	}
+
+	// Catch dot-import edge cases (`import . "math/rand"` leaves no
+	// selector): flag the import itself when the package is forbidden.
+	for _, file := range u.Files {
+		if isTestPos(u, file.Pos()) {
+			continue
+		}
+		for _, spec := range file.Imports {
+			if spec.Name == nil || spec.Name.Name != "." {
+				continue
+			}
+			switch importPath(spec) {
+			case "math/rand", "math/rand/v2":
+				report(spec.Pos(), "dot-import of math/rand in a deterministic simulator package")
+			}
+		}
+	}
+}
+
+func importPath(spec *ast.ImportSpec) string {
+	s := spec.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

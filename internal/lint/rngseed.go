@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var ruleUnseededRNG = &Rule{
+	Name: "unseeded-rng",
+	Doc: "every rng.New* constructor call must receive a seed derived from a parameter, struct field " +
+		"or named constant — never a bare literal magic seed; literals hide where a replica's entropy " +
+		"comes from and defeat seed-derivation audits (tests and main packages are exempt)",
+	run: runUnseededRNG,
+}
+
+func runUnseededRNG(u *Unit, report reportFunc) {
+	// Experiment entry points (cmd/, examples/) and tests pick their
+	// own root seeds; library code must thread seeds through.
+	if u.Pkg != nil && u.Pkg.Name() == "main" {
+		return
+	}
+	if underInternal(u.Path, "rng") {
+		return // the generators' own package (and its tests/benchmarks)
+	}
+	for _, file := range u.Files {
+		if isTestPos(u, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(u.Info, call)
+			if fn == nil || fn.Pkg() == nil || !underInternal(fn.Pkg().Path(), "rng") {
+				return true
+			}
+			if !strings.HasPrefix(fn.Name(), "New") {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() == 0 || len(call.Args) == 0 {
+				return true
+			}
+			// Only constructors whose first parameter is the seed.
+			first, ok := sig.Params().At(0).Type().Underlying().(*types.Basic)
+			if !ok || first.Kind() != types.Uint64 {
+				return true
+			}
+			if isLiteralOnly(u.Info, call.Args[0]) {
+				report(call.Args[0].Pos(),
+					"rng.%s called with a literal seed; derive the seed from a parameter, field or named constant so replica seeding stays auditable",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isLiteralOnly reports whether the expression is built purely from
+// literals, operators, type conversions and rng mixing helpers over
+// literals — i.e. it references no named constant, variable, field or
+// external function that could tie the seed to configuration.
+func isLiteralOnly(info *types.Info, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.UnaryExpr:
+		return isLiteralOnly(info, e.X)
+	case *ast.BinaryExpr:
+		return isLiteralOnly(info, e.X) && isLiteralOnly(info, e.Y)
+	case *ast.CallExpr:
+		var callee types.Object
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			callee = info.Uses[fun]
+		case *ast.SelectorExpr:
+			callee = info.Uses[fun.Sel]
+		default:
+			return false
+		}
+		switch c := callee.(type) {
+		case *types.TypeName:
+			// Conversion like uint64(42): literal if the operand is.
+			return len(e.Args) == 1 && isLiteralOnly(info, e.Args[0])
+		case *types.Func:
+			// rng.Mix2(1, 2) is still a magic literal seed; any other
+			// function call may derive from configuration — allow it.
+			if c.Pkg() != nil && underInternal(c.Pkg().Path(), "rng") {
+				for _, a := range e.Args {
+					if !isLiteralOnly(info, a) {
+						return false
+					}
+				}
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+}

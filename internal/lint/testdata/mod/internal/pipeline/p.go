@@ -1,0 +1,11 @@
+// Package pipeline is a loader fixture: a restricted package with a
+// module-internal dependency and one planted wall-clock read.
+package pipeline
+
+import (
+	"time"
+
+	"fixmod/internal/util"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() + util.Off() }

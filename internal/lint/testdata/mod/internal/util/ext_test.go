@@ -1,0 +1,15 @@
+package util_test
+
+import (
+	"testing"
+
+	"fixmod/internal/util"
+)
+
+// External test package: exercises the loader's second-pass external
+// test unit, which imports a module-internal package.
+func TestOff(t *testing.T) {
+	if util.Off() != 42 {
+		t.Fatal("unexpected offset")
+	}
+}

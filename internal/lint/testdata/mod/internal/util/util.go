@@ -1,0 +1,5 @@
+// Package util gives the loader fixture a dependency edge to order.
+package util
+
+// Off returns a fixed offset.
+func Off() int64 { return 42 }

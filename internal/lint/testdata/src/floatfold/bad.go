@@ -1,0 +1,30 @@
+package fix
+
+// Positive cases for float-fold: non-associative accumulation in
+// randomized map order, including through a nested inner loop.
+
+func badSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "floating-point +="
+	}
+	return total
+}
+
+func badScale(m map[string]float32) float32 {
+	p := float32(1)
+	for _, v := range m {
+		p *= v // want "floating-point *="
+	}
+	return p
+}
+
+func badNested(m map[string][]float64) float64 {
+	var total float64
+	for _, xs := range m {
+		for _, v := range xs {
+			total += v // want "floating-point +="
+		}
+	}
+	return total
+}

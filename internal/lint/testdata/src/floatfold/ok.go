@@ -1,0 +1,28 @@
+package fix
+
+// Negative cases: slice-ordered float folds, integer folds in map
+// order, and non-folding float assignment.
+
+func okSliceSum(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func okIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func okAssign(m map[string]float64) float64 {
+	last := 0.0
+	for _, v := range m {
+		last = v
+	}
+	return last
+}

@@ -1,0 +1,19 @@
+//lintpath emissary/internal/experiments
+
+// Positive cases for raw-goroutine: concurrency primitives outside
+// internal/runner.
+package fix
+
+import "sync"
+
+func badConcurrency(n int) int {
+	var wg sync.WaitGroup    // want "sync.WaitGroup"
+	out := make(chan int, 1) // want "channel construction"
+	wg.Add(1)
+	go func() { // want "go statement"
+		defer wg.Done()
+		out <- n
+	}()
+	wg.Wait()
+	return <-out
+}

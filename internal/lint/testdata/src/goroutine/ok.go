@@ -1,0 +1,24 @@
+package fix
+
+import "sync"
+
+// Negative cases: mutex-guarded state and non-channel makes are fine;
+// only raw goroutine machinery is reserved for internal/runner.
+
+type guarded struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func (g *guarded) get(k string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.m[k]
+}
+
+func okMake(n int) []int {
+	s := make([]int, n)
+	m := make(map[string]int, n)
+	_ = m
+	return s
+}

@@ -1,0 +1,25 @@
+//lintpath emissary/internal/runner
+
+// internal/runner owns concurrency: everything here is allowed.
+package fix
+
+import "sync"
+
+func pool(n int) int {
+	var wg sync.WaitGroup
+	out := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			out <- v
+		}(i)
+	}
+	wg.Wait()
+	close(out)
+	sum := 0
+	for v := range out {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,19 @@
+package fix
+
+// Malformed suppressions are diagnostics themselves (bad-ignore), and
+// a directive naming the wrong rule does not suppress the finding.
+
+//lint:ignore float-fold
+// want@-1 "missing a reason"
+
+//lint:ignore no-such-rule because the rule name is unknown
+// want@-1 "unknown rule"
+
+func wrongRule(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:ignore map-order-sink directive names a rule that is not the one firing
+		total += v // want "floating-point +="
+	}
+	return total
+}

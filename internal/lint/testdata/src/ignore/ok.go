@@ -1,0 +1,29 @@
+package fix
+
+// Well-formed suppressions: trailing, directive-above, and multi-rule.
+
+func suppressedTrailing(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v //lint:ignore float-fold fixture exercises same-line suppression
+	}
+	return total
+}
+
+func suppressedAbove(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:ignore float-fold fixture exercises directive-above suppression
+		total += v
+	}
+	return total
+}
+
+func suppressedMulti(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:ignore float-fold,map-order-sink fixture exercises multi-rule directives
+		total += v
+	}
+	return total
+}

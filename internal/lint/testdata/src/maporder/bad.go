@@ -1,0 +1,40 @@
+package fix
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Positive cases for map-order-sink: ordered sinks fed straight from
+// randomized map iteration.
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside range over map"
+	}
+	return keys
+}
+
+func badPrint(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside range over map"
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "buffered write inside range over map"
+	}
+	return b.String()
+}
+
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string concatenation inside range over map"
+	}
+	return s
+}

@@ -1,0 +1,46 @@
+package fix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Negative cases, starting with the canonical fix: collect the keys,
+// sort them, then emit in stable order.
+
+func okSorted(m map[string]int, w io.Writer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func okSortSlice(m map[string]float64) []float64 {
+	var xs []float64
+	for _, v := range m {
+		xs = append(xs, v)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return xs
+}
+
+// Integer reductions are order-insensitive.
+func okCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Ranging a slice can feed ordered sinks freely.
+func okSliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

@@ -1,0 +1,25 @@
+//lintpath emissary/internal/sim
+
+// Positive cases for nondeterm-source: every hidden-input source the
+// rule forbids inside the deterministic simulator packages.
+package fix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func badClock() time.Duration {
+	t0 := time.Now()      // want "use of time.Now"
+	return time.Since(t0) // want "use of time.Since"
+}
+
+func badRand() int {
+	return rand.Intn(8) // want "math/rand.Intn"
+}
+
+func badEnv() string {
+	v, _ := os.LookupEnv("EMISSARY_MODE") // want "os.LookupEnv"
+	return v + os.Getenv("EMISSARY_SEED") // want "os.Getenv"
+}

@@ -1,0 +1,7 @@
+package fix
+
+import "time"
+
+// Test files may read the wall clock (timing harnesses and the like);
+// the rule only polices the simulator itself.
+func stampForTests() time.Time { return time.Now() }

@@ -1,0 +1,18 @@
+package fix
+
+import (
+	"os"
+	"time"
+)
+
+// Negative cases: time and os usage that carries no hidden input.
+
+func okDuration(d time.Duration) time.Duration { return d * 2 }
+
+func okFile(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

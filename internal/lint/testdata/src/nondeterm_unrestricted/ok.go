@@ -1,0 +1,7 @@
+package fix
+
+import "time"
+
+// The default fixture import path is outside the restricted simulator
+// packages, so wall-clock reads are fine here.
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,19 @@
+//lintpath emissary/internal/workload
+
+// Positive cases for unseeded-rng: literal magic seeds, including ones
+// laundered through conversions and rng mixing helpers.
+package fix
+
+import "emissary/internal/rng"
+
+func badLiteral() *rng.Xoshiro256 {
+	return rng.NewXoshiro256(42) // want "literal seed"
+}
+
+func badConversion() *rng.SplitMix64 {
+	return rng.NewSplitMix64(uint64(7)) // want "literal seed"
+}
+
+func badMixedLiteral() *rng.Xoshiro256 {
+	return rng.NewXoshiro256(rng.Mix2(1, 2)) // want "literal seed"
+}

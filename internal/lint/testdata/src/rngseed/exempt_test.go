@@ -1,0 +1,6 @@
+package fix
+
+import "emissary/internal/rng"
+
+// Tests may pin literal seeds for reproducible cases.
+func seededForTests() *rng.Xoshiro256 { return rng.NewXoshiro256(1) }

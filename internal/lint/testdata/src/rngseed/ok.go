@@ -1,0 +1,28 @@
+package fix
+
+import "emissary/internal/rng"
+
+// Negative cases: seeds derived from parameters, fields and named
+// constants, plus constructors whose first argument is not a seed.
+
+const defaultSeed = 0x5eed
+
+type engine struct {
+	seed uint64
+}
+
+func okParam(seed uint64) *rng.Xoshiro256 {
+	return rng.NewXoshiro256(rng.Mix2(seed, 0xc0de))
+}
+
+func okConst() *rng.SplitMix64 {
+	return rng.NewSplitMix64(defaultSeed)
+}
+
+func okField(e *engine) *rng.Xoshiro256 {
+	return rng.NewXoshiro256(e.seed)
+}
+
+func okNotSeed() *rng.Chooser {
+	return rng.NewChooser([]float64{1, 2, 3})
+}

@@ -1,0 +1,11 @@
+//lintpath emissary/cmd/fixmain
+
+// Entry points (package main: cmd/, examples/) choose their own root
+// seeds, so literal seeds are allowed here.
+package main
+
+import "emissary/internal/rng"
+
+func main() {
+	_ = rng.NewXoshiro256(99)
+}
