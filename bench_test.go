@@ -184,7 +184,9 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	c.RunCommitted(uint64(b.N))
+	if _, err := c.RunCommitted(uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportMetric(float64(b.N), "instructions")
 }
 

@@ -16,26 +16,33 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
+	"emissary/internal/atomicfile"
 	"emissary/internal/experiments"
+	"emissary/internal/runner"
 	"emissary/internal/workload"
 )
 
 func main() {
 	var (
-		warmup   = flag.Uint64("warmup", 2_000_000, "warm-up instructions per simulation")
-		measure  = flag.Uint64("measure", 8_000_000, "measured instructions per simulation")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		benches  = flag.String("benchmarks", "", "comma-separated subset of benchmarks (default: all 13)")
-		progress = flag.Bool("progress", false, "print one line per completed simulation")
-		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
-		jobs     = flag.Int("j", 0, "simulations to run in parallel (0 = all CPUs, 1 = sequential; output is identical either way)")
+		warmup     = flag.Uint64("warmup", 2_000_000, "warm-up instructions per simulation")
+		measure    = flag.Uint64("measure", 8_000_000, "measured instructions per simulation")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		benches    = flag.String("benchmarks", "", "comma-separated subset of benchmarks (default: all 13)")
+		progress   = flag.Bool("progress", false, "print one line per completed simulation")
+		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		jobs       = flag.Int("j", 0, "simulations to run in parallel (0 = all CPUs, 1 = sequential; output is identical either way)")
+		checkpoint = flag.String("checkpoint", "", "journal completed simulations to this file and resume from it on rerun")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -43,13 +50,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancel in-flight simulations; completed ones are
+	// already durable in the journal, so the run can be resumed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := experiments.DefaultConfig()
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure
 	cfg.Seed = *seed
 	cfg.Parallelism = *jobs
+	cfg.Context = ctx
 	if *progress {
 		cfg.Progress = os.Stderr
+	}
+	if *checkpoint != "" {
+		journal, err := runner.OpenJournal(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+		if n := journal.Completed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "checkpoint: resuming with %d completed simulation(s) from %s\n", n, *checkpoint)
+		}
+		cfg.Journal = journal
 	}
 	if *benches != "" {
 		var ps []workload.Profile
@@ -81,13 +106,7 @@ func main() {
 		if *csvDir == "" {
 			return
 		}
-		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := fn(f); err != nil {
+		if err := atomicfile.WriteTo(filepath.Join(*csvDir, name+".csv"), fn); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -177,6 +196,13 @@ func main() {
 			os.Exit(2)
 		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "%s: interrupted\n", name)
+				if *checkpoint != "" {
+					fmt.Fprintf(os.Stderr, "completed simulations are journaled in %s; rerun the same command to resume\n", *checkpoint)
+				}
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"emissary/internal/core"
 	"emissary/internal/runner"
@@ -78,8 +80,13 @@ func main() {
 		TracePath:             *tracePath,
 		Seed:                  *seed,
 	}
+	// SIGINT/SIGTERM cancel the in-flight simulation cleanly instead of
+	// killing the process mid-report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *replicas > 1 {
-		rep, err := runner.Replicated(context.Background(), opt, *replicas, *jobs)
+		rep, err := runner.Replicated(ctx, opt, *replicas, *jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -97,7 +104,7 @@ func main() {
 		return
 	}
 
-	res, err := sim.Run(opt)
+	res, err := sim.RunContext(ctx, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

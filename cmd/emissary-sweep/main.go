@@ -5,18 +5,27 @@
 // (benchmark x policy) matrix fans out across CPUs; -j caps the worker
 // count without changing any output byte.
 //
+// -checkpoint journals every completed simulation so an interrupted
+// sweep (SIGINT, crash, OOM) resumes where it left off; -keep-going
+// runs the matrix to completion even when individual cells fail,
+// rendering the failed cells as such instead of aborting the sweep.
+//
 // Examples:
 //
 //	emissary-sweep -policies "P(4):S&E,P(8):S&E,P(12):S&E"
 //	emissary-sweep -benchmarks tomcat,verilator -policies "DRRIP,P(8):S&E&R(1/32)" -measure 30000000 -j 8
+//	emissary-sweep -checkpoint sweep.journal -keep-going -measure 100000000
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"emissary/internal/core"
 	"emissary/internal/runner"
@@ -27,13 +36,15 @@ import (
 
 func main() {
 	var (
-		policies = flag.String("policies", "P(8):S&E,P(8):S&E&R(1/32),DRRIP", "comma-separated policy list")
-		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 13)")
-		warmup   = flag.Uint64("warmup", 2_000_000, "warm-up instructions")
-		measure  = flag.Uint64("measure", 8_000_000, "measured instructions")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		jobs     = flag.Int("j", 0, "simulations to run in parallel (0 = all CPUs, 1 = sequential)")
-		verbose  = flag.Bool("v", false, "print progress to stderr")
+		policies   = flag.String("policies", "P(8):S&E,P(8):S&E&R(1/32),DRRIP", "comma-separated policy list")
+		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 13)")
+		warmup     = flag.Uint64("warmup", 2_000_000, "warm-up instructions")
+		measure    = flag.Uint64("measure", 8_000_000, "measured instructions")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		jobs       = flag.Int("j", 0, "simulations to run in parallel (0 = all CPUs, 1 = sequential)")
+		verbose    = flag.Bool("v", false, "print progress to stderr")
+		checkpoint = flag.String("checkpoint", "", "journal completed simulations to this file and resume from it on rerun")
+		keepGoing  = flag.Bool("keep-going", false, "run remaining cells when one fails; failed cells render as 'failed'")
 	)
 	flag.Parse()
 
@@ -82,16 +93,64 @@ func main() {
 		}
 	}
 
-	var progress func(sim.Result)
+	// SIGINT/SIGTERM cancel in-flight simulations; with -checkpoint the
+	// completed ones are already durable and the sweep resumes on rerun.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	scfg := runner.SimsConfig{Workers: *jobs}
+	if *keepGoing {
+		scfg.Policy = runner.Continue
+	}
 	if *verbose {
-		progress = func(r sim.Result) {
+		scfg.Progress = func(r sim.Result) {
 			fmt.Fprintf(os.Stderr, "done %-16s %-20s IPC %.4f\n", r.Benchmark, r.Policy, r.IPC)
 		}
 	}
-	results, err := runner.Sims(context.Background(), batch, *jobs, progress)
+	if *checkpoint != "" {
+		journal, err := runner.OpenJournal(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+		if n := journal.Completed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "checkpoint: resuming with %d completed simulation(s) from %s\n", n, *checkpoint)
+		}
+		scfg.Journal = journal
+	}
+
+	results, err := runner.RunSims(ctx, batch, scfg)
+	failed := make(map[int]*runner.JobError)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			if *checkpoint != "" {
+				done := 0
+				for i := range batch {
+					if _, ok := scfg.Journal.Lookup(batch[i]); ok {
+						done++
+					}
+				}
+				fmt.Fprintf(os.Stderr, "%d/%d simulations journaled in %s; rerun the same command to resume\n",
+					done, len(batch), *checkpoint)
+			}
+			os.Exit(130)
+		}
+		if !*keepGoing {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, je := range runner.Failures(err) {
+			failed[je.Job] = je
+			fmt.Fprintln(os.Stderr, je)
+		}
+		if len(failed) == 0 {
+			// Not a per-job failure (e.g. journal I/O): nothing to render.
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "continuing with %d/%d cells failed\n", len(failed), len(batch))
 	}
 
 	// Header.
@@ -104,18 +163,34 @@ func main() {
 	speedups := make([][]float64, len(specs))
 	for bi, bench := range profiles {
 		base := results[bi*stride]
+		baseOK := failed[bi*stride] == nil
 		fmt.Printf("%-16s", bench.Name)
 		for i := range specs {
-			res := results[bi*stride+1+i]
-			s := stats.Speedup(base.Cycles, res.Cycles)
-			speedups[i] = append(speedups[i], s)
-			fmt.Printf("  %17.2f%%", s*100)
+			cell := bi*stride + 1 + i
+			switch {
+			case !baseOK:
+				fmt.Printf("  %18s", "n/a")
+			case failed[cell] != nil:
+				fmt.Printf("  %18s", "failed")
+			default:
+				res := results[cell]
+				s := stats.Speedup(base.Cycles, res.Cycles)
+				speedups[i] = append(speedups[i], s)
+				fmt.Printf("  %17.2f%%", s*100)
+			}
 		}
 		fmt.Println()
 	}
 	fmt.Printf("%-16s", "geomean")
 	for i := range specs {
+		if len(speedups[i]) == 0 {
+			fmt.Printf("  %18s", "n/a")
+			continue
+		}
 		fmt.Printf("  %17.2f%%", stats.Geomean(speedups[i])*100)
 	}
 	fmt.Println()
+	if len(failed) > 0 {
+		fmt.Printf("\n%d cell(s) failed; geomeans cover successful cells only\n", len(failed))
+	}
 }

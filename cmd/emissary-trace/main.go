@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"emissary/internal/atomicfile"
 	"emissary/internal/branch"
 	"emissary/internal/reuse"
 	"emissary/internal/trace"
@@ -69,37 +70,41 @@ func cmdGen(args []string) {
 	out := fs.String("o", "", "output file (default stdout)")
 	fs.Parse(args)
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	eng := mustEngine(*bench)
+	var events uint64
+	write := func(w io.Writer) error {
+		tw, err := trace.NewWriter(w)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		defer f.Close()
-		w = f
+		for eng.Instructions() < *n {
+			ev, ok := eng.NextBlock()
+			if !ok {
+				break
+			}
+			if err := tw.WriteEvent(ev); err != nil {
+				return err
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		events = tw.Events()
+		return nil
 	}
-	tw, err := trace.NewWriter(w)
+	var err error
+	if *out != "" {
+		// Atomic write: an interrupted gen never leaves a truncated
+		// trace where a replayable one is expected.
+		err = atomicfile.WriteTo(*out, write)
+	} else {
+		err = write(os.Stdout)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	eng := mustEngine(*bench)
-	for eng.Instructions() < *n {
-		ev, ok := eng.NextBlock()
-		if !ok {
-			break
-		}
-		if err := tw.WriteEvent(ev); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	if err := tw.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "wrote %d block events (%d instructions)\n", tw.Events(), eng.Instructions())
+	fmt.Fprintf(os.Stderr, "wrote %d block events (%d instructions)\n", events, eng.Instructions())
 }
 
 func cmdInfo(args []string) {

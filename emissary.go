@@ -27,6 +27,7 @@
 package emissary
 
 import (
+	"context"
 	"fmt"
 
 	"emissary/internal/core"
@@ -76,6 +77,12 @@ func Benchmark(name string) (Profile, error) {
 
 // Simulate runs one simulation.
 func Simulate(opt Options) (Result, error) { return sim.Run(opt) }
+
+// SimulateContext runs one simulation under a context; cancellation
+// stops the run between simulation chunks with ctx.Err().
+func SimulateContext(ctx context.Context, opt Options) (Result, error) {
+	return sim.RunContext(ctx, opt)
+}
 
 // DefaultOptions returns a baseline configuration (FDIP + NLP on,
 // moderate instruction counts) for the benchmark and policy.

@@ -1,0 +1,49 @@
+// Package atomicfile writes result artifacts crash-safely: content is
+// produced into a temporary file in the destination directory, synced,
+// and renamed into place only on success. A crash or interrupt mid-
+// write therefore never leaves a truncated CSV or trace where a
+// complete one is expected — readers see either the old file or the
+// new one, never a half-written hybrid.
+package atomicfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteTo streams fn's output to path atomically. On any error — from
+// fn or from the filesystem — the temporary file is removed and the
+// previous content of path (if any) is left untouched.
+func WriteTo(path string, fn func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := bufio.NewWriter(tmp)
+	if err = fn(w); err != nil {
+		return err
+	}
+	if err = w.Flush(); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}

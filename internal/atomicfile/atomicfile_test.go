@@ -1,0 +1,89 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteToCreatesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	err := WriteTo(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "a,b\n1,2\n")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a,b\n1,2\n" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+func TestWriteToReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTo(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Errorf("content = %q, want new", got)
+	}
+}
+
+// TestFaultWriteToErrorLeavesOriginal proves a mid-write failure never
+// disturbs the previous content and never leaves a temp file behind.
+func TestFaultWriteToErrorLeavesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("producer failed")
+	err := WriteTo(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the producer's error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious" {
+		t.Errorf("original content clobbered: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("leftover files after failed write: %v", names)
+	}
+}
+
+func TestFaultWriteToBadDirectory(t *testing.T) {
+	err := WriteTo(filepath.Join(t.TempDir(), "missing", "out.csv"), func(io.Writer) error {
+		return nil
+	})
+	if err == nil {
+		t.Error("write into a missing directory accepted")
+	}
+}

@@ -7,8 +7,6 @@
 package cache
 
 import (
-	"fmt"
-
 	"emissary/internal/policy"
 	"emissary/internal/stats"
 )
@@ -52,10 +50,10 @@ type Cache struct {
 // must be a power of two.
 func NewCache(name string, sets, ways int, pol policy.Policy) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("cache %s: sets must be a power of two, got %d", name, sets))
+		violated("%s: sets must be a power of two, got %d", name, sets)
 	}
 	if ways <= 0 || ways > 32 {
-		panic(fmt.Sprintf("cache %s: bad way count %d", name, ways))
+		violated("%s: bad way count %d", name, ways)
 	}
 	return &Cache{
 		name:  name,
@@ -214,7 +212,7 @@ func (c *Cache) Fill(lineAddr uint64, spec FillSpec) Eviction {
 		incoming := policy.LineView{Valid: true, Priority: spec.Priority, Instr: spec.Instr}
 		way = c.pol.Victim(s, c.setViews(s), incoming)
 		if way < 0 || way >= c.ways {
-			panic(fmt.Sprintf("cache %s: policy %s returned bad victim %d", c.name, c.pol.Name(), way))
+			violated("%s: policy %s returned bad victim %d", c.name, c.pol.Name(), way)
 		}
 		old := c.lines[base+way]
 		ev = Eviction{Victim: true, LineAddr: c.lineAddr(s, old.Tag), Line: old}

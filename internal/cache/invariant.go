@@ -1,0 +1,17 @@
+// Invariant violations in the cache model are programming errors, not
+// runtime conditions: bad geometry at construction or a policy
+// returning an out-of-range victim means the simulation state can no
+// longer be trusted, so the only correct response is to panic. All
+// such panics funnel through violated — the single sanctioned panic
+// site in this package (the emissary-lint bare-panic rule enforces
+// this). Recoverable failures (truncated traces, budget exhaustion)
+// are typed errors in internal/sim and internal/pipeline instead.
+
+package cache
+
+import "fmt"
+
+// violated reports an internal invariant violation.
+func violated(format string, args ...any) {
+	panic("cache: " + fmt.Sprintf(format, args...))
+}

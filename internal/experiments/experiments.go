@@ -41,6 +41,18 @@ type Config struct {
 	// (GOMAXPROCS), 1 forces the sequential schedule. Every artifact
 	// is bit-identical at any setting; only wall-clock changes.
 	Parallelism int
+	// Context, when non-nil, cancels in-flight simulations (SIGINT
+	// plumbing for the CLIs); nil means context.Background().
+	Context context.Context
+	// Failure selects job-failure handling; the zero value is
+	// runner.FailFast, which artifacts that need the whole matrix
+	// should keep.
+	Failure runner.FailurePolicy
+	// Journal, when non-nil, checkpoints every completed simulation
+	// and serves already-completed ones on a rerun. Artifacts share
+	// jobs (every figure runs the TPLRU baseline), so one journal
+	// dedupes across them too.
+	Journal *runner.Journal
 }
 
 // DefaultConfig returns a configuration sized to minutes, not hours.
@@ -99,15 +111,29 @@ func (c Config) run(opt sim.Options) (sim.Result, error) {
 	return res, nil
 }
 
+// ctx returns the configured context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
 // runBatch executes a set of independent jobs across the worker pool,
-// returning results in job order. The first failure cancels the
-// outstanding jobs.
+// returning results in job order. Failure handling follows c.Failure
+// (FailFast cancels the outstanding jobs on the first error), and a
+// configured Journal checkpoints completions / resumes prior runs.
 func (c Config) runBatch(jobs []sim.Options) ([]sim.Result, error) {
 	filled := make([]sim.Options, len(jobs))
 	for i, job := range jobs {
 		filled[i] = c.fill(job)
 	}
-	return runner.Sims(context.Background(), filled, c.Parallelism, c.progress())
+	return runner.RunSims(c.ctx(), filled, runner.SimsConfig{
+		Workers:  c.Parallelism,
+		Policy:   c.Failure,
+		Journal:  c.Journal,
+		Progress: c.progress(),
+	})
 }
 
 // baseOptions is the TPLRU + FDIP + NLP baseline the evaluations

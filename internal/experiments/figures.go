@@ -196,7 +196,7 @@ type Fig4Row struct {
 // Fig4 reproduces Figure 4 (no simulation needed: the synthesized
 // program's code size is the footprint).
 func Fig4(cfg Config) ([]Fig4Row, error) {
-	return runner.Map(context.Background(), cfg.benchmarks(), cfg.Parallelism,
+	return runner.Map(cfg.ctx(), cfg.benchmarks(), cfg.Parallelism,
 		func(_ context.Context, _ int, bench workload.Profile) (Fig4Row, error) {
 			prog, err := workload.NewProgram(bench)
 			if err != nil {

@@ -43,7 +43,7 @@ func Horizon(cfg Config, benchName string, policies []string, windows int, windo
 	// hierarchy and core), so the sweep fans out across the pool; the
 	// windows within one run stay sequential by nature.
 	var progressMu sync.Mutex
-	return runner.Map(context.Background(), all, cfg.Parallelism,
+	return runner.Map(cfg.ctx(), all, cfg.Parallelism,
 		func(_ context.Context, _ int, text string) (HorizonResult, error) {
 			spec, err := core.ParsePolicy(text)
 			if err != nil {
@@ -64,7 +64,9 @@ func Horizon(cfg Config, benchName string, policies []string, windows int, windo
 			r := HorizonResult{Policy: spec.String()}
 			var lastCycles, lastInstrs uint64
 			for w := 0; w < windows; w++ {
-				c.RunCommitted(windowInstrs)
+				if _, err := c.RunCommitted(windowInstrs); err != nil {
+					return HorizonResult{}, err
+				}
 				cyc, ins := c.Cycle(), c.Committed()
 				if cyc == lastCycles {
 					break

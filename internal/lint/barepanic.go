@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+var ruleBarePanic = &Rule{
+	Name: "bare-panic",
+	Doc: "forbid direct panic(...) calls in internal/pipeline, internal/sim and internal/cache outside " +
+		"each package's sanctioned invariant.go (and _test.go files); recoverable conditions must be " +
+		"typed errors so the runner's failure policies can isolate them, and true invariant violations " +
+		"funnel through the package's violated helper",
+	run: runBarePanic,
+}
+
+func runBarePanic(u *Unit, report reportFunc) {
+	if !underInternal(u.Path, "pipeline") && !underInternal(u.Path, "sim") && !underInternal(u.Path, "cache") {
+		return
+	}
+	for _, file := range u.Files {
+		name := u.Fset.Position(file.Pos()).Filename
+		if isTestFilename(name) || filepath.Base(name) == "invariant.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, isBuiltin := u.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "panic" {
+				report(call.Pos(), "bare panic in %s; return a typed error for recoverable conditions or panic via the package's invariant.go violated helper", filepath.Base(name))
+			}
+			return true
+		})
+	}
+}

@@ -81,6 +81,7 @@ func Rules() []*Rule {
 		ruleUnseededRNG,
 		ruleMapOrderSink,
 		ruleFloatFold,
+		ruleBarePanic,
 	}
 }
 

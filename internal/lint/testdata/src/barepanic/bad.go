@@ -1,0 +1,29 @@
+//lintpath emissary/internal/pipeline
+
+// Positive cases for bare-panic: direct panic calls in a guarded
+// simulation package, outside the sanctioned invariant.go.
+package fix
+
+import "fmt"
+
+func badPanics(n int) {
+	if n < 0 {
+		panic("negative") // want "bare panic"
+	}
+	if n > 64 {
+		panic(fmt.Sprintf("n too large: %d", n)) // want "bare panic"
+	}
+}
+
+func okViolated(n int) {
+	if n == 0 {
+		violated("n must be nonzero")
+	}
+}
+
+// A local function named panic shadows the builtin; calls to it are
+// not bare panics.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,6 @@
+package fix
+
+// The sanctioned panic site: invariant.go may panic directly.
+func violated(msg string) {
+	panic("fix: " + msg)
+}

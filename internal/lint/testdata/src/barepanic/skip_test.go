@@ -1,0 +1,9 @@
+package fix
+
+// Test files may panic freely (t.Fatal alternatives, must-helpers).
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("test helper: n must be positive")
+	}
+	return n
+}

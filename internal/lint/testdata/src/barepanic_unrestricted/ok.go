@@ -1,0 +1,11 @@
+// Negative cases: packages outside internal/pipeline, internal/sim
+// and internal/cache may panic (the default fix/<dirname> import path
+// is not under any guarded package).
+package fix
+
+func mustIndex(i, n int) int {
+	if i < 0 || i >= n {
+		panic("index out of range")
+	}
+	return i
+}

@@ -57,6 +57,17 @@ type Config struct {
 	// starvation attribution by reuse bucket (Figure 2); it slows the
 	// simulation noticeably.
 	TrackReuse bool
+
+	// MaxCycles bounds the whole run: RunCommitted returns a
+	// StallError wrapping ErrCycleBudget once the cycle counter
+	// reaches it. 0 disables the budget.
+	MaxCycles uint64
+
+	// NoProgressLimit is the no-commit cycle streak treated as a
+	// livelock (StallError wrapping ErrNoProgress). 0 selects the
+	// default of 5M cycles — far beyond any legitimate stall (a DRAM
+	// round trip is a few hundred cycles).
+	NoProgressLimit uint64
 }
 
 // DefaultConfig returns the Table 4 core.

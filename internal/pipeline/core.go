@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"fmt"
-
 	"emissary/internal/branch"
 	"emissary/internal/cache"
 	"emissary/internal/energy"
@@ -139,11 +137,27 @@ func (c *Core) decode(now uint64) {
 }
 
 // RunCommitted advances until n more instructions commit (or the
-// oracle stream ends). It returns the instructions actually committed.
-func (c *Core) RunCommitted(n uint64) uint64 {
+// oracle stream ends). It returns the total instructions committed so
+// far. A livelocked machine (no commit for Config.NoProgressLimit
+// cycles) or an exhausted Config.MaxCycles budget returns a StallError
+// wrapping ErrNoProgress or ErrCycleBudget respectively, with a
+// diagnostic snapshot of the abort state; both used to be fatal (a
+// bare panic), which cost a whole sweep instead of one job.
+func (c *Core) RunCommitted(n uint64) (uint64, error) {
 	target := c.be.committed + n
-	idle := 0
+	limit := c.cfg.NoProgressLimit
+	if limit == 0 {
+		limit = 5_000_000
+	}
+	idle := uint64(0)
 	for c.be.committed < target {
+		if c.cfg.MaxCycles > 0 && c.cycle >= c.cfg.MaxCycles {
+			return c.be.committed, &StallError{
+				Reason: ErrCycleBudget,
+				Budget: c.cfg.MaxCycles,
+				Stall:  c.stall(),
+			}
+		}
 		before := c.be.committed
 		c.Step()
 		if c.fe.oracleDone && c.be.count == 0 && c.fe.ftqCount == 0 {
@@ -151,14 +165,29 @@ func (c *Core) RunCommitted(n uint64) uint64 {
 		}
 		if c.be.committed == before {
 			idle++
-			if idle > 5_000_000 {
-				panic(fmt.Sprintf("pipeline: no commit progress for %d cycles at cycle %d", idle, c.cycle))
+			if idle > limit {
+				return c.be.committed, &StallError{
+					Reason:     ErrNoProgress,
+					IdleCycles: idle,
+					Stall:      c.stall(),
+				}
 			}
 		} else {
 			idle = 0
 		}
 	}
-	return c.be.committed
+	return c.be.committed, nil
+}
+
+// stall captures the queue occupancies a StallError reports.
+func (c *Core) stall() Stall {
+	return Stall{
+		Cycle:         c.cycle,
+		Committed:     c.be.committed,
+		FTQOccupancy:  c.fe.ftqCount,
+		ROBOccupancy:  c.be.count,
+		MSHROccupancy: len(c.fe.pending),
+	}
 }
 
 // Snapshot captures every counter a Result is computed from.

@@ -1,0 +1,57 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoProgress reports a livelocked core: no instruction committed for
+// Config.NoProgressLimit consecutive cycles. It used to be a bare
+// panic, which tore down a whole experiment sweep; it is now a typed,
+// recoverable error so one wedged job costs only itself.
+var ErrNoProgress = errors.New("pipeline: no commit progress")
+
+// ErrCycleBudget reports that the run exceeded Config.MaxCycles before
+// reaching its commit target.
+var ErrCycleBudget = errors.New("pipeline: cycle budget exhausted")
+
+// Stall is the diagnostic snapshot attached to a StallError: where the
+// machine was and what the relevant queues held when the run aborted.
+type Stall struct {
+	Cycle     uint64
+	Committed uint64
+
+	// Occupancies at abort time: FTQ entries, ROB entries, and
+	// outstanding instruction-line misses (MSHRs in use).
+	FTQOccupancy  int
+	ROBOccupancy  int
+	MSHROccupancy int
+}
+
+// StallError wraps ErrNoProgress or ErrCycleBudget with the machine
+// state at abort time. Match the cause with errors.Is and recover the
+// snapshot with errors.As.
+type StallError struct {
+	Reason error // ErrNoProgress or ErrCycleBudget
+	// IdleCycles is the no-commit streak length (ErrNoProgress only).
+	IdleCycles uint64
+	// Budget is the exceeded Config.MaxCycles (ErrCycleBudget only).
+	Budget uint64
+	Stall  Stall
+}
+
+func (e *StallError) Error() string {
+	switch e.Reason {
+	case ErrNoProgress:
+		return fmt.Sprintf("%v for %d cycles at cycle %d (committed %d, FTQ %d, ROB %d, MSHR %d)",
+			e.Reason, e.IdleCycles, e.Stall.Cycle, e.Stall.Committed,
+			e.Stall.FTQOccupancy, e.Stall.ROBOccupancy, e.Stall.MSHROccupancy)
+	case ErrCycleBudget:
+		return fmt.Sprintf("%v: MaxCycles %d reached (committed %d, FTQ %d, ROB %d, MSHR %d)",
+			e.Reason, e.Budget, e.Stall.Committed,
+			e.Stall.FTQOccupancy, e.Stall.ROBOccupancy, e.Stall.MSHROccupancy)
+	}
+	return e.Reason.Error()
+}
+
+func (e *StallError) Unwrap() error { return e.Reason }

@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"emissary/internal/cache"
+	"emissary/internal/core"
+)
+
+// TestFaultCycleBudget proves a run that exceeds Config.MaxCycles
+// returns ErrCycleBudget with a diagnostic snapshot instead of
+// spinning forever.
+func TestFaultCycleBudget(t *testing.T) {
+	src := loopProgram(8, 10_000)
+	hier := cache.NewHierarchy(cache.DefaultConfig(core.MustParsePolicy("TPLRU")))
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 500
+	c, err := NewCore(cfg, src, hier, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.RunCommitted(1 << 30)
+	if err == nil {
+		t.Fatal("cycle budget never tripped")
+	}
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("err = %v, want ErrCycleBudget", err)
+	}
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StallError", err)
+	}
+	if se.Budget != cfg.MaxCycles {
+		t.Errorf("Budget = %d, want %d", se.Budget, cfg.MaxCycles)
+	}
+	if se.Stall.Cycle < cfg.MaxCycles {
+		t.Errorf("Stall.Cycle = %d, want >= %d", se.Stall.Cycle, cfg.MaxCycles)
+	}
+	if !strings.Contains(se.Error(), "cycle budget") {
+		t.Errorf("message %q lacks budget diagnosis", se.Error())
+	}
+}
+
+// TestFaultNoProgress proves a commit drought longer than
+// Config.NoProgressLimit surfaces as ErrNoProgress rather than a
+// silent livelock. The cold-start DRAM fill (hundreds of cycles
+// before the first commit) trips a tiny limit reliably.
+func TestFaultNoProgress(t *testing.T) {
+	src := loopProgram(8, 100)
+	hier := cache.NewHierarchy(cache.DefaultConfig(core.MustParsePolicy("TPLRU")))
+	cfg := DefaultConfig()
+	cfg.NoProgressLimit = 10
+	c, err := NewCore(cfg, src, hier, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.RunCommitted(1 << 30)
+	if err == nil {
+		t.Fatal("no-progress watchdog never tripped")
+	}
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StallError", err)
+	}
+	if se.IdleCycles <= cfg.NoProgressLimit {
+		t.Errorf("IdleCycles = %d, want > %d", se.IdleCycles, cfg.NoProgressLimit)
+	}
+}
+
+// TestFaultNoProgressDefaultUnbounded proves the default configuration
+// does not trip either watchdog on a healthy run.
+func TestFaultNoProgressDefaultUnbounded(t *testing.T) {
+	src := loopProgram(8, 100)
+	c := newTestCore(t, src, "TPLRU")
+	if got := mustCommit(t, c, 1<<30); got == 0 {
+		t.Error("healthy run committed nothing")
+	}
+}

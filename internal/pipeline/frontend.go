@@ -411,7 +411,7 @@ func (f *frontend) fetchBlock(now uint64) {
 		if ev.Addr != f.nextPC {
 			// The oracle stream and the correct-path fetch cursor must
 			// agree; a divergence is a simulator bug.
-			panic("pipeline: oracle desynchronized from correct-path fetch")
+			violated("oracle desynchronized from correct-path fetch: oracle %#x, cursor %#x", ev.Addr, f.nextPC)
 		}
 		// Train predictors with the architectural outcome.
 		switch entry.EndKind {

@@ -1,0 +1,15 @@
+// This file is the package's only sanctioned panic site (enforced by
+// emissary-lint's bare-panic rule). Simulation-state failures — a
+// livelocked core, an exhausted cycle budget, a truncated source —
+// are typed errors so one bad job cannot tear down a sweep; violated
+// is reserved for genuine modeling-invariant breaks, where continuing
+// would silently corrupt every downstream result.
+
+package pipeline
+
+import "fmt"
+
+// violated aborts on a broken simulator invariant.
+func violated(format string, args ...any) {
+	panic("pipeline: " + fmt.Sprintf(format, args...))
+}

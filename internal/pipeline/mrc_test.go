@@ -90,7 +90,7 @@ func TestCoreWithMRCRuns(t *testing.T) {
 	for _, s := range src.path {
 		total += uint64(src.blocks[s.addr].NumInstrs)
 	}
-	if got := c.RunCommitted(1 << 30); got != total {
+	if got := mustCommit(t, c, 1<<30); got != total {
 		t.Errorf("committed %d, want %d (MRC must not corrupt the stream)", got, total)
 	}
 }

@@ -94,6 +94,16 @@ func newTestCore(t *testing.T, src trace.Source, policy string) *Core {
 	return c
 }
 
+// mustCommit runs the core and fails the test on a stall error.
+func mustCommit(t *testing.T, c *Core, n uint64) uint64 {
+	t.Helper()
+	got, err := c.RunCommitted(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
 func TestConfigValidate(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)
@@ -122,7 +132,7 @@ func TestCoreCommitsWholeStream(t *testing.T) {
 	for _, s := range src.path {
 		total += uint64(src.blocks[s.addr].NumInstrs)
 	}
-	got := c.RunCommitted(total + 1000) // ask for more; stream ends first
+	got := mustCommit(t, c, total+1000) // ask for more; stream ends first
 	if got != total {
 		t.Errorf("committed %d, want %d", got, total)
 	}
@@ -131,7 +141,7 @@ func TestCoreCommitsWholeStream(t *testing.T) {
 func TestCoreIPCSane(t *testing.T) {
 	src := loopProgram(16, 500)
 	c := newTestCore(t, src, "TPLRU")
-	c.RunCommitted(1 << 30)
+	mustCommit(t, c, 1<<30)
 	ipc := float64(c.Committed()) / float64(c.Cycle())
 	if ipc < 0.5 || ipc > 8 {
 		t.Errorf("IPC = %v for a trivial loop", ipc)
@@ -142,7 +152,7 @@ func TestCoreDeterministic(t *testing.T) {
 	run := func() (uint64, uint64) {
 		src := loopProgram(7, 300)
 		c := newTestCore(t, src, "P(8):S&E&R(1/32)")
-		c.RunCommitted(1 << 30)
+		mustCommit(t, c, 1<<30)
 		return c.Committed(), c.Cycle()
 	}
 	i1, c1 := run()
@@ -157,7 +167,7 @@ func TestCoreLearnsLoopBranch(t *testing.T) {
 	// warm-up, giving very few flushes.
 	src := loopProgram(8, 2000)
 	c := newTestCore(t, src, "TPLRU")
-	c.RunCommitted(1 << 30)
+	mustCommit(t, c, 1<<30)
 	snap := c.TakeSnapshot()
 	// 2000 rounds x 9 branches; a handful of mispredicts per round
 	// would be thousands. Expect far fewer once learned.
@@ -198,7 +208,7 @@ func TestCoreMispredictRecovery(t *testing.T) {
 		total += uint64(f.blocks[s.addr].NumInstrs)
 	}
 	c := newTestCore(t, f, "TPLRU")
-	got := c.RunCommitted(1 << 30)
+	got := mustCommit(t, c, 1<<30)
 	if got != total {
 		t.Errorf("committed %d, want %d (mispredict recovery lost instructions)", got, total)
 	}
@@ -236,7 +246,7 @@ func TestCoreCallReturnPath(t *testing.T) {
 		}
 	}
 	c := newTestCore(t, src, "TPLRU")
-	got := c.RunCommitted(1 << 30)
+	got := mustCommit(t, c, 1<<30)
 	want := uint64(500 * (4 + 6 + 4))
 	if got != want {
 		t.Errorf("committed %d, want %d", got, want)
@@ -260,7 +270,7 @@ func TestCoreStarvationOnColdCode(t *testing.T) {
 		addr += 32
 	}
 	c := newTestCore(t, f, "TPLRU")
-	c.RunCommitted(1 << 30)
+	mustCommit(t, c, 1<<30)
 	snap := c.TakeSnapshot()
 	if snap.Starvation == 0 {
 		t.Error("no starvation on a cold straight-line walk")
@@ -289,7 +299,7 @@ func TestCoreMemRefsReachDCache(t *testing.T) {
 	// with ClassALU (mem refs ignored) — this documents the contract
 	// that classes drive D-cache traffic.
 	c := newTestCore(t, f, "TPLRU")
-	c.RunCommitted(1 << 30)
+	mustCommit(t, c, 1<<30)
 	if c.Hierarchy().L1D.DataStats.Accesses() != 0 {
 		t.Error("ALU-classified instructions should not touch the D-cache")
 	}
@@ -298,9 +308,9 @@ func TestCoreMemRefsReachDCache(t *testing.T) {
 func TestSnapshotDiff(t *testing.T) {
 	src := loopProgram(8, 400)
 	c := newTestCore(t, src, "TPLRU")
-	c.RunCommitted(1000)
+	mustCommit(t, c, 1000)
 	s1 := c.TakeSnapshot()
-	c.RunCommitted(1000)
+	mustCommit(t, c, 1000)
 	s2 := c.TakeSnapshot()
 	res := Diff(s1, s2, nil)
 	if res.Instructions != s2.Committed-s1.Committed {

@@ -1,0 +1,301 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"emissary/internal/pipeline"
+	"emissary/internal/sim"
+)
+
+// TestFaultPanicRecoveredFailFast proves a panicking job surfaces as a
+// typed *JobError carrying the index and stack instead of killing the
+// process, under the fail-fast policy at both worker counts.
+func TestFaultPanicRecoveredFailFast(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		_, err := DoPolicy(context.Background(), 6, workers, FailFast,
+			func(_ context.Context, i int) (int, error) {
+				if i == 3 {
+					panic("injected fault")
+				}
+				return i, nil
+			})
+		if err == nil {
+			t.Fatalf("workers=%d: panic swallowed", workers)
+		}
+		var je *JobError
+		if !errors.As(err, &je) {
+			t.Fatalf("workers=%d: err = %T, want *JobError", workers, err)
+		}
+		if je.Job != 3 {
+			t.Errorf("workers=%d: Job = %d, want 3", workers, je.Job)
+		}
+		if je.Stack == nil {
+			t.Errorf("workers=%d: recovered panic has no stack", workers)
+		}
+	}
+}
+
+// TestFaultPanicContinueKeepsSurvivors proves degraded mode: with
+// Continue, the surviving jobs' results are byte-identical to a run
+// with no failures at all, at workers=1 and workers=8.
+func TestFaultPanicContinueKeepsSurvivors(t *testing.T) {
+	const n = 10
+	clean := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("result-%d", i*i), nil
+	}
+	want, err := Do(context.Background(), n, 4, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		faulty := func(ctx context.Context, i int) (string, error) {
+			if i == 2 {
+				panic("injected panic")
+			}
+			if i == 7 {
+				return "", errors.New("injected error")
+			}
+			return clean(ctx, i)
+		}
+		got, err := DoPolicy(context.Background(), n, workers, Continue, faulty)
+		if err == nil {
+			t.Fatalf("workers=%d: failures unreported", workers)
+		}
+		fails := Failures(err)
+		if len(fails) != 2 || fails[0].Job != 2 || fails[1].Job != 7 {
+			t.Fatalf("workers=%d: Failures = %v, want jobs [2 7]", workers, fails)
+		}
+		if fails[0].Stack == nil {
+			t.Errorf("workers=%d: panic failure lost its stack", workers)
+		}
+		if fails[1].Stack != nil {
+			t.Errorf("workers=%d: error failure grew a stack", workers)
+		}
+		for i := 0; i < n; i++ {
+			switch i {
+			case 2, 7:
+				if got[i] != "" {
+					t.Errorf("workers=%d: failed slot %d = %q, want zero value", workers, i, got[i])
+				}
+			default:
+				if got[i] != want[i] {
+					t.Errorf("workers=%d: survivor %d = %q, want %q", workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFaultLivelockedSimIsolation is the acceptance scenario: a sweep
+// with one planted livelocking job (a cycle budget it must exhaust)
+// under Continue leaves every other job's result byte-identical to a
+// clean sweep that never contained the bad job.
+func TestFaultLivelockedSimIsolation(t *testing.T) {
+	good := []sim.Options{
+		tinyOptions(t, "TPLRU", 1),
+		tinyOptions(t, "P(8):S&E", 2),
+		tinyOptions(t, "DRRIP", 3),
+	}
+	clean, err := RunSims(context.Background(), good, SimsConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := tinyOptions(t, "P(8):S&E&R(1/32)", 4)
+	bad.MaxCycles = 500 // cannot complete: the budget trips first
+	planted := []sim.Options{good[0], bad, good[1], good[2]}
+
+	for _, workers := range []int{1, 8} {
+		got, err := RunSims(context.Background(), planted, SimsConfig{Workers: workers, Policy: Continue})
+		if err == nil {
+			t.Fatalf("workers=%d: planted livelock unreported", workers)
+		}
+		if !errors.Is(err, pipeline.ErrCycleBudget) {
+			t.Fatalf("workers=%d: err = %v, want pipeline.ErrCycleBudget", workers, err)
+		}
+		fails := Failures(err)
+		if len(fails) != 1 || fails[0].Job != 1 {
+			t.Fatalf("workers=%d: Failures = %v, want job 1 only", workers, fails)
+		}
+		survivors := []sim.Result{got[0], got[2], got[3]}
+		if !reflect.DeepEqual(survivors, clean) {
+			t.Errorf("workers=%d: survivors differ from the clean sweep", workers)
+		}
+	}
+}
+
+// TestFaultJournalResumeMatchesUninterrupted proves a sweep that dies
+// mid-run and resumes from its journal produces results byte-identical
+// to one that never stopped.
+func TestFaultJournalResumeMatchesUninterrupted(t *testing.T) {
+	jobs := []sim.Options{
+		tinyOptions(t, "TPLRU", 1),
+		tinyOptions(t, "P(8):S&E", 2),
+		tinyOptions(t, "DRRIP", 3),
+		tinyOptions(t, "P(8):S&E&R(1/32)", 4),
+	}
+	want, err := RunSims(context.Background(), jobs, SimsConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/sweep.journal"
+	// First run: only half the sweep completes before the "crash".
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSims(context.Background(), jobs[:2], SimsConfig{Workers: 2, Journal: j1}); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close() // simulate process death after two completions
+
+	// Resume: the full sweep against the reopened journal.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if n := j2.Completed(); n != 2 {
+		t.Fatalf("resumed journal holds %d jobs, want 2", n)
+	}
+	var served int
+	got, err := RunSims(context.Background(), jobs, SimsConfig{
+		Workers:  2,
+		Journal:  j2,
+		Progress: func(sim.Result) { served++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != len(jobs) {
+		t.Errorf("progress saw %d jobs, want %d (journal hits must still report)", served, len(jobs))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resumed sweep differs from uninterrupted sweep")
+	}
+}
+
+// TestFaultJournalCorruptTailRecovery proves a torn final line (crash
+// mid-append) is truncated away on reopen and the journal stays
+// usable.
+func TestFaultJournalCorruptTailRecovery(t *testing.T) {
+	path := t.TempDir() + "/torn.journal"
+	opt := tinyOptions(t, "TPLRU", 1)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(opt, res); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Tear the tail: a partial JSON line as a crash would leave.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"fingerprint":"half-writ`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn journal rejected: %v", err)
+	}
+	defer j2.Close()
+	if n := j2.Completed(); n != 1 {
+		t.Fatalf("Completed = %d, want 1", n)
+	}
+	got, ok := j2.Lookup(opt)
+	if !ok {
+		t.Fatal("intact record lost during recovery")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Error("recovered record differs from the original result")
+	}
+	// And the truncation must leave the file appendable: a new record
+	// lands on a clean line boundary.
+	opt2 := tinyOptions(t, "DRRIP", 2)
+	res2, err := sim.Run(opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Record(opt2, res2); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if n := j3.Completed(); n != 2 {
+		t.Errorf("after append, Completed = %d, want 2", n)
+	}
+}
+
+// TestFaultCancelledSweepResumes proves cancellation (the SIGINT path)
+// stops a sweep with the completed jobs durable in the journal, and a
+// rerun finishes byte-identical to a never-interrupted sweep.
+func TestFaultCancelledSweepResumes(t *testing.T) {
+	jobs := []sim.Options{
+		tinyOptions(t, "TPLRU", 1),
+		tinyOptions(t, "P(8):S&E", 2),
+		tinyOptions(t, "DRRIP", 3),
+	}
+	want, err := RunSims(context.Background(), jobs, SimsConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/cancel.journal"
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var done int
+	_, err = RunSims(ctx, jobs, SimsConfig{
+		Workers: 1,
+		Journal: j,
+		Progress: func(sim.Result) {
+			done++
+			if done == 1 {
+				cancel() // interrupt after the first completion
+			}
+		},
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if n := j2.Completed(); n < 1 {
+		t.Fatalf("journal lost the completed job: Completed = %d", n)
+	}
+	got, err := RunSims(context.Background(), jobs, SimsConfig{Workers: 1, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resumed sweep differs from uninterrupted sweep")
+	}
+}

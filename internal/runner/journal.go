@@ -1,0 +1,121 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"emissary/internal/sim"
+)
+
+// Journal is an append-only checkpoint of completed simulations: one
+// JSON line per finished job, keyed by the canonical fingerprint of
+// its sim.Options (see sim.Options.Fingerprint for the stability
+// contract). Because the simulator is deterministic, serving a journal
+// entry is byte-identical to re-running the job, so a sweep resumed
+// from its journal produces the same aggregates as an uninterrupted
+// one.
+//
+// Records are flushed to the OS line by line under a mutex, so a
+// crash or SIGKILL loses at most the in-flight jobs; a torn final
+// line (power cut mid-append) is detected on reopen and truncated
+// away rather than poisoning the resume.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	done map[string]sim.Result
+}
+
+// journalEntry is the on-disk line format.
+type journalEntry struct {
+	Fingerprint string     `json:"fingerprint"`
+	Result      sim.Result `json:"result"`
+}
+
+// OpenJournal opens (creating if absent) the checkpoint at path and
+// loads every complete record. A malformed tail — the signature of a
+// crash mid-append — is discarded and the file truncated back to the
+// last complete line, so the journal is always in a writable state.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: opening journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, done: make(map[string]sim.Result)}
+
+	var valid int64 // byte offset just past the last complete record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Fingerprint == "" {
+			break
+		}
+		j.done[e.Fingerprint] = e.Result
+		valid += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: reading journal %s: %w", path, err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: trimming journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: seeking journal %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Completed returns the number of distinct finished jobs on record.
+func (j *Journal) Completed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Lookup returns the checkpointed result for a job, if present.
+func (j *Journal) Lookup(opt sim.Options) (sim.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	res, ok := j.done[opt.Fingerprint()]
+	return res, ok
+}
+
+// Record appends one completed job. The line is written and flushed
+// before Record returns, so every result reported to a caller is
+// already durable in the journal.
+func (j *Journal) Record(opt sim.Options, res sim.Result) error {
+	line, err := json.Marshal(journalEntry{Fingerprint: opt.Fingerprint(), Result: res})
+	if err != nil {
+		return fmt.Errorf("runner: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("runner: appending to journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runner: syncing journal %s: %w", j.path, err)
+	}
+	j.done[opt.Fingerprint()] = res
+	return nil
+}
+
+// Close releases the underlying file. Records already written remain
+// valid; the journal must not be used afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -6,18 +6,92 @@
 // preserves the sequential contract exactly: results come back in job
 // order regardless of completion order, every job's options are fully
 // determined before it is enqueued (so output is bit-identical at any
-// worker count), the first error cancels all outstanding jobs, and
-// progress callbacks are serialized.
+// worker count), and progress callbacks are serialized.
+//
+// Fault tolerance: a job that panics is recovered into a typed
+// *JobError (index, cause, stack) instead of tearing down the process,
+// and a FailurePolicy selects what happens next — FailFast cancels the
+// sweep on the first failure (the historical behaviour), Continue
+// drains every remaining job and reports all failures in job order.
+// An optional Journal checkpoints completed simulations so an
+// interrupted sweep resumes without recomputing them.
 package runner
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"emissary/internal/sim"
 )
+
+// FailurePolicy selects how a pool reacts to a failing job.
+type FailurePolicy int
+
+const (
+	// FailFast cancels all outstanding jobs on the first failure and
+	// returns only that error: correct for experiments whose artifacts
+	// need the complete matrix.
+	FailFast FailurePolicy = iota
+	// Continue keeps draining the remaining jobs when one fails: the
+	// surviving results come back (failed slots hold zero values) and
+	// the error is an errors.Join of every *JobError in job order.
+	// Surviving jobs are byte-identical to a run without the failures
+	// — per-job options are fixed before scheduling, so a failed
+	// neighbour cannot perturb them.
+	Continue
+)
+
+// JobError is one job's failure: its index into the job list, the
+// cause, and — when the job panicked — the recovered panic's stack.
+// errors.Is/As see through it via Unwrap.
+type JobError struct {
+	Job   int
+	Cause error
+	Stack []byte // non-nil only for recovered panics
+}
+
+func (e *JobError) Error() string {
+	if e.Stack != nil {
+		return fmt.Sprintf("job %d: panic: %v", e.Job, e.Cause)
+	}
+	return fmt.Sprintf("job %d: %v", e.Job, e.Cause)
+}
+
+func (e *JobError) Unwrap() error { return e.Cause }
+
+// Failures flattens the error tree a pool returns (single *JobError,
+// errors.Join of them, or wrapped forms) into the job errors it
+// carries, in the order joined — job order under Continue.
+func Failures(err error) []*JobError {
+	var out []*JobError
+	var walk func(error)
+	walk = func(err error) {
+		if err == nil {
+			return
+		}
+		// A direct assertion, not errors.As: As would traverse into a
+		// joined error's children and surface only the first failure.
+		if je, ok := err.(*JobError); ok {
+			out = append(out, je)
+			return
+		}
+		switch u := err.(type) {
+		case interface{ Unwrap() []error }:
+			for _, e := range u.Unwrap() {
+				walk(e)
+			}
+		case interface{ Unwrap() error }:
+			walk(u.Unwrap())
+		}
+	}
+	walk(err)
+	return out
+}
 
 // Workers normalizes a worker-count request: n < 1 selects
 // runtime.GOMAXPROCS(0), i.e. one worker per available CPU.
@@ -28,12 +102,41 @@ func Workers(n int) int {
 	return n
 }
 
+// runJob executes fn(ctx, i), converting an error return or a panic
+// into a *JobError. The recover here is what keeps one corrupted
+// simulation from destroying every completed result in the process.
+func runJob[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cause, ok := r.(error)
+			if !ok {
+				cause = fmt.Errorf("%v", r)
+			}
+			err = &JobError{Job: i, Cause: cause, Stack: debug.Stack()}
+		}
+	}()
+	v, ferr := fn(ctx, i)
+	if ferr != nil {
+		return v, &JobError{Job: i, Cause: ferr}
+	}
+	return v, nil
+}
+
 // Do runs fn(ctx, i) for every i in [0, n) across `workers` goroutines
-// (0 = GOMAXPROCS) and returns the results in index order. The first
-// error cancels the context passed to outstanding jobs and is returned
-// after all workers drain; jobs that never started are skipped. A nil
-// ctx is treated as context.Background().
+// (0 = GOMAXPROCS) under the FailFast policy and returns the results
+// in index order. A nil ctx is treated as context.Background().
 func Do[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return DoPolicy(ctx, n, workers, FailFast, fn)
+}
+
+// DoPolicy is Do with an explicit failure policy. Under FailFast the
+// first failure cancels the context passed to outstanding jobs and is
+// returned (as a *JobError) after all workers drain; jobs that never
+// started are skipped. Under Continue every schedulable job runs;
+// failed slots hold zero values and the returned error joins each
+// job's *JobError in job order. Context cancellation always stops
+// scheduling and is reported alongside any job failures.
+func DoPolicy[T any](ctx context.Context, n, workers int, policy FailurePolicy, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -47,15 +150,28 @@ func Do[T any](ctx context.Context, n, workers int, fn func(ctx context.Context,
 	}
 	if workers == 1 {
 		// Sequential fast path: byte-for-byte the pre-pool loop.
+		jobErrs := make([]error, n)
+		failed := false
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				if policy == FailFast {
+					return nil, err
+				}
+				return out, errors.Join(append(compact(jobErrs[:i]), err)...)
 			}
-			v, err := fn(ctx, i)
+			v, err := runJob(ctx, i, fn)
 			if err != nil {
-				return nil, err
+				if policy == FailFast {
+					return nil, err
+				}
+				jobErrs[i] = err
+				failed = true
+				continue
 			}
 			out[i] = v
+		}
+		if failed {
+			return out, errors.Join(compact(jobErrs)...)
 		}
 		return out, nil
 	}
@@ -68,7 +184,9 @@ func Do[T any](ctx context.Context, n, workers int, fn func(ctx context.Context,
 		next     atomic.Int64
 		errOnce  sync.Once
 		firstErr error
+		errMu    sync.Mutex
 	)
+	jobErrs := make([]error, n)
 	work := func() {
 		defer wg.Done()
 		for {
@@ -76,13 +194,19 @@ func Do[T any](ctx context.Context, n, workers int, fn func(ctx context.Context,
 			if i >= n || ctx.Err() != nil {
 				return
 			}
-			v, err := fn(ctx, i)
+			v, err := runJob(ctx, i, fn)
 			if err != nil {
-				errOnce.Do(func() {
-					firstErr = err
-					cancel()
-				})
-				return
+				if policy == FailFast {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				errMu.Lock()
+				jobErrs[i] = err
+				errMu.Unlock()
+				continue
 			}
 			out[i] = v
 		}
@@ -95,10 +219,29 @@ func Do[T any](ctx context.Context, n, workers int, fn func(ctx context.Context,
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	all := compact(jobErrs)
 	if err := parent.Err(); err != nil {
-		return nil, err
+		if policy == FailFast {
+			return nil, err
+		}
+		all = append(all, err)
+	}
+	if len(all) > 0 {
+		return out, errors.Join(all...)
 	}
 	return out, nil
+}
+
+// compact drops nil slots, preserving job order, so the joined report
+// is deterministic regardless of completion order.
+func compact(errs []error) []error {
+	out := make([]error, 0, len(errs))
+	for _, err := range errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
 }
 
 // Map runs fn over every element of items across `workers` goroutines,
@@ -109,25 +252,61 @@ func Map[S, T any](ctx context.Context, items []S, workers int, fn func(ctx cont
 	})
 }
 
-// Sims executes every sim.Options job across the pool and returns the
-// results in job order. progress, when non-nil, is invoked under a
-// mutex as each job completes (completion order, never interleaved).
-// Each job must be fully specified before the call: seeds live in the
-// options, so the output is independent of scheduling.
-func Sims(ctx context.Context, jobs []sim.Options, workers int, progress func(sim.Result)) ([]sim.Result, error) {
+// SimsConfig tunes RunSims beyond the historical defaults.
+type SimsConfig struct {
+	// Workers is the pool size (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// Policy selects failure handling; the zero value is FailFast.
+	Policy FailurePolicy
+	// Journal, when non-nil, serves already-completed jobs from the
+	// checkpoint and records each new completion as it finishes.
+	Journal *Journal
+	// Progress, when non-nil, is invoked under a mutex as each job
+	// completes (completion order, never interleaved), including jobs
+	// served from the journal.
+	Progress func(sim.Result)
+}
+
+// RunSims executes every sim.Options job across the pool and returns
+// the results in job order. Each job must be fully specified before
+// the call: seeds live in the options, so the output is independent of
+// scheduling, worker count, and which jobs a journal replayed.
+func RunSims(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]sim.Result, error) {
 	var mu sync.Mutex
-	return Map(ctx, jobs, workers, func(_ context.Context, _ int, opt sim.Options) (sim.Result, error) {
-		res, err := sim.Run(opt)
+	report := func(r sim.Result) {
+		if cfg.Progress != nil {
+			mu.Lock()
+			cfg.Progress(r)
+			mu.Unlock()
+		}
+	}
+	return DoPolicy(ctx, len(jobs), cfg.Workers, cfg.Policy, func(ctx context.Context, i int) (sim.Result, error) {
+		opt := jobs[i]
+		if cfg.Journal != nil {
+			if res, ok := cfg.Journal.Lookup(opt); ok {
+				report(res)
+				return res, nil
+			}
+		}
+		res, err := sim.RunContext(ctx, opt)
 		if err != nil {
 			return res, err
 		}
-		if progress != nil {
-			mu.Lock()
-			progress(res)
-			mu.Unlock()
+		if cfg.Journal != nil {
+			if err := cfg.Journal.Record(opt, res); err != nil {
+				return res, err
+			}
 		}
+		report(res)
 		return res, nil
 	})
+}
+
+// Sims executes every sim.Options job across the pool and returns the
+// results in job order, failing fast and without checkpointing; see
+// RunSims for the configurable form.
+func Sims(ctx context.Context, jobs []sim.Options, workers int, progress func(sim.Result)) ([]sim.Result, error) {
+	return RunSims(ctx, jobs, SimsConfig{Workers: workers, Progress: progress})
 }
 
 // Replicated is the parallel counterpart of sim.RunReplicated: it runs

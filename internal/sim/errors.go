@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports a source that ran dry before the requested
+// warm-up or measurement window completed (typically a replayed trace
+// shorter than WarmupInstrs+MeasureInstrs). A short run used to end
+// silently with a shrunken window; in a sweep that skews aggregates
+// without a trace, so it is now a typed, per-job error.
+var ErrTruncated = errors.New("sim: source exhausted before window completed")
+
+// TruncatedError carries which window was cut short and by how much,
+// plus the failing job's options so a sweep-level report (for example
+// a runner.JobError) identifies the job without extra context.
+type TruncatedError struct {
+	// Stage is "warm-up" or "measurement".
+	Stage string
+	// Want is the window's requested instruction count, Got how many
+	// the stage actually committed before the source ended.
+	Want, Got uint64
+	Options   Options
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("%v: %s window committed %d of %d instructions (%s)",
+		ErrTruncated, e.Stage, e.Got, e.Want, e.Options.Fingerprint())
+}
+
+func (e *TruncatedError) Unwrap() error { return ErrTruncated }

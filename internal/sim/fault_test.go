@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emissary/internal/core"
+	"emissary/internal/pipeline"
+	"emissary/internal/trace"
+	"emissary/internal/workload"
+)
+
+// writeShortTrace captures roughly n instructions of xapian into a
+// trace file and returns its path.
+func writeShortTrace(t *testing.T, n uint64) string {
+	t.Helper()
+	p, _ := workload.ProfileByName("xapian")
+	prog, err := workload.NewProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := workload.NewEngine(prog)
+	path := filepath.Join(t.TempDir(), "short.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for eng.Instructions() < n {
+		ev, ok := eng.NextBlock()
+		if !ok {
+			break
+		}
+		if err := w.WriteEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFaultTruncatedTrace proves a trace that runs out before the
+// requested window completes surfaces as a typed *TruncatedError that
+// names the failing job's options, instead of silently under-running.
+func TestFaultTruncatedTrace(t *testing.T) {
+	opt := Options{
+		Policy:        core.MustParsePolicy("TPLRU"),
+		WarmupInstrs:  10_000,
+		MeasureInstrs: 500_000, // far more than the trace holds
+		FDIP:          true,
+		NLP:           true,
+		TracePath:     writeShortTrace(t, 60_000),
+	}
+	_, err := Run(opt)
+	if err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	var te *TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T, want *TruncatedError", err)
+	}
+	if te.Stage != "measurement" {
+		t.Errorf("Stage = %q, want measurement", te.Stage)
+	}
+	if te.Got >= te.Want {
+		t.Errorf("Got = %d, Want = %d: not truncated", te.Got, te.Want)
+	}
+	if !strings.Contains(te.Error(), opt.Fingerprint()) {
+		t.Errorf("message %q does not identify the failing job", te.Error())
+	}
+}
+
+// TestFaultTruncatedWarmup proves truncation inside the warm-up window
+// is attributed to that stage.
+func TestFaultTruncatedWarmup(t *testing.T) {
+	opt := Options{
+		Policy:        core.MustParsePolicy("TPLRU"),
+		WarmupInstrs:  500_000,
+		MeasureInstrs: 10_000,
+		TracePath:     writeShortTrace(t, 60_000),
+	}
+	_, err := Run(opt)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	var te *TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T, want *TruncatedError", err)
+	}
+	if te.Stage != "warm-up" {
+		t.Errorf("Stage = %q, want warm-up", te.Stage)
+	}
+}
+
+// TestFaultMaxCyclesBudget proves Options.MaxCycles flows through to
+// the pipeline watchdog and comes back as pipeline.ErrCycleBudget.
+func TestFaultMaxCyclesBudget(t *testing.T) {
+	p, _ := workload.ProfileByName("xapian")
+	opt := DefaultOptions(p, core.MustParsePolicy("TPLRU"))
+	opt.WarmupInstrs = 10_000
+	opt.MeasureInstrs = 100_000
+	opt.MaxCycles = 1_000
+	_, err := Run(opt)
+	if err == nil {
+		t.Fatal("cycle budget never tripped")
+	}
+	if !errors.Is(err, pipeline.ErrCycleBudget) {
+		t.Fatalf("err = %v, want pipeline.ErrCycleBudget", err)
+	}
+}
+
+// TestFaultFingerprintStability pins the checkpoint key contract: the
+// fingerprint is identical for identical options, distinct for any
+// field a resumed run must not conflate, and stable across calls.
+func TestFaultFingerprintStability(t *testing.T) {
+	p, _ := workload.ProfileByName("xapian")
+	base := DefaultOptions(p, core.MustParsePolicy("P(8):S&E"))
+	base.WarmupInstrs = 10_000
+	base.MeasureInstrs = 50_000
+	base.Seed = 7
+
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	same := base
+	if same.Fingerprint() != base.Fingerprint() {
+		t.Error("identical options produced different fingerprints")
+	}
+	mutations := map[string]Options{}
+	m := base
+	m.Seed = 8
+	mutations["seed"] = m
+	m = base
+	m.MeasureInstrs = 60_000
+	mutations["measure"] = m
+	m = base
+	m.Policy = core.MustParsePolicy("DRRIP")
+	mutations["policy"] = m
+	m = base
+	m.FDIP = !m.FDIP
+	mutations["fdip"] = m
+	m = base
+	m.MaxCycles = 123
+	mutations["maxcycles"] = m
+	for name, mu := range mutations {
+		if mu.Fingerprint() == base.Fingerprint() {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+}

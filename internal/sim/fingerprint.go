@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint renders the canonical identity of a simulation job: a
+// stable, human-readable key over every Options field that influences
+// the result. Two jobs with equal fingerprints produce byte-identical
+// Results (the simulator is deterministic), which is what lets a
+// checkpoint journal serve completed jobs across process restarts.
+//
+// Stability contract: the field list below is append-only and each
+// field always prints (no omission when zero), so a fingerprint written
+// by an older binary stays comparable unless a new option is actually
+// used — in which case the affected jobs legitimately re-run. The
+// benchmark contributes its name and synthesis seed; editing a custom
+// profile's other parameters without renaming it is NOT detected, so
+// use a fresh journal when changing profile definitions.
+func (o Options) Fingerprint() string {
+	var b strings.Builder
+	field := func(k string, v any) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", k, v)
+	}
+	if o.TracePath != "" {
+		field("trace", o.TracePath)
+	} else {
+		field("bench", o.Benchmark.Name)
+		field("bseed", o.Benchmark.Seed)
+	}
+	field("policy", o.Policy.String())
+	field("warmup", o.WarmupInstrs)
+	field("measure", o.MeasureInstrs)
+	field("fdip", o.FDIP)
+	field("nlp", o.NLP)
+	field("truelru", o.TrueLRU)
+	field("ideal", o.IdealL2I)
+	field("reuse", o.TrackReuse)
+	field("reset", o.PriorityResetInterval)
+	field("ftq", o.FTQEntries)
+	field("mshrs", o.MaxMSHRs)
+	field("mrc", o.MRCEntries)
+	field("maxcycles", o.MaxCycles)
+	field("seed", o.Seed)
+	return b.String()
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -57,6 +58,13 @@ type Options struct {
 	// that many line entries (0 = off, the paper's baseline).
 	MRCEntries int
 
+	// MaxCycles bounds the whole run (warm-up plus measurement): once
+	// the core's cycle counter reaches it, Run fails with a
+	// pipeline.StallError wrapping pipeline.ErrCycleBudget instead of
+	// simulating forever. 0 disables the budget. Use it to fence long
+	// sweeps against runaway or livelocked configurations.
+	MaxCycles uint64
+
 	Seed uint64
 }
 
@@ -85,8 +93,20 @@ type Result struct {
 	BranchMispredictRate float64
 }
 
-// Run executes one simulation.
+// Run executes one simulation to completion.
 func Run(opt Options) (Result, error) {
+	return RunContext(context.Background(), opt)
+}
+
+// RunContext executes one simulation, honouring cancellation: the core
+// advances in bounded chunks and ctx is checked between them, so an
+// interrupted sweep abandons an in-flight job within ~1M committed
+// instructions instead of only between jobs. Chunking does not change
+// any simulated state — results are byte-identical to Run.
+func RunContext(ctx context.Context, opt Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.MeasureInstrs == 0 {
 		return Result{}, fmt.Errorf("sim: MeasureInstrs must be positive")
 	}
@@ -146,14 +166,19 @@ func Run(opt Options) (Result, error) {
 		pcfg.MaxMSHRs = opt.MaxMSHRs
 	}
 	pcfg.MRCEntries = opt.MRCEntries
+	pcfg.MaxCycles = opt.MaxCycles
 	c, err := pipeline.NewCore(pcfg, source, hier, ccfg.Seed)
 	if err != nil {
 		return Result{}, err
 	}
 
-	c.RunCommitted(opt.WarmupInstrs)
+	if err := runWindow(ctx, c, opt, "warm-up", opt.WarmupInstrs); err != nil {
+		return Result{}, err
+	}
 	start := c.TakeSnapshot()
-	c.RunCommitted(opt.MeasureInstrs)
+	if err := runWindow(ctx, c, opt, "measurement", opt.MeasureInstrs); err != nil {
+		return Result{}, err
+	}
 	end := c.TakeSnapshot()
 
 	res := pipeline.Diff(start, end, hier.L2.PriorityCensus())
@@ -164,6 +189,35 @@ func Run(opt Options) (Result, error) {
 		FootprintBytes:       footprint,
 		BranchMispredictRate: c.BranchMispredictRate(),
 	}, nil
+}
+
+// runWindow advances the core by n more committed instructions in
+// chunks, checking ctx between chunks. The source running dry before
+// the window completes is a TruncatedError; a livelocked core or an
+// exhausted cycle budget surfaces as the pipeline's StallError.
+func runWindow(ctx context.Context, c *pipeline.Core, opt Options, stage string, n uint64) error {
+	const chunk = 1 << 20 // cancellation latency bound, not a semantic boundary
+	target := c.Committed() + n
+	for c.Committed() < target {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		step := target - c.Committed()
+		if step > chunk {
+			step = chunk
+		}
+		before := c.Committed()
+		got, err := c.RunCommitted(step)
+		if err != nil {
+			return err
+		}
+		if got == before {
+			// No forward progress without an error: the oracle stream
+			// or replayed trace ended inside the window.
+			return &TruncatedError{Stage: stage, Want: n, Got: got - (target - n), Options: opt}
+		}
+	}
+	return nil
 }
 
 // RunPolicy is a convenience wrapper parsing the policy notation.
