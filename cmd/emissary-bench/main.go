@@ -1,0 +1,71 @@
+// Command emissary-bench measures the simulator's own speed and emits
+// the BENCH_hotpath.json trajectory artifact: ns and allocations per
+// cache Access/Fill for every policy family, plus end-to-end
+// simulation throughput (wall-clock and simulated-MIPS). CI's
+// bench-smoke job runs it on every push and uploads the JSON, so the
+// hot path's cost over time is a downloadable time series.
+//
+// Examples:
+//
+//	emissary-bench                          # write BENCH_hotpath.json
+//	emissary-bench -o - -iters 1000000      # print to stdout, longer run
+//	emissary-bench -cpuprofile cpu.pprof    # profile the bench itself
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"emissary/internal/atomicfile"
+	"emissary/internal/hotbench"
+	"emissary/internal/profiling"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_hotpath.json", "output path ('-' for stdout)")
+		iters   = flag.Int("iters", 300_000, "iterations per micro-benchmark")
+		warmup  = flag.Uint64("warmup", 500_000, "end-to-end warm-up instructions")
+		measure = flag.Uint64("measure", 2_000_000, "end-to-end measured instructions")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile on exit to this file")
+	)
+	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rep, err := hotbench.Collect(*iters, *warmup, *measure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	write := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	if *out == "-" {
+		err = write(os.Stdout)
+	} else {
+		err = atomicfile.WriteTo(*out, write)
+	}
+	if err == nil {
+		err = stopProf()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %s (%d access rows, %d fill rows, %d end-to-end rows)\n",
+			*out, len(rep.Access), len(rep.Fill), len(rep.EndToEnd))
+	}
+}

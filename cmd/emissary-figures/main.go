@@ -29,6 +29,7 @@ import (
 
 	"emissary/internal/atomicfile"
 	"emissary/internal/experiments"
+	"emissary/internal/profiling"
 	"emissary/internal/runner"
 	"emissary/internal/workload"
 )
@@ -43,12 +44,25 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		jobs       = flag.Int("j", 0, "simulations to run in parallel (0 = all CPUs, 1 = sequential; output is identical either way)")
 		checkpoint = flag.String("checkpoint", "", "journal completed simulations to this file and resume from it on rerun")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile on exit to this file")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: emissary-figures [flags] fig1|fig2|fig3|fig4|tab5|fig5|fig6|fig7|fig8|ideal|fdip|reset|horizon|all")
 		os.Exit(2)
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	// SIGINT/SIGTERM cancel in-flight simulations; completed ones are
 	// already durable in the journal, so the run can be resumed.

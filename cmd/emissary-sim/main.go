@@ -18,6 +18,7 @@ import (
 	"syscall"
 
 	"emissary/internal/core"
+	"emissary/internal/profiling"
 	"emissary/internal/runner"
 	"emissary/internal/sim"
 	"emissary/internal/workload"
@@ -40,8 +41,21 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "run N derived-seed replicas and report mean +/- std instead of one run")
 		jobs      = flag.Int("j", 0, "replicas to run in parallel (0 = all CPUs; only meaningful with -replicas)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile on exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if *list {
 		for _, n := range workload.ProfileNames() {

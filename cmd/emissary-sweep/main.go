@@ -28,6 +28,7 @@ import (
 	"syscall"
 
 	"emissary/internal/core"
+	"emissary/internal/profiling"
 	"emissary/internal/runner"
 	"emissary/internal/sim"
 	"emissary/internal/stats"
@@ -45,8 +46,21 @@ func main() {
 		verbose    = flag.Bool("v", false, "print progress to stderr")
 		checkpoint = flag.String("checkpoint", "", "journal completed simulations to this file and resume from it on rerun")
 		keepGoing  = flag.Bool("keep-going", false, "run remaining cells when one fails; failed cells render as 'failed'")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile on exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	var specs []core.Spec
 	for _, p := range strings.Split(*policies, ",") {

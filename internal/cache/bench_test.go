@@ -1,0 +1,94 @@
+package cache_test
+
+import (
+	"testing"
+
+	"emissary/internal/cache"
+	"emissary/internal/hotbench"
+)
+
+// The benchmark configuration — geometry, policy list, address
+// stream — lives in internal/hotbench so these go-test benchmarks and
+// the BENCH_hotpath.json emitter (cmd/emissary-bench) measure exactly
+// the same workload.
+
+func newBenchCache(b *testing.B, policyText string) *cache.Cache {
+	b.Helper()
+	c, err := hotbench.New(policyText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkAccess(b *testing.B) {
+	addrs := hotbench.Addrs(1 << 16)
+	for _, pol := range hotbench.Policies {
+		b.Run(pol, func(b *testing.B) {
+			c := newBenchCache(b, pol)
+			hotbench.Warm(c, addrs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := addrs[i&(len(addrs)-1)]
+				c.Access(a, a%2 == 0)
+			}
+		})
+	}
+}
+
+func BenchmarkFill(b *testing.B) {
+	addrs := hotbench.Addrs(1 << 16)
+	for _, pol := range hotbench.Policies {
+		b.Run(pol, func(b *testing.B) {
+			c := newBenchCache(b, pol)
+			hotbench.Warm(c, addrs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := addrs[i&(len(addrs)-1)]
+				c.Fill(a, cache.FillSpec{Instr: a%2 == 0, Priority: a%8 == 0})
+			}
+		})
+	}
+}
+
+// TestHotPathNoAllocs is the allocation guard the bench trajectory
+// relies on: Access, Touch, MarkDirty and Fill must stay allocation
+// free for every policy family, or ns/access numbers become garbage
+// collection noise. Run under every `go test` (not only -bench) so a
+// regression fails CI immediately.
+func TestHotPathNoAllocs(t *testing.T) {
+	addrs := hotbench.Addrs(1 << 12)
+	for _, pol := range hotbench.Policies {
+		c, err := hotbench.New(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hotbench.Warm(c, addrs)
+		i := 0
+		next := func() uint64 {
+			a := addrs[i&(len(addrs)-1)]
+			i++
+			return a
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			a := next()
+			c.Access(a, a%2 == 0)
+		}); n != 0 {
+			t.Errorf("%s: Access allocates %.1f per op", pol, n)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			a := next()
+			c.Fill(a, cache.FillSpec{Instr: a%2 == 0, Priority: a%8 == 0})
+		}); n != 0 {
+			t.Errorf("%s: Fill allocates %.1f per op", pol, n)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			c.Touch(next())
+			c.MarkDirty(next())
+		}); n != 0 {
+			t.Errorf("%s: Touch/MarkDirty allocate %.1f per op", pol, n)
+		}
+	}
+}

@@ -7,6 +7,8 @@
 package cache
 
 import (
+	"math/bits"
+
 	"emissary/internal/policy"
 	"emissary/internal/stats"
 )
@@ -24,13 +26,30 @@ type Line struct {
 // Cache is a set-associative cache. Addresses given to the cache are
 // line addresses (byte address >> lineShift); the cache derives the
 // set index and tag itself.
+//
+// The per-access loop is allocation free and scans each set at most
+// once per operation: the set geometry (shift/mask) is precomputed at
+// construction, and the per-set occupancy masks handed to the policy
+// are maintained incrementally as lines change rather than re-derived
+// by scanning (see DESIGN.md §9, "Hot-path invariants").
 type Cache struct {
 	name string
 	sets int
 	ways int
 
+	// Precomputed geometry: set() masks with setMask, tag() shifts by
+	// setShift. Computing log2(sets) lazily on every access used to
+	// dominate the lookup cost.
+	setShift uint
+	setMask  uint64
+
 	lines []Line
 	views []policy.LineView
+	// Per-set occupancy masks, maintained by syncView: bit w of
+	// valid[s] / high[s] / instr[s] mirrors lines[s*ways+w].
+	valid []uint32
+	high  []uint32
+	instr []uint32
 	pol   policy.Policy
 
 	// Demand statistics split by request class.
@@ -47,7 +66,10 @@ type Cache struct {
 }
 
 // NewCache builds a cache with the given geometry and policy. Sets
-// must be a power of two.
+// must be a power of two: set() masks with sets-1, so any other
+// geometry would silently alias distinct sets onto the same index and
+// corrupt every downstream statistic. Way counts are bounded by the
+// 32-bit occupancy masks (matching policy.checkGeometry).
 func NewCache(name string, sets, ways int, pol policy.Policy) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		violated("%s: sets must be a power of two, got %d", name, sets)
@@ -56,12 +78,17 @@ func NewCache(name string, sets, ways int, pol policy.Policy) *Cache {
 		violated("%s: bad way count %d", name, ways)
 	}
 	return &Cache{
-		name:  name,
-		sets:  sets,
-		ways:  ways,
-		lines: make([]Line, sets*ways),
-		views: make([]policy.LineView, sets*ways),
-		pol:   pol,
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		setShift: uint(log2(sets)),
+		setMask:  uint64(sets - 1),
+		lines:    make([]Line, sets*ways),
+		views:    make([]policy.LineView, sets*ways),
+		valid:    make([]uint32, sets),
+		high:     make([]uint32, sets),
+		instr:    make([]uint32, sets),
+		pol:      pol,
 	}
 }
 
@@ -78,11 +105,11 @@ func (c *Cache) Ways() int { return c.ways }
 func (c *Cache) Policy() policy.Policy { return c.pol }
 
 func (c *Cache) set(lineAddr uint64) int {
-	return int(lineAddr & uint64(c.sets-1))
+	return int(lineAddr & c.setMask)
 }
 
 func (c *Cache) tag(lineAddr uint64) uint64 {
-	return lineAddr >> uint(log2(c.sets))
+	return lineAddr >> c.setShift
 }
 
 func log2(n int) int {
@@ -93,16 +120,28 @@ func log2(n int) int {
 	return k
 }
 
-// find returns the way holding lineAddr, or -1.
-func (c *Cache) find(lineAddr uint64) int {
-	s, t := c.set(lineAddr), c.tag(lineAddr)
-	base := s * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.lines[base+w].Valid && c.lines[base+w].Tag == t {
-			return w
+// locate derives the set geometry once and scans the set once,
+// returning the set index, the set's base offset into the line
+// arrays, and the way holding lineAddr (-1 on miss). Every lookup
+// entry point funnels through here so no operation derives the set or
+// tag twice, and none scans a set more than once.
+func (c *Cache) locate(lineAddr uint64) (s, base, way int) {
+	s = int(lineAddr & c.setMask)
+	base = s * c.ways
+	t := lineAddr >> c.setShift
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		if set[w].Valid && set[w].Tag == t {
+			return s, base, w
 		}
 	}
-	return -1
+	return s, base, -1
+}
+
+// find returns the way holding lineAddr, or -1.
+func (c *Cache) find(lineAddr uint64) int {
+	_, _, w := c.locate(lineAddr)
+	return w
 }
 
 // Contains reports presence without side effects.
@@ -110,8 +149,8 @@ func (c *Cache) Contains(lineAddr uint64) bool { return c.find(lineAddr) >= 0 }
 
 // Probe reports presence and the line state without side effects.
 func (c *Cache) Probe(lineAddr uint64) (Line, bool) {
-	if w := c.find(lineAddr); w >= 0 {
-		return c.lines[c.set(lineAddr)*c.ways+w], true
+	if _, base, w := c.locate(lineAddr); w >= 0 {
+		return c.lines[base+w], true
 	}
 	return Line{}, false
 }
@@ -120,7 +159,7 @@ func (c *Cache) Probe(lineAddr uint64) (Line, bool) {
 // statistics and returns true; on miss it only counts the miss.
 // Callers fill the line separately (possibly later) via Fill.
 func (c *Cache) Access(lineAddr uint64, instr bool) bool {
-	w := c.find(lineAddr)
+	s, base, w := c.locate(lineAddr)
 	counters := &c.DataStats
 	if instr {
 		counters = &c.InstrStats
@@ -130,8 +169,7 @@ func (c *Cache) Access(lineAddr uint64, instr bool) bool {
 		return false
 	}
 	counters.Hits++
-	s := c.set(lineAddr)
-	c.pol.OnHit(s, w, c.setViews(s))
+	c.pol.OnHit(s, w, c.setView(s, base))
 	return true
 }
 
@@ -139,29 +177,55 @@ func (c *Cache) Access(lineAddr uint64, instr bool) bool {
 // counting statistics (used when a store hits a line a load already
 // touched this cycle, and similar bookkeeping).
 func (c *Cache) Touch(lineAddr uint64) {
-	if w := c.find(lineAddr); w >= 0 {
-		s := c.set(lineAddr)
-		c.pol.OnHit(s, w, c.setViews(s))
+	if s, base, w := c.locate(lineAddr); w >= 0 {
+		c.pol.OnHit(s, w, c.setView(s, base))
 	}
 }
 
 // MarkDirty sets the dirty bit on a present line.
 func (c *Cache) MarkDirty(lineAddr uint64) {
-	if w := c.find(lineAddr); w >= 0 {
-		c.lines[c.set(lineAddr)*c.ways+w].Dirty = true
+	if _, base, w := c.locate(lineAddr); w >= 0 {
+		c.lines[base+w].Dirty = true
 	}
 }
 
-func (c *Cache) setViews(s int) []policy.LineView {
-	return c.views[s*c.ways : (s+1)*c.ways]
+// setView assembles the policy's view of set s: the line metadata
+// slice plus the incrementally maintained occupancy masks. It
+// allocates nothing — the slice header aliases the backing array.
+func (c *Cache) setView(s, base int) policy.SetView {
+	return policy.SetView{
+		Lines: c.views[base : base+c.ways],
+		Valid: c.valid[s],
+		High:  c.high[s],
+		Instr: c.instr[s],
+	}
 }
 
+// syncView refreshes the policy-visible metadata and occupancy masks
+// for one line. Every mutation of c.lines funnels through here, which
+// is what keeps the masks trustworthy without per-access rescans.
 func (c *Cache) syncView(s, w int) {
 	l := &c.lines[s*c.ways+w]
 	c.views[s*c.ways+w] = policy.LineView{
 		Valid:    l.Valid,
 		Priority: l.Priority,
 		Instr:    l.Instr,
+	}
+	bit := uint32(1) << uint(w)
+	if l.Valid {
+		c.valid[s] |= bit
+	} else {
+		c.valid[s] &^= bit
+	}
+	if l.Valid && l.Priority {
+		c.high[s] |= bit
+	} else {
+		c.high[s] &^= bit
+	}
+	if l.Valid && l.Instr {
+		c.instr[s] |= bit
+	} else {
+		c.instr[s] &^= bit
 	}
 }
 
@@ -185,32 +249,44 @@ type Eviction struct {
 // If the line is already present, its metadata is refreshed instead
 // (a fill racing a fill; the priority bit is only ever raised).
 func (c *Cache) Fill(lineAddr uint64, spec FillSpec) Eviction {
-	s := c.set(lineAddr)
+	s := int(lineAddr & c.setMask)
 	base := s * c.ways
+	t := lineAddr >> c.setShift
 	if spec.Prefetch {
 		c.PrefetchFills++
 	}
 
-	if w := c.find(lineAddr); w >= 0 {
-		l := &c.lines[base+w]
-		l.Dirty = l.Dirty || spec.Dirty
-		l.Priority = l.Priority || spec.Priority
-		c.syncView(s, w)
-		return Eviction{}
-	}
-
-	// Prefer an invalid way.
-	way := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.lines[base+w].Valid {
-			way = w
+	// One pass records both the hit way and the first invalid way;
+	// Fill used to scan the set twice (a find, then an invalid-way
+	// search).
+	hit, spare := -1, -1
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		if !set[w].Valid {
+			if spare < 0 {
+				spare = w
+			}
+			continue
+		}
+		if set[w].Tag == t {
+			hit = w
 			break
 		}
 	}
+
+	if hit >= 0 {
+		l := &c.lines[base+hit]
+		l.Dirty = l.Dirty || spec.Dirty
+		l.Priority = l.Priority || spec.Priority
+		c.syncView(s, hit)
+		return Eviction{}
+	}
+
+	way := spare
 	var ev Eviction
 	if way < 0 {
 		incoming := policy.LineView{Valid: true, Priority: spec.Priority, Instr: spec.Instr}
-		way = c.pol.Victim(s, c.setViews(s), incoming)
+		way = c.pol.Victim(s, c.setView(s, base), incoming)
 		if way < 0 || way >= c.ways {
 			violated("%s: policy %s returned bad victim %d", c.name, c.pol.Name(), way)
 		}
@@ -226,7 +302,7 @@ func (c *Cache) Fill(lineAddr uint64, spec FillSpec) Eviction {
 	}
 
 	c.lines[base+way] = Line{
-		Tag:      c.tag(lineAddr),
+		Tag:      t,
 		Valid:    true,
 		Dirty:    spec.Dirty,
 		Instr:    spec.Instr,
@@ -234,28 +310,27 @@ func (c *Cache) Fill(lineAddr uint64, spec FillSpec) Eviction {
 		SFL:      spec.SFL,
 	}
 	c.syncView(s, way)
-	c.pol.OnFill(s, way, c.setViews(s))
+	c.pol.OnFill(s, way, c.setView(s, base))
 	return ev
 }
 
 // lineAddr reconstructs a line address from set and tag.
 func (c *Cache) lineAddr(s int, tag uint64) uint64 {
-	return tag<<uint(log2(c.sets)) | uint64(s)
+	return tag<<c.setShift | uint64(s)
 }
 
 // Invalidate removes a line (back-invalidation / exclusive-move),
 // returning its state.
 func (c *Cache) Invalidate(lineAddr uint64) (Line, bool) {
-	w := c.find(lineAddr)
+	s, base, w := c.locate(lineAddr)
 	if w < 0 {
 		return Line{}, false
 	}
-	s := c.set(lineAddr)
-	l := c.lines[s*c.ways+w]
+	l := c.lines[base+w]
 	if l.Priority {
 		c.HighBackInval++
 	}
-	c.lines[s*c.ways+w] = Line{}
+	c.lines[base+w] = Line{}
 	c.syncView(s, w)
 	c.pol.OnInvalidate(s, w)
 	c.BackInvals++
@@ -266,27 +341,25 @@ func (c *Cache) Invalidate(lineAddr uint64) (Line, bool) {
 // communicating its priority to the L2 copy). The bit is never
 // lowered while the line is resident.
 func (c *Cache) RaisePriority(lineAddr uint64) {
-	w := c.find(lineAddr)
+	s, base, w := c.locate(lineAddr)
 	if w < 0 {
 		return
 	}
-	s := c.set(lineAddr)
-	l := &c.lines[s*c.ways+w]
+	l := &c.lines[base+w]
 	if l.Priority {
 		return
 	}
 	l.Priority = true
 	c.Promotions++
 	c.syncView(s, w)
-	c.pol.OnPriorityUpdate(s, w, c.setViews(s))
+	c.pol.OnPriorityUpdate(s, w, c.setView(s, base))
 }
 
 // PromoteMRU makes a present line the most recently used of its class
 // (used for the SFL-bit MRU insertion into L3).
 func (c *Cache) PromoteMRU(lineAddr uint64) {
-	if w := c.find(lineAddr); w >= 0 {
-		s := c.set(lineAddr)
-		c.pol.OnHit(s, w, c.setViews(s))
+	if s, base, w := c.locate(lineAddr); w >= 0 {
+		c.pol.OnHit(s, w, c.setView(s, base))
 	}
 }
 
@@ -298,6 +371,11 @@ func (c *Cache) ResetPriorities() {
 			c.views[i].Priority = false
 		}
 	}
+	// No P bit survives, so the high-priority occupancy masks are
+	// simply zero.
+	for s := range c.high {
+		c.high[s] = 0
+	}
 }
 
 // PriorityCensus returns, for each possible count 0..ways, how many
@@ -305,29 +383,16 @@ func (c *Cache) ResetPriorities() {
 func (c *Cache) PriorityCensus() []int {
 	census := make([]int, c.ways+1)
 	for s := 0; s < c.sets; s++ {
-		n := 0
-		base := s * c.ways
-		for w := 0; w < c.ways; w++ {
-			if c.lines[base+w].Valid && c.lines[base+w].Priority {
-				n++
-			}
-		}
-		census[n]++
+		census[bits.OnesCount32(c.high[s])]++
 	}
 	return census
 }
 
 // ValidLines counts resident lines, split by class.
 func (c *Cache) ValidLines() (instr, data int) {
-	for i := range c.lines {
-		if !c.lines[i].Valid {
-			continue
-		}
-		if c.lines[i].Instr {
-			instr++
-		} else {
-			data++
-		}
+	for s := 0; s < c.sets; s++ {
+		instr += bits.OnesCount32(c.instr[s])
+		data += bits.OnesCount32(c.valid[s] &^ c.instr[s])
 	}
 	return
 }

@@ -86,6 +86,9 @@ func DefaultConfig(l2 core.Spec) Config {
 // single-phase.
 type Hierarchy struct {
 	cfg Config
+	// lineShift is log2(line size), precomputed once — the back-end
+	// shifts every load/store address by it.
+	lineShift uint
 
 	L1I *Cache
 	L1D *Cache
@@ -121,6 +124,7 @@ func NewHierarchy(cfg Config) *Hierarchy {
 	l3 := NewCache("L3", cfg.L3.sets(ls), cfg.L3.Ways, l3pol)
 	return &Hierarchy{
 		cfg:       cfg,
+		lineShift: uint(log2(cfg.LineSize)),
 		L1I:       l1i,
 		L1D:       l1d,
 		L2:        l2,
@@ -354,9 +358,7 @@ func (h *Hierarchy) prefetchDataL1D(lineAddr uint64) {
 }
 
 // LineShift returns log2(line size) for address arithmetic.
-func (h *Hierarchy) LineShift() uint {
-	return uint(log2(h.cfg.LineSize))
-}
+func (h *Hierarchy) LineShift() uint { return h.lineShift }
 
 // ResetPriorities clears P bits hierarchy-wide (§6).
 func (h *Hierarchy) ResetPriorities() {

@@ -28,11 +28,11 @@ func TestEmissaryEvictsLowPriorityFirst(t *testing.T) {
 		ls := lines(4)
 		ls[1].Priority = true
 		for w := 0; w < 4; w++ {
-			e.OnFill(0, w, ls)
+			e.OnFill(0, w, policy.ViewOf(ls))
 		}
 		// Way 1 is high-priority; with 1 <= N=2 the victim must be the
 		// LRU among low-priority lines, i.e. way 0.
-		if v := e.Victim(0, ls, policy.LineView{Valid: true, Instr: true}); v != 0 {
+		if v := e.Victim(0, policy.ViewOf(ls), policy.LineView{Valid: true, Instr: true}); v != 0 {
 			t.Errorf("[%s] Victim = %d, want 0", base, v)
 		}
 	}
@@ -44,10 +44,10 @@ func TestEmissaryAlgorithm1OverLimit(t *testing.T) {
 	// Three high-priority lines (ways 0,1,2), one low (way 3); N=2.
 	for w := 0; w < 4; w++ {
 		ls[w].Priority = w < 3
-		e.OnFill(0, w, ls)
+		e.OnFill(0, w, policy.ViewOf(ls))
 	}
 	// count(high)=3 > N=2: evict LRU among the high-priority lines = way 0.
-	if v := e.Victim(0, ls, policy.LineView{Valid: true, Instr: true}); v != 0 {
+	if v := e.Victim(0, policy.ViewOf(ls), policy.LineView{Valid: true, Instr: true}); v != 0 {
 		t.Errorf("Victim = %d, want 0 (LRU high-priority line)", v)
 	}
 }
@@ -57,11 +57,11 @@ func TestEmissaryAllHighFallback(t *testing.T) {
 	ls := lines(4)
 	for w := 0; w < 4; w++ {
 		ls[w].Priority = true
-		e.OnFill(0, w, ls)
+		e.OnFill(0, w, policy.ViewOf(ls))
 	}
 	// count(high)=4 <= N=8 but there is no low-priority line; must
 	// fall back to the high class rather than panic.
-	if v := e.Victim(0, ls, policy.LineView{Valid: true}); v != 0 {
+	if v := e.Victim(0, policy.ViewOf(ls), policy.LineView{Valid: true}); v != 0 {
 		t.Errorf("Victim = %d, want 0", v)
 	}
 }
@@ -73,16 +73,16 @@ func TestEmissaryProtectionPersists(t *testing.T) {
 	ls := lines(8)
 	ls[0].Priority = true
 	for w := 0; w < 8; w++ {
-		e.OnFill(0, w, ls)
+		e.OnFill(0, w, policy.ViewOf(ls))
 	}
 	// Touch every low-priority line many times; way 0 never touched.
 	for i := 0; i < 100; i++ {
 		for w := 1; w < 8; w++ {
-			e.OnHit(0, w, ls)
+			e.OnHit(0, w, policy.ViewOf(ls))
 		}
 	}
 	for trial := 0; trial < 8; trial++ {
-		if v := e.Victim(0, ls, policy.LineView{Valid: true, Instr: true}); v == 0 {
+		if v := e.Victim(0, policy.ViewOf(ls), policy.LineView{Valid: true, Instr: true}); v == 0 {
 			t.Fatalf("protected high-priority line evicted")
 		}
 	}
@@ -93,15 +93,15 @@ func TestEmissaryDualTreeIndependence(t *testing.T) {
 	ls := lines(8)
 	for w := 0; w < 8; w++ {
 		ls[w].Priority = w < 4
-		e.OnFill(0, w, ls)
+		e.OnFill(0, w, policy.ViewOf(ls))
 	}
 	// Hits on high-priority lines must not disturb the low tree's
 	// victim choice.
-	before := e.Victim(0, ls, policy.LineView{Valid: true})
+	before := e.Victim(0, policy.ViewOf(ls), policy.LineView{Valid: true})
 	for i := 0; i < 16; i++ {
-		e.OnHit(0, i%4, ls)
+		e.OnHit(0, i%4, policy.ViewOf(ls))
 	}
-	after := e.Victim(0, ls, policy.LineView{Valid: true})
+	after := e.Victim(0, policy.ViewOf(ls), policy.LineView{Valid: true})
 	if before != after {
 		t.Errorf("low-class victim changed %d -> %d after high-class hits", before, after)
 	}
@@ -113,15 +113,15 @@ func TestEmissaryVictimAlwaysValid(t *testing.T) {
 	r := rng.NewXoshiro256(3)
 	for i := 0; i < 5000; i++ {
 		set := r.Intn(4)
-		w := e.Victim(set, ls, policy.LineView{Valid: true, Instr: true})
+		w := e.Victim(set, policy.ViewOf(ls), policy.LineView{Valid: true, Instr: true})
 		if w < 0 || w >= 16 {
 			t.Fatalf("victim out of range: %d", w)
 		}
 		ls[w].Priority = r.Bool(0.3)
-		e.OnFill(set, w, ls)
+		e.OnFill(set, w, policy.ViewOf(ls))
 		if r.Bool(0.5) {
 			hw := r.Intn(16)
-			e.OnHit(set, hw, ls)
+			e.OnHit(set, hw, policy.ViewOf(ls))
 		}
 	}
 }
@@ -313,12 +313,12 @@ func TestEmissaryPropertyNeverEvictProtected(t *testing.T) {
 			if ls[w].Priority {
 				highCount++
 			}
-			e.OnFill(0, w, ls)
+			e.OnFill(0, w, policy.ViewOf(ls))
 		}
 		for _, tch := range touches {
-			e.OnHit(0, int(tch%ways), ls)
+			e.OnHit(0, int(tch%ways), policy.ViewOf(ls))
 		}
-		v := e.Victim(0, ls, policy.LineView{Valid: true, Instr: true})
+		v := e.Victim(0, policy.ViewOf(ls), policy.LineView{Valid: true, Instr: true})
 		if highCount <= n && highCount < ways {
 			return !ls[v].Priority
 		}

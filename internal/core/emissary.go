@@ -71,14 +71,14 @@ func (e *Emissary) touch(set, way int, high bool) {
 }
 
 // OnHit implements policy.Policy.
-func (e *Emissary) OnHit(set, way int, lines []policy.LineView) {
-	e.touch(set, way, lines[way].Priority)
+func (e *Emissary) OnHit(set, way int, view policy.SetView) {
+	e.touch(set, way, view.Lines[way].Priority)
 }
 
 // OnFill implements policy.Policy. P(N) does not act on priority at
 // insertion — every inserted line becomes the MRU of its class.
-func (e *Emissary) OnFill(set, way int, lines []policy.LineView) {
-	e.touch(set, way, lines[way].Priority)
+func (e *Emissary) OnFill(set, way int, view policy.SetView) {
+	e.touch(set, way, view.Lines[way].Priority)
 }
 
 // victimAmong finds the LRU line within mask for the given class.
@@ -96,22 +96,12 @@ func (e *Emissary) victimAmong(set int, mask uint32, high bool) int {
 }
 
 // Victim implements policy.Policy; this is Algorithm 1 verbatim.
-// The incoming line's own priority does not influence the choice.
-func (e *Emissary) Victim(set int, lines []policy.LineView, incoming policy.LineView) int {
-	var highMask, lowMask uint32
-	highCount := 0
-	for w, l := range lines {
-		if !l.Valid {
-			continue
-		}
-		if l.Priority {
-			highMask |= 1 << uint(w)
-			highCount++
-		} else {
-			lowMask |= 1 << uint(w)
-		}
-	}
-	if highCount <= e.n {
+// The incoming line's own priority does not influence the choice. The
+// class masks are indexed straight off the cache-maintained view
+// rather than re-derived with a way scan.
+func (e *Emissary) Victim(set int, view policy.SetView, incoming policy.LineView) int {
+	highMask, lowMask := view.High, view.Low()
+	if view.HighCount() <= e.n {
 		if v := e.victimAmong(set, lowMask, false); v >= 0 {
 			return v
 		}
@@ -134,6 +124,6 @@ func (e *Emissary) OnInvalidate(set, way int) {}
 // copy) moves the line's future recency updates to the high tree; we
 // seed its position there now so it is not immediately the high-class
 // pseudo-LRU victim.
-func (e *Emissary) OnPriorityUpdate(set, way int, lines []policy.LineView) {
-	e.touch(set, way, lines[way].Priority)
+func (e *Emissary) OnPriorityUpdate(set, way int, view policy.SetView) {
+	e.touch(set, way, view.Lines[way].Priority)
 }

@@ -33,39 +33,27 @@ func (e *EmissaryGHRP) Name() string { return e.name }
 // OnHit implements policy.Policy. GHRP tracks every line (its history
 // and signatures are global); the high tree additionally tracks
 // protected-line recency.
-func (e *EmissaryGHRP) OnHit(set, way int, lines []policy.LineView) {
-	e.ghrp.OnHit(set, way, lines)
-	if lines[way].Priority {
+func (e *EmissaryGHRP) OnHit(set, way int, view policy.SetView) {
+	e.ghrp.OnHit(set, way, view)
+	if view.Lines[way].Priority {
 		e.highT.Touch(set, way)
 	}
 }
 
 // OnFill implements policy.Policy.
-func (e *EmissaryGHRP) OnFill(set, way int, lines []policy.LineView) {
-	e.ghrp.OnFill(set, way, lines)
-	if lines[way].Priority {
+func (e *EmissaryGHRP) OnFill(set, way int, view policy.SetView) {
+	e.ghrp.OnFill(set, way, view)
+	if view.Lines[way].Priority {
 		e.highT.Touch(set, way)
 	}
 }
 
 // Victim implements policy.Policy: Algorithm 1 with GHRP victim
 // selection inside the low-priority class.
-func (e *EmissaryGHRP) Victim(set int, lines []policy.LineView, incoming policy.LineView) int {
-	var highMask, lowMask uint32
-	highCount := 0
-	for w, l := range lines {
-		if !l.Valid {
-			continue
-		}
-		if l.Priority {
-			highMask |= 1 << uint(w)
-			highCount++
-		} else {
-			lowMask |= 1 << uint(w)
-		}
-	}
-	if highCount <= e.n {
-		if v := e.ghrp.VictimAmong(set, lines, lowMask); v >= 0 {
+func (e *EmissaryGHRP) Victim(set int, view policy.SetView, incoming policy.LineView) int {
+	highMask, lowMask := view.High, view.Low()
+	if view.HighCount() <= e.n {
+		if v := e.ghrp.VictimAmong(set, lowMask); v >= 0 {
 			return v
 		}
 	}
@@ -82,8 +70,8 @@ func (e *EmissaryGHRP) OnInvalidate(set, way int) {
 
 // OnPriorityUpdate implements policy.Policy: a promoted line joins the
 // high class's recency order.
-func (e *EmissaryGHRP) OnPriorityUpdate(set, way int, lines []policy.LineView) {
-	if lines[way].Priority {
+func (e *EmissaryGHRP) OnPriorityUpdate(set, way int, view policy.SetView) {
+	if view.Lines[way].Priority {
 		e.highT.Touch(set, way)
 	}
 }

@@ -42,11 +42,11 @@ func TestHybridProtectsHighPriority(t *testing.T) {
 	ls := lines(4)
 	ls[1].Priority = true
 	for w := 0; w < 4; w++ {
-		e.OnFill(0, w, ls)
+		e.OnFill(0, w, policy.ViewOf(ls))
 	}
 	// One high-priority line with N=2: the victim must be low-priority.
 	for trial := 0; trial < 8; trial++ {
-		if v := e.Victim(0, ls, policy.LineView{Valid: true, Instr: true}); ls[v].Priority {
+		if v := e.Victim(0, policy.ViewOf(ls), policy.LineView{Valid: true, Instr: true}); ls[v].Priority {
 			t.Fatal("hybrid evicted a protected line under the limit")
 		}
 	}
@@ -57,9 +57,9 @@ func TestHybridEvictsHighWhenOverLimit(t *testing.T) {
 	ls := lines(4)
 	for w := 0; w < 4; w++ {
 		ls[w].Priority = w < 3 // three high, one low; N=1
-		e.OnFill(0, w, ls)
+		e.OnFill(0, w, policy.ViewOf(ls))
 	}
-	if v := e.Victim(0, ls, policy.LineView{Valid: true}); !ls[v].Priority {
+	if v := e.Victim(0, policy.ViewOf(ls), policy.LineView{Valid: true}); !ls[v].Priority {
 		t.Error("over the limit, the victim must come from the high class")
 	}
 }
@@ -69,14 +69,14 @@ func TestHybridVictimInRange(t *testing.T) {
 	ls := lines(16)
 	for i := 0; i < 3000; i++ {
 		set := i % 16
-		v := e.Victim(set, ls, policy.LineView{Valid: true, Instr: true})
+		v := e.Victim(set, policy.ViewOf(ls), policy.LineView{Valid: true, Instr: true})
 		if v < 0 || v >= 16 {
 			t.Fatalf("victim %d out of range", v)
 		}
 		ls[v].Priority = i%7 == 0
-		e.OnFill(set, v, ls)
+		e.OnFill(set, v, policy.ViewOf(ls))
 		if i%3 == 0 {
-			e.OnHit(set, (i*5)%16, ls)
+			e.OnHit(set, (i*5)%16, policy.ViewOf(ls))
 		}
 		if i%11 == 0 {
 			e.OnInvalidate(set, (i*3)%16)

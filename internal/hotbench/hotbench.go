@@ -1,0 +1,243 @@
+// Package hotbench measures the cache hot path — ns and allocations
+// per Access/Fill for every policy family, plus end-to-end simulation
+// throughput — and renders the numbers as the BENCH_hotpath.json
+// trajectory artifact CI publishes on every run.
+//
+// It is the single source of truth for the hot-path benchmark
+// configuration: the go-test microbenchmarks in internal/cache reuse
+// the geometry, policy list and address stream defined here, so the
+// CI artifact and `go test -bench` always measure the same workload.
+//
+// hotbench deliberately lives outside the deterministic simulator
+// packages: wall-clock reads are its whole job, and the determinism
+// linter bans them inside internal/{cache,policy,sim,...}.
+package hotbench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"emissary/internal/cache"
+	"emissary/internal/core"
+	"emissary/internal/rng"
+	"emissary/internal/sim"
+	"emissary/internal/workload"
+)
+
+// Sets and Ways are the paper's L2 geometry (1 MB, 64 B lines,
+// 16-way), the cache the hot path spends its time in.
+const (
+	Sets = 1024
+	Ways = 16
+)
+
+// Policies spans every treatment family so a regression in one
+// policy's callbacks is visible in its own benchmark row.
+var Policies = []string{
+	"TPLRU",
+	"LRU",
+	"BIP",
+	"M:S&E&R(1/32)",
+	"P(8):S&E&R(1/32)",
+	"SRRIP",
+	"DRRIP",
+	"PDP",
+	"DCLIP",
+	"GHRP",
+}
+
+// addrSeed fixes the benchmark address stream: every run, on every
+// machine, measures the same hit/miss sequence.
+const addrSeed = 0xbe7c4
+
+// Addrs generates a deterministic line-address stream covering 4x the
+// cache capacity, so steady state sees both hits and misses. n must be
+// a power of two (callers index with i & (n-1)).
+func Addrs(n int) []uint64 {
+	r := rng.NewXoshiro256(addrSeed)
+	addrs := make([]uint64, n)
+	span := uint64(Sets * Ways * 4)
+	for i := range addrs {
+		addrs[i] = r.Uint64() % span
+	}
+	return addrs
+}
+
+// New builds the benchmark cache for one policy.
+func New(policyText string) (*cache.Cache, error) {
+	spec, err := core.ParsePolicy(policyText)
+	if err != nil {
+		return nil, err
+	}
+	return cache.NewCache("bench", Sets, Ways, spec.Build(Sets, Ways, 1)), nil
+}
+
+// Warm fills the cache to steady state so timed loops measure the
+// full-set path (victim selection), not the cold invalid-way path.
+func Warm(c *cache.Cache, addrs []uint64) {
+	for _, a := range addrs {
+		c.Fill(a, cache.FillSpec{Instr: a%2 == 0, Priority: a%8 == 0})
+	}
+}
+
+// OpResult is one micro-benchmark row.
+type OpResult struct {
+	Policy      string  `json:"policy"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// timeLoop measures fn over iters iterations: wall time from the
+// monotonic clock, allocation counts from the runtime's malloc
+// counters (exact, no sampling — AllocsPerOp is trustworthy at 0).
+func timeLoop(iters int, fn func(i int)) (nsPerOp, allocsPerOp, bytesPerOp float64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn(i)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return float64(elapsed.Nanoseconds()) / n,
+		float64(after.Mallocs-before.Mallocs) / n,
+		float64(after.TotalAlloc-before.TotalAlloc) / n
+}
+
+// MeasureAccess times the Access hot path for one policy.
+func MeasureAccess(policyText string, iters int) (OpResult, error) {
+	c, err := New(policyText)
+	if err != nil {
+		return OpResult{}, err
+	}
+	addrs := Addrs(1 << 16)
+	Warm(c, addrs)
+	mask := len(addrs) - 1
+	ns, allocs, bytes := timeLoop(iters, func(i int) {
+		a := addrs[i&mask]
+		c.Access(a, a%2 == 0)
+	})
+	return OpResult{Policy: policyText, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes, Iterations: iters}, nil
+}
+
+// MeasureFill times the Fill (miss + victim + install) path for one
+// policy.
+func MeasureFill(policyText string, iters int) (OpResult, error) {
+	c, err := New(policyText)
+	if err != nil {
+		return OpResult{}, err
+	}
+	addrs := Addrs(1 << 16)
+	Warm(c, addrs)
+	mask := len(addrs) - 1
+	ns, allocs, bytes := timeLoop(iters, func(i int) {
+		a := addrs[i&mask]
+		c.Fill(a, cache.FillSpec{Instr: a%2 == 0, Priority: a%8 == 0})
+	})
+	return OpResult{Policy: policyText, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes, Iterations: iters}, nil
+}
+
+// EndToEndResult is one full-simulator throughput row: how fast the
+// whole pipeline (front end, caches, back end) simulates instructions.
+type EndToEndResult struct {
+	Benchmark    string  `json:"benchmark"`
+	Policy       string  `json:"policy"`
+	WarmupInstrs uint64  `json:"warmup_instructions"`
+	Instructions uint64  `json:"measured_instructions"`
+	WallMS       float64 `json:"wall_ms"`
+	// SimMIPS is simulated (warmup+measured) instructions per wall
+	// second, in millions — the simulator's own throughput metric.
+	SimMIPS float64 `json:"sim_mips"`
+	IPC     float64 `json:"ipc"`
+}
+
+// MeasureEndToEnd runs one complete simulation under the wall clock.
+func MeasureEndToEnd(benchName, policyText string, warmup, measure uint64) (EndToEndResult, error) {
+	bench, ok := workload.ProfileByName(benchName)
+	if !ok {
+		return EndToEndResult{}, fmt.Errorf("hotbench: unknown benchmark %q", benchName)
+	}
+	start := time.Now()
+	res, err := sim.RunPolicy(bench, policyText, warmup, measure, 1)
+	if err != nil {
+		return EndToEndResult{}, err
+	}
+	elapsed := time.Since(start)
+	return EndToEndResult{
+		Benchmark:    benchName,
+		Policy:       policyText,
+		WarmupInstrs: warmup,
+		Instructions: measure,
+		WallMS:       float64(elapsed.Nanoseconds()) / 1e6,
+		SimMIPS:      float64(warmup+measure) / elapsed.Seconds() / 1e6,
+		IPC:          res.IPC,
+	}, nil
+}
+
+// Report is the BENCH_hotpath.json schema. Timing fields vary with
+// the host; structure and the allocs_per_op == 0 invariant do not.
+type Report struct {
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Sets      int    `json:"sets"`
+	Ways      int    `json:"ways"`
+
+	Access   []OpResult       `json:"access"`
+	Fill     []OpResult       `json:"fill"`
+	EndToEnd []EndToEndResult `json:"end_to_end"`
+}
+
+// EndToEndConfigs are the full-simulator rows Collect measures: the
+// TPLRU baseline and the paper's headline EMISSARY configuration on
+// one mid-size workload.
+var EndToEndConfigs = []struct {
+	Benchmark string
+	Policy    string
+}{
+	{"xapian", "TPLRU"},
+	{"xapian", "P(8):S&E&R(1/32)"},
+}
+
+// Collect runs the whole suite: Access and Fill for every policy in
+// Policies at iters iterations each, then the EndToEndConfigs at the
+// given instruction counts.
+func Collect(iters int, warmup, measure uint64) (*Report, error) {
+	rep := &Report{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Sets:      Sets,
+		Ways:      Ways,
+	}
+	for _, pol := range Policies {
+		r, err := MeasureAccess(pol, iters)
+		if err != nil {
+			return nil, err
+		}
+		rep.Access = append(rep.Access, r)
+	}
+	for _, pol := range Policies {
+		r, err := MeasureFill(pol, iters)
+		if err != nil {
+			return nil, err
+		}
+		rep.Fill = append(rep.Fill, r)
+	}
+	for _, cfg := range EndToEndConfigs {
+		r, err := MeasureEndToEnd(cfg.Benchmark, cfg.Policy, warmup, measure)
+		if err != nil {
+			return nil, err
+		}
+		rep.EndToEnd = append(rep.EndToEnd, r)
+	}
+	return rep, nil
+}

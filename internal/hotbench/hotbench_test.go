@@ -1,0 +1,70 @@
+package hotbench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestAddrsDeterministic(t *testing.T) {
+	a, b := Addrs(1<<10), Addrs(1<<10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("address stream diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	span := uint64(Sets * Ways * 4)
+	for i, v := range a {
+		if v >= span {
+			t.Fatalf("addr[%d] = %d outside span %d", i, v, span)
+		}
+	}
+}
+
+func TestMeasureAccessAndFill(t *testing.T) {
+	for _, measure := range []func(string, int) (OpResult, error){MeasureAccess, MeasureFill} {
+		r, err := measure("TPLRU", 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("NsPerOp = %v, want > 0", r.NsPerOp)
+		}
+		if r.AllocsPerOp != 0 {
+			t.Errorf("AllocsPerOp = %v, want 0", r.AllocsPerOp)
+		}
+		if r.Iterations != 2000 || r.Policy != "TPLRU" {
+			t.Errorf("row mislabeled: %+v", r)
+		}
+	}
+	if _, err := MeasureAccess("garbage!!", 10); err == nil {
+		t.Error("MeasureAccess accepted a bad policy")
+	}
+}
+
+func TestMeasureEndToEnd(t *testing.T) {
+	r, err := MeasureEndToEnd("xapian", "TPLRU", 10_000, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WallMS <= 0 || r.SimMIPS <= 0 || r.IPC <= 0 {
+		t.Errorf("degenerate end-to-end row: %+v", r)
+	}
+	if _, err := MeasureEndToEnd("nope", "TPLRU", 1, 1); err == nil {
+		t.Error("MeasureEndToEnd accepted an unknown benchmark")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{Schema: 1, Access: []OpResult{{Policy: "LRU", NsPerOp: 1.5, Iterations: 10}}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != 1 || len(back.Access) != 1 || back.Access[0].Policy != "LRU" {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}

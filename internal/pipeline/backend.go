@@ -37,6 +37,9 @@ type robEntry struct {
 type backend struct {
 	cfg  *Config
 	hier *cache.Hierarchy
+	// lineShift caches hier.LineShift(): dispatch shifts every
+	// load/store address by it, so it must not cost a call per op.
+	lineShift uint
 
 	rob        []robEntry
 	head, tail int // ring indices
@@ -75,6 +78,7 @@ func newBackend(cfg *Config, hier *cache.Hierarchy, seed uint64) *backend {
 	return &backend{
 		cfg:       cfg,
 		hier:      hier,
+		lineShift: hier.LineShift(),
 		rob:       make([]robEntry, cfg.ROBSize),
 		iqRelease: make([]int32, ringSize),
 		issueBusy: make([]int32, ringSize),
@@ -144,7 +148,7 @@ func (b *backend) dispatch(now uint64, pc uint64, cls trace.Class, hasMem bool, 
 		b.lqCount++
 		b.LoadsIssued++
 		if hasMem {
-			lat = uint64(b.hier.AccessData(memAddr>>b.hier.LineShift(), false))
+			lat = uint64(b.hier.AccessData(memAddr>>b.lineShift, false))
 		} else {
 			lat = 2 // wrong-path load: charged L1D-hit time, no cache access
 		}
@@ -152,7 +156,7 @@ func (b *backend) dispatch(now uint64, pc uint64, cls trace.Class, hasMem bool, 
 		b.sqCount++
 		b.StoresIssued++
 		if hasMem {
-			b.hier.AccessData(memAddr>>b.hier.LineShift(), true)
+			b.hier.AccessData(memAddr>>b.lineShift, true)
 		}
 		lat = 1 // stores retire through the store buffer
 	}

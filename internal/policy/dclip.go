@@ -68,13 +68,13 @@ func (p *DCLIP) clipActive(set int) bool {
 func (p *DCLIP) Name() string { return p.name }
 
 // OnHit implements Policy.
-func (p *DCLIP) OnHit(set, way int, lines []LineView) {
+func (p *DCLIP) OnHit(set, way int, view SetView) {
 	p.rrpv[p.idx(set, way)] = 0
 }
 
 // OnFill implements Policy.
-func (p *DCLIP) OnFill(set, way int, lines []LineView) {
-	l := lines[way]
+func (p *DCLIP) OnFill(set, way int, view SetView) {
+	l := view.Lines[way]
 	if l.Instr {
 		switch p.leaderKind(set) {
 		case 1:
@@ -99,7 +99,7 @@ func (p *DCLIP) OnFill(set, way int, lines []LineView) {
 }
 
 // Victim implements Policy.
-func (p *DCLIP) Victim(set int, lines []LineView, incoming LineView) int {
+func (p *DCLIP) Victim(set int, view SetView, incoming LineView) int {
 	base := set * p.ways
 	for {
 		for w := 0; w < p.ways; w++ {
@@ -119,7 +119,7 @@ func (p *DCLIP) OnInvalidate(set, way int) {
 }
 
 // OnPriorityUpdate implements Policy.
-func (p *DCLIP) OnPriorityUpdate(set, way int, lines []LineView) {}
+func (p *DCLIP) OnPriorityUpdate(set, way int, view SetView) {}
 
 // PSEL exposes the dueling counter for tests.
 func (p *DCLIP) PSEL() int { return p.psel }

@@ -1,6 +1,10 @@
 package policy
 
-import "emissary/internal/rng"
+import (
+	"math/bits"
+
+	"emissary/internal/rng"
+)
 
 // GHRP implements a compact variant of Global History Reuse Prediction
 // (Ajorpaz et al., ISCA 2018), the instruction-cache dead-block policy
@@ -82,7 +86,7 @@ func (p *GHRP) trainLive(sig uint32) {
 func (p *GHRP) Name() string { return p.name }
 
 // OnHit implements Policy.
-func (p *GHRP) OnHit(set, way int, lines []LineView) {
+func (p *GHRP) OnHit(set, way int, view SetView) {
 	i := p.idx(set, way)
 	// The previous signature proved live.
 	p.trainLive(p.sigs[i])
@@ -93,7 +97,7 @@ func (p *GHRP) OnHit(set, way int, lines []LineView) {
 }
 
 // OnFill implements Policy.
-func (p *GHRP) OnFill(set, way int, lines []LineView) {
+func (p *GHRP) OnFill(set, way int, view SetView) {
 	i := p.idx(set, way)
 	p.advanceHistory(set, way)
 	p.sigs[i] = p.signature(set, way)
@@ -101,27 +105,29 @@ func (p *GHRP) OnFill(set, way int, lines []LineView) {
 	p.stamps.Touch(set, way)
 }
 
-// DeadMask returns the mask of valid ways whose current signature is
-// predicted dead (exported for the EMISSARY+GHRP hybrid).
-func (p *GHRP) DeadMask(set int, lines []LineView) uint32 {
+// DeadMask returns the mask of ways within valid whose current
+// signature is predicted dead (exported for the EMISSARY+GHRP hybrid).
+func (p *GHRP) DeadMask(set int, valid uint32) uint32 {
 	var m uint32
 	base := set * p.ways
-	for w := 0; w < p.ways && w < len(lines); w++ {
-		if lines[w].Valid && p.dead[p.sigs[base+w]] >= ghrpDeadThreshold {
+	for v := valid & maskAll(p.ways); v != 0; v &= v - 1 {
+		w := bits.TrailingZeros32(v)
+		if p.dead[p.sigs[base+w]] >= ghrpDeadThreshold {
 			m |= 1 << uint(w)
 		}
 	}
 	return m
 }
 
-// VictimAmong picks a victim restricted to mask: predicted-dead lines
-// first, else the least recently used; -1 if the mask is empty.
-// Exported for the EMISSARY+GHRP hybrid.
-func (p *GHRP) VictimAmong(set int, lines []LineView, mask uint32) int {
+// VictimAmong picks a victim restricted to mask (a subset of the
+// set's valid ways): predicted-dead lines first, else the least
+// recently used; -1 if the mask is empty. Exported for the
+// EMISSARY+GHRP hybrid.
+func (p *GHRP) VictimAmong(set int, mask uint32) int {
 	if mask == 0 {
 		return -1
 	}
-	if deadMask := p.DeadMask(set, lines) & mask; deadMask != 0 {
+	if deadMask := p.DeadMask(set, mask) & mask; deadMask != 0 {
 		if v := p.stamps.VictimAmong(set, deadMask); v >= 0 {
 			return v
 		}
@@ -130,8 +136,8 @@ func (p *GHRP) VictimAmong(set int, lines []LineView, mask uint32) int {
 }
 
 // Victim implements Policy.
-func (p *GHRP) Victim(set int, lines []LineView, incoming LineView) int {
-	v := p.VictimAmong(set, lines, maskAll(p.ways))
+func (p *GHRP) Victim(set int, view SetView, incoming LineView) int {
+	v := p.VictimAmong(set, view.Valid)
 	if v < 0 {
 		return 0
 	}
@@ -150,4 +156,4 @@ func (p *GHRP) OnInvalidate(set, way int) {
 }
 
 // OnPriorityUpdate implements Policy.
-func (p *GHRP) OnPriorityUpdate(set, way int, lines []LineView) {}
+func (p *GHRP) OnPriorityUpdate(set, way int, view SetView) {}

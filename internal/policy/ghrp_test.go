@@ -8,7 +8,7 @@ func TestGHRPLearnsDeadSignatures(t *testing.T) {
 	// Fill way 0 repeatedly without ever hitting it: its signatures
 	// should accumulate dead training.
 	for i := 0; i < 50; i++ {
-		p.OnFill(0, 0, ls)
+		p.OnFill(0, 0, ViewOf(ls))
 		p.OnInvalidate(0, 0) // evicted untouched -> dead training
 	}
 	deadTrained := 0
@@ -25,10 +25,10 @@ func TestGHRPLearnsDeadSignatures(t *testing.T) {
 func TestGHRPLiveTrainingDecays(t *testing.T) {
 	p := NewGHRP(1, 4)
 	ls := fullSet(4, nil)
-	p.OnFill(0, 1, ls)
+	p.OnFill(0, 1, ViewOf(ls))
 	sig := p.sigs[1]
 	p.dead[sig] = ghrpDeadMax
-	p.OnHit(0, 1, ls) // proves live
+	p.OnHit(0, 1, ViewOf(ls)) // proves live
 	if p.dead[sig] != ghrpDeadMax-1 {
 		t.Errorf("dead counter = %d after live proof, want %d", p.dead[sig], ghrpDeadMax-1)
 	}
@@ -38,12 +38,12 @@ func TestGHRPVictimPrefersPredictedDead(t *testing.T) {
 	p := NewGHRP(1, 4)
 	ls := fullSet(4, nil)
 	for w := 0; w < 4; w++ {
-		p.OnFill(0, w, ls)
-		p.OnHit(0, w, ls) // make every line recently used and touched
+		p.OnFill(0, w, ViewOf(ls))
+		p.OnHit(0, w, ViewOf(ls)) // make every line recently used and touched
 	}
 	// Force way 2's current signature to predict dead.
 	p.dead[p.sigs[2]] = ghrpDeadMax
-	if v := p.Victim(0, ls, LineView{Valid: true}); v != 2 {
+	if v := p.Victim(0, ViewOf(ls), LineView{Valid: true}); v != 2 {
 		t.Errorf("Victim = %d, want predicted-dead way 2", v)
 	}
 }
@@ -52,13 +52,13 @@ func TestGHRPFallsBackToLRU(t *testing.T) {
 	p := NewGHRP(1, 4)
 	ls := fullSet(4, nil)
 	for w := 0; w < 4; w++ {
-		p.OnFill(0, w, ls)
+		p.OnFill(0, w, ViewOf(ls))
 	}
 	// No dead predictions: victim is the least recently filled (way 0).
 	for i := range p.dead {
 		p.dead[i] = 0
 	}
-	if v := p.Victim(0, ls, LineView{Valid: true}); v != 0 {
+	if v := p.Victim(0, ViewOf(ls), LineView{Valid: true}); v != 0 {
 		t.Errorf("Victim = %d, want LRU way 0", v)
 	}
 }
@@ -67,12 +67,12 @@ func TestGHRPVictimAmongMask(t *testing.T) {
 	p := NewGHRP(1, 8)
 	ls := fullSet(8, nil)
 	for w := 0; w < 8; w++ {
-		p.OnFill(0, w, ls)
+		p.OnFill(0, w, ViewOf(ls))
 	}
-	if v := p.VictimAmong(0, ls, 0); v != -1 {
+	if v := p.VictimAmong(0, 0); v != -1 {
 		t.Errorf("empty mask gave %d", v)
 	}
-	if v := p.VictimAmong(0, ls, 0b10100000); v != 5 && v != 7 {
+	if v := p.VictimAmong(0, 0b10100000); v != 5 && v != 7 {
 		t.Errorf("masked victim %d outside mask", v)
 	}
 }
@@ -80,8 +80,8 @@ func TestGHRPVictimAmongMask(t *testing.T) {
 func TestGHRPTouchedEvictionTrainsLive(t *testing.T) {
 	p := NewGHRP(1, 4)
 	ls := fullSet(4, nil)
-	p.OnFill(0, 3, ls)
-	p.OnHit(0, 3, ls)
+	p.OnFill(0, 3, ViewOf(ls))
+	p.OnHit(0, 3, ViewOf(ls))
 	sig := p.sigs[3]
 	p.dead[sig] = 2
 	p.OnInvalidate(0, 3) // evicted but it was reused: live training

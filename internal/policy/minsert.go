@@ -17,13 +17,13 @@ func NewRecency(name string, base RecencyBase) *Recency {
 func (p *Recency) Name() string { return p.name }
 
 // OnHit implements Policy.
-func (p *Recency) OnHit(set, way int, lines []LineView) { p.base.Touch(set, way) }
+func (p *Recency) OnHit(set, way int, view SetView) { p.base.Touch(set, way) }
 
 // OnFill implements Policy.
-func (p *Recency) OnFill(set, way int, lines []LineView) { p.base.Touch(set, way) }
+func (p *Recency) OnFill(set, way int, view SetView) { p.base.Touch(set, way) }
 
 // Victim implements Policy.
-func (p *Recency) Victim(set int, lines []LineView, incoming LineView) int {
+func (p *Recency) Victim(set int, view SetView, incoming LineView) int {
 	return p.base.Victim(set)
 }
 
@@ -31,7 +31,7 @@ func (p *Recency) Victim(set int, lines []LineView, incoming LineView) int {
 func (p *Recency) OnInvalidate(set, way int) {}
 
 // OnPriorityUpdate implements Policy.
-func (p *Recency) OnPriorityUpdate(set, way int, lines []LineView) {}
+func (p *Recency) OnPriorityUpdate(set, way int, view SetView) {}
 
 // MInsert is the M-treatment family from Table 2 of the paper:
 // bimodality expressed purely at insertion. High-priority instruction
@@ -57,11 +57,11 @@ func NewMInsert(name string, base RecencyBase) *MInsert {
 func (p *MInsert) Name() string { return p.name }
 
 // OnHit implements Policy.
-func (p *MInsert) OnHit(set, way int, lines []LineView) { p.base.Touch(set, way) }
+func (p *MInsert) OnHit(set, way int, view SetView) { p.base.Touch(set, way) }
 
 // OnFill implements Policy.
-func (p *MInsert) OnFill(set, way int, lines []LineView) {
-	l := lines[way]
+func (p *MInsert) OnFill(set, way int, view SetView) {
+	l := view.Lines[way]
 	if l.Instr && !l.Priority {
 		p.base.MakeLRU(set, way)
 		return
@@ -70,7 +70,7 @@ func (p *MInsert) OnFill(set, way int, lines []LineView) {
 }
 
 // Victim implements Policy.
-func (p *MInsert) Victim(set int, lines []LineView, incoming LineView) int {
+func (p *MInsert) Victim(set int, view SetView, incoming LineView) int {
 	return p.base.Victim(set)
 }
 
@@ -79,4 +79,4 @@ func (p *MInsert) OnInvalidate(set, way int) {}
 
 // OnPriorityUpdate implements Policy. Insertion-only bimodality: a
 // priority bit arriving after insertion (L1I eviction) has no effect.
-func (p *MInsert) OnPriorityUpdate(set, way int, lines []LineView) {}
+func (p *MInsert) OnPriorityUpdate(set, way int, view SetView) {}

@@ -1,5 +1,7 @@
 package policy
 
+import "math/bits"
+
 // PDP implements a static Protecting Distance Policy (Duong et al.,
 // MICRO 2012). Every line carries a remaining-protecting-distance
 // counter initialised to the protecting distance PD on insertion and
@@ -44,13 +46,12 @@ func NewPDP(sets, ways, pd int) *PDP {
 
 func (p *PDP) idx(set, way int) int { return set*p.ways + way }
 
-// age decrements every other valid line's remaining distance.
-func (p *PDP) age(set, except int, lines []LineView) {
+// age decrements every other valid line's remaining distance,
+// walking the set's precomputed valid mask.
+func (p *PDP) age(set, except int, valid uint32) {
 	base := set * p.ways
-	for w := 0; w < p.ways && w < len(lines); w++ {
-		if w == except || !lines[w].Valid {
-			continue
-		}
+	for m := valid &^ (1 << uint(except)); m != 0; m &= m - 1 {
+		w := bits.TrailingZeros32(m)
 		if p.remaining[base+w] > 0 {
 			p.remaining[base+w]--
 		}
@@ -61,23 +62,23 @@ func (p *PDP) age(set, except int, lines []LineView) {
 func (p *PDP) Name() string { return p.name }
 
 // OnHit implements Policy.
-func (p *PDP) OnHit(set, way int, lines []LineView) {
+func (p *PDP) OnHit(set, way int, view SetView) {
 	p.remaining[p.idx(set, way)] = uint16(p.pd)
 	p.stamps.Touch(set, way)
-	p.age(set, way, lines)
+	p.age(set, way, view.Valid)
 }
 
 // OnFill implements Policy.
-func (p *PDP) OnFill(set, way int, lines []LineView) {
+func (p *PDP) OnFill(set, way int, view SetView) {
 	p.remaining[p.idx(set, way)] = uint16(p.pd)
 	p.stamps.Touch(set, way)
-	p.age(set, way, lines)
+	p.age(set, way, view.Valid)
 }
 
 // Victim implements Policy: prefer the least-recently-used expired
 // line; if all lines remain protected, evict the one closest to
 // expiry (ties to LRU).
-func (p *PDP) Victim(set int, lines []LineView, incoming LineView) int {
+func (p *PDP) Victim(set int, view SetView, incoming LineView) int {
 	base := set * p.ways
 	var expired uint32
 	for w := 0; w < p.ways; w++ {
@@ -105,4 +106,4 @@ func (p *PDP) OnInvalidate(set, way int) {
 }
 
 // OnPriorityUpdate implements Policy.
-func (p *PDP) OnPriorityUpdate(set, way int, lines []LineView) {}
+func (p *PDP) OnPriorityUpdate(set, way int, view SetView) {}

@@ -19,12 +19,12 @@ func TestMInsertLowPriorityInstrInsertsAtLRU(t *testing.T) {
 	lines := fullSet(4, nil)
 	for w := 0; w < 4; w++ {
 		lines[w].Priority = true
-		p.OnFill(0, w, lines)
+		p.OnFill(0, w, ViewOf(lines))
 	}
 	// Low-priority instruction fill at way 2 should become the victim.
 	lines[2].Priority = false
-	p.OnFill(0, 2, lines)
-	if v := p.Victim(0, lines, LineView{}); v != 2 {
+	p.OnFill(0, 2, ViewOf(lines))
+	if v := p.Victim(0, ViewOf(lines), LineView{}); v != 2 {
 		t.Errorf("Victim = %d, want 2 (LRU-inserted line)", v)
 	}
 }
@@ -34,9 +34,9 @@ func TestMInsertHighPriorityInsertsAtMRU(t *testing.T) {
 	lines := fullSet(4, nil)
 	for w := 0; w < 4; w++ {
 		lines[w].Priority = true
-		p.OnFill(0, w, lines)
+		p.OnFill(0, w, ViewOf(lines))
 	}
-	if v := p.Victim(0, lines, LineView{}); v != 0 {
+	if v := p.Victim(0, ViewOf(lines), LineView{}); v != 0 {
 		t.Errorf("Victim = %d, want 0", v)
 	}
 }
@@ -46,12 +46,12 @@ func TestMInsertDataAlwaysMRU(t *testing.T) {
 	lines := fullSet(4, func(w int) bool { return w != 3 })
 	for w := 0; w < 3; w++ {
 		lines[w].Priority = true
-		p.OnFill(0, w, lines)
+		p.OnFill(0, w, ViewOf(lines))
 	}
 	// Data line fills with Priority=false but must still go MRU.
 	lines[3].Priority = false
-	p.OnFill(0, 3, lines)
-	if v := p.Victim(0, lines, LineView{}); v != 0 {
+	p.OnFill(0, 3, ViewOf(lines))
+	if v := p.Victim(0, ViewOf(lines), LineView{}); v != 0 {
 		t.Errorf("Victim = %d, want 0 (data line not LRU-inserted)", v)
 	}
 }
@@ -60,12 +60,12 @@ func TestMInsertHitPromotes(t *testing.T) {
 	p := NewMInsert("M:0", NewTrueLRU(1, 2))
 	lines := fullSet(2, nil)
 	lines[0].Priority = false
-	p.OnFill(0, 0, lines)
+	p.OnFill(0, 0, ViewOf(lines))
 	lines[1].Priority = false
-	p.OnFill(0, 1, lines)
+	p.OnFill(0, 1, ViewOf(lines))
 	// Way 0 was LRU-inserted first, so it's the victim; a hit rescues it.
-	p.OnHit(0, 0, lines)
-	if v := p.Victim(0, lines, LineView{}); v != 1 {
+	p.OnHit(0, 0, ViewOf(lines))
+	if v := p.Victim(0, ViewOf(lines), LineView{}); v != 1 {
 		t.Errorf("Victim = %d, want 1 after hit promoted way 0", v)
 	}
 }
@@ -74,9 +74,9 @@ func TestRecencyPolicyBasics(t *testing.T) {
 	p := NewRecency("TPLRU", NewTPLRU(1, 4))
 	lines := fullSet(4, nil)
 	for w := 0; w < 4; w++ {
-		p.OnFill(0, w, lines)
+		p.OnFill(0, w, ViewOf(lines))
 	}
-	if v := p.Victim(0, lines, LineView{}); v != 0 {
+	if v := p.Victim(0, ViewOf(lines), LineView{}); v != 0 {
 		t.Errorf("Victim = %d, want 0", v)
 	}
 	if p.Name() != "TPLRU" {
@@ -88,15 +88,15 @@ func TestSRRIPInsertionAndPromotion(t *testing.T) {
 	p := NewSRRIP(1, 4)
 	lines := fullSet(4, nil)
 	for w := 0; w < 4; w++ {
-		p.OnFill(0, w, lines)
+		p.OnFill(0, w, ViewOf(lines))
 	}
 	// All lines at RRPV=2; aging makes way 0 the first distant line.
-	if v := p.Victim(0, lines, LineView{}); v != 0 {
+	if v := p.Victim(0, ViewOf(lines), LineView{}); v != 0 {
 		t.Errorf("Victim = %d, want 0", v)
 	}
 	// Promote way 0; next victim should be way 1 after aging.
-	p.OnHit(0, 0, lines)
-	if v := p.Victim(0, lines, LineView{}); v != 1 {
+	p.OnHit(0, 0, ViewOf(lines))
+	if v := p.Victim(0, ViewOf(lines), LineView{}); v != 1 {
 		t.Errorf("Victim after promoting 0 = %d, want 1", v)
 	}
 }
@@ -107,7 +107,7 @@ func TestBRRIPMostlyDistant(t *testing.T) {
 	distant := 0
 	const trials = 3200
 	for i := 0; i < trials; i++ {
-		p.OnFill(0, 0, lines)
+		p.OnFill(0, 0, ViewOf(lines))
 		if p.rrpv[0] == maxRRPV {
 			distant++
 		}
@@ -124,7 +124,7 @@ func TestDRRIPDuelingMovesPSEL(t *testing.T) {
 	start := p.PSEL()
 	// Misses in the SRRIP leader set (set 0) push PSEL up.
 	for i := 0; i < 10; i++ {
-		p.OnFill(0, 0, lines)
+		p.OnFill(0, 0, ViewOf(lines))
 	}
 	if p.PSEL() <= start {
 		t.Errorf("PSEL did not increase on SRRIP-leader misses: %d -> %d", start, p.PSEL())
@@ -132,7 +132,7 @@ func TestDRRIPDuelingMovesPSEL(t *testing.T) {
 	// Misses in the BRRIP leader set push it back down.
 	up := p.PSEL()
 	for i := 0; i < 20; i++ {
-		p.OnFill(duelingPeriod/2, 0, lines)
+		p.OnFill(duelingPeriod/2, 0, ViewOf(lines))
 	}
 	if p.PSEL() >= up {
 		t.Errorf("PSEL did not decrease on BRRIP-leader misses: %d -> %d", up, p.PSEL())
@@ -156,13 +156,13 @@ func TestRRIPVictimAlwaysValidWay(t *testing.T) {
 	p := NewSRRIP(2, 8)
 	lines := fullSet(8, nil)
 	for i := 0; i < 100; i++ {
-		w := p.Victim(1, lines, LineView{})
+		w := p.Victim(1, ViewOf(lines), LineView{})
 		if w < 0 || w >= 8 {
 			t.Fatalf("Victim out of range: %d", w)
 		}
-		p.OnFill(1, w, lines)
+		p.OnFill(1, w, ViewOf(lines))
 		if i%3 == 0 {
-			p.OnHit(1, (i*5)%8, lines)
+			p.OnHit(1, (i*5)%8, ViewOf(lines))
 		}
 	}
 }
@@ -171,11 +171,11 @@ func TestRRIPInvalidateMakesVictim(t *testing.T) {
 	p := NewSRRIP(1, 4)
 	lines := fullSet(4, nil)
 	for w := 0; w < 4; w++ {
-		p.OnFill(0, w, lines)
-		p.OnHit(0, w, lines)
+		p.OnFill(0, w, ViewOf(lines))
+		p.OnHit(0, w, ViewOf(lines))
 	}
 	p.OnInvalidate(0, 2)
-	if v := p.Victim(0, lines, LineView{}); v != 2 {
+	if v := p.Victim(0, ViewOf(lines), LineView{}); v != 2 {
 		t.Errorf("Victim = %d, want invalidated way 2", v)
 	}
 }
@@ -184,10 +184,10 @@ func TestPDPProtectsRecentlyInserted(t *testing.T) {
 	p := NewPDP(1, 4, 8)
 	lines := fullSet(4, nil)
 	for w := 0; w < 4; w++ {
-		p.OnFill(0, w, lines)
+		p.OnFill(0, w, ViewOf(lines))
 	}
 	// All protected: victim is the closest to expiry = way 0 (aged most).
-	if v := p.Victim(0, lines, LineView{}); v != 0 {
+	if v := p.Victim(0, ViewOf(lines), LineView{}); v != 0 {
 		t.Errorf("Victim = %d, want 0", v)
 	}
 }
@@ -196,13 +196,13 @@ func TestPDPExpiredPreferred(t *testing.T) {
 	p := NewPDP(1, 4, 2)
 	lines := fullSet(4, nil)
 	for w := 0; w < 4; w++ {
-		p.OnFill(0, w, lines)
+		p.OnFill(0, w, ViewOf(lines))
 	}
 	// Repeatedly hit way 3; ways 0-2 expire (PD=2).
 	for i := 0; i < 5; i++ {
-		p.OnHit(0, 3, lines)
+		p.OnHit(0, 3, ViewOf(lines))
 	}
-	v := p.Victim(0, lines, LineView{})
+	v := p.Victim(0, ViewOf(lines), LineView{})
 	if v == 3 {
 		t.Errorf("Victim = 3, which is the only protected line")
 	}
@@ -220,9 +220,9 @@ func TestDCLIPPrefersEvictingData(t *testing.T) {
 	// Set 0 is a CLIP-on leader: instruction fills get RRPV 0, data 3.
 	lines := fullSet(4, func(w int) bool { return w < 2 })
 	for w := 0; w < 4; w++ {
-		p.OnFill(0, w, lines)
+		p.OnFill(0, w, ViewOf(lines))
 	}
-	v := p.Victim(0, lines, LineView{})
+	v := p.Victim(0, ViewOf(lines), LineView{})
 	if v != 2 && v != 3 {
 		t.Errorf("Victim = %d, want a data way (2 or 3)", v)
 	}
@@ -233,34 +233,41 @@ func TestDCLIPDuelingUpdatesOnInstrMissOnly(t *testing.T) {
 	linesI := fullSet(4, nil)
 	linesD := fullSet(4, func(int) bool { return false })
 	start := p.PSEL()
-	p.OnFill(0, 0, linesD) // data miss in CLIP leader: no PSEL change
+	p.OnFill(0, 0, ViewOf(linesD)) // data miss in CLIP leader: no PSEL change
 	if p.PSEL() != start {
 		t.Errorf("PSEL moved on data miss")
 	}
-	p.OnFill(0, 0, linesI) // instruction miss in CLIP leader
+	p.OnFill(0, 0, ViewOf(linesI)) // instruction miss in CLIP leader
 	if p.PSEL() != start+1 {
 		t.Errorf("PSEL = %d, want %d", p.PSEL(), start+1)
 	}
 }
 
-func TestMasksHelpers(t *testing.T) {
+func TestSetViewMasks(t *testing.T) {
 	lines := []LineView{
 		{Valid: true, Priority: true, Instr: true},
 		{Valid: true, Priority: false, Instr: false},
 		{Valid: false, Priority: true, Instr: true},
 		{Valid: true, Priority: true, Instr: false},
 	}
-	if m := validMask(lines, true); m != 0b1001 {
-		t.Errorf("validMask(high) = %04b", m)
+	v := ViewOf(lines)
+	if v.Valid != 0b1011 {
+		t.Errorf("Valid = %04b", v.Valid)
 	}
-	if m := validMask(lines, false); m != 0b0010 {
-		t.Errorf("validMask(low) = %04b", m)
+	if v.High != 0b1001 {
+		t.Errorf("High = %04b", v.High)
 	}
-	if m := instrMask(lines, true); m != 0b0001 {
-		t.Errorf("instrMask(instr) = %04b", m)
+	if m := v.Low(); m != 0b0010 {
+		t.Errorf("Low() = %04b", m)
 	}
-	if m := instrMask(lines, false); m != 0b1010 {
-		t.Errorf("instrMask(data) = %04b", m)
+	if v.Instr != 0b0001 {
+		t.Errorf("Instr = %04b", v.Instr)
+	}
+	if m := v.Data(); m != 0b1010 {
+		t.Errorf("Data() = %04b", m)
+	}
+	if n := v.HighCount(); n != 2 {
+		t.Errorf("HighCount() = %d", n)
 	}
 	if m := maskAll(4); m != 0b1111 {
 		t.Errorf("maskAll(4) = %04b", m)

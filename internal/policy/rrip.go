@@ -110,13 +110,13 @@ func (p *RRIP) Name() string { return p.name }
 
 // OnHit implements Policy. Hit promotion to near-immediate
 // re-reference (HP policy from the RRIP paper).
-func (p *RRIP) OnHit(set, way int, lines []LineView) {
+func (p *RRIP) OnHit(set, way int, view SetView) {
 	p.rrpv[p.idx(set, way)] = 0
 }
 
 // OnFill implements Policy. A fill is evidence of a miss, so DRRIP
 // leader sets update PSEL here.
-func (p *RRIP) OnFill(set, way int, lines []LineView) {
+func (p *RRIP) OnFill(set, way int, view SetView) {
 	if p.mode == modeDRRIP {
 		switch p.leaderKind(set) {
 		case 1: // SRRIP leader missed
@@ -138,7 +138,7 @@ func (p *RRIP) OnFill(set, way int, lines []LineView) {
 
 // Victim implements Policy: find a distant line, aging the set until
 // one appears.
-func (p *RRIP) Victim(set int, lines []LineView, incoming LineView) int {
+func (p *RRIP) Victim(set int, view SetView, incoming LineView) int {
 	base := set * p.ways
 	for {
 		for w := 0; w < p.ways; w++ {
@@ -158,7 +158,7 @@ func (p *RRIP) OnInvalidate(set, way int) {
 }
 
 // OnPriorityUpdate implements Policy.
-func (p *RRIP) OnPriorityUpdate(set, way int, lines []LineView) {}
+func (p *RRIP) OnPriorityUpdate(set, way int, view SetView) {}
 
 // PSEL exposes the dueling counter for tests.
 func (p *RRIP) PSEL() int { return p.psel }

@@ -1,0 +1,59 @@
+// Package profiling wires the runtime/pprof collectors behind the
+// -cpuprofile/-memprofile flags every CLI shares. It lives outside the
+// deterministic simulator packages: profiling observes the process,
+// it never feeds back into simulation state.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns
+// a stop function that ends the CPU profile and, when memPath is
+// non-empty, captures a heap profile after a final GC. Either path may
+// be empty; with both empty Start is a no-op and stop returns nil.
+//
+// The stop function must run before the process exits for the
+// profiles to be valid, so call it via defer on the success path:
+//
+//	stop, err := profiling.Start(*cpuProfile, *memProfile)
+//	if err != nil { ... }
+//	defer stop()
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			// An up-to-date heap profile needs the dead objects of the
+			// final simulation window collected first.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,143 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"emissary/internal/sim"
+	"emissary/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current simulator output")
+
+// goldenPolicies spans every treatment in internal/policy and
+// internal/core: the recency baselines, the M and P bimodal families
+// (including the true-LRU and GHRP-hybrid variants), and all five
+// comparison policies.
+var goldenPolicies = []string{
+	"TPLRU",
+	"LRU",
+	"LIP",
+	"BIP",
+	"M:S&E",
+	"M:S&E&R(1/32)",
+	"P(8):S",
+	"P(8):S&E&R(1/32)",
+	"P(8):S&E+LRU",
+	"P(8):S&E+GHRP",
+	"SRRIP",
+	"BRRIP",
+	"DRRIP",
+	"PDP",
+	"DCLIP",
+	"GHRP",
+}
+
+// shortBenches is the -short subset; the full run covers every
+// workload profile.
+var shortBenches = []string{"tomcat", "xapian"}
+
+const (
+	goldenWarmup  = 10_000
+	goldenMeasure = 50_000
+)
+
+// goldenDigest renders a run's complete statistics deterministically.
+// Byte equality of this string across code versions is the hot-path
+// rewrite's correctness contract: any behavioral change to the cache
+// core, a policy, or the pipeline shows up as a digest diff.
+func goldenDigest(res sim.Result) string {
+	return fmt.Sprintf("%+v", res)
+}
+
+func goldenKey(bench, policyText string) string {
+	return bench + "|" + policyText
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden.json") }
+
+func loadGolden(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	return m
+}
+
+// TestGoldenEquivalence locks the simulator's output bit-for-bit: one
+// short run per (workload, policy) pair must render exactly the digest
+// recorded in testdata/golden.json. The goldens were captured before
+// the hot-path rewrite of the cache core, so a pass here proves the
+// rewrite preserved every statistic byte-identically.
+func TestGoldenEquivalence(t *testing.T) {
+	benches := workload.ProfileNames()
+	if testing.Short() {
+		benches = shortBenches
+	}
+	golden := map[string]string{}
+	if !*updateGolden {
+		golden = loadGolden(t)
+	}
+	got := make(map[string]string)
+	for _, bench := range benches {
+		prof, ok := workload.ProfileByName(bench)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", bench)
+		}
+		for _, pol := range goldenPolicies {
+			key := goldenKey(bench, pol)
+			res, err := sim.RunPolicy(prof, pol, goldenWarmup, goldenMeasure, 1)
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			digest := goldenDigest(res)
+			got[key] = digest
+			if *updateGolden {
+				continue
+			}
+			want, ok := golden[key]
+			if !ok {
+				t.Errorf("%s: no golden entry (regenerate with -update-golden)", key)
+				continue
+			}
+			if digest != want {
+				t.Errorf("%s: simulation output diverged from golden\n got: %s\nwant: %s", key, digest, want)
+			}
+		}
+	}
+	if *updateGolden {
+		// Merge over any entries for benchmarks outside this run's
+		// subset so -short -update-golden cannot silently drop rows.
+		if data, err := os.ReadFile(goldenPath()); err == nil {
+			var old map[string]string
+			if err := json.Unmarshal(data, &old); err == nil {
+				for k, v := range old {
+					if _, ok := got[k]; !ok {
+						got[k] = v
+					}
+				}
+			}
+		}
+		// encoding/json sorts map keys, so the file is deterministic.
+		data, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath()), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries", len(got))
+	}
+}
