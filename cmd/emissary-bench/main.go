@@ -32,6 +32,7 @@ func main() {
 		measure = flag.Uint64("measure", 2_000_000, "end-to-end measured instructions")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile on exit to this file")
+		noSkip  = flag.Bool("no-cycle-skip", false, "disable event-driven cycle skipping in the end-to-end rows (naive-walk baseline)")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep, err := hotbench.Collect(*iters, *warmup, *measure)
+	rep, err := hotbench.Collect(*iters, *warmup, *measure, *noSkip)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

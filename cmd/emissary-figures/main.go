@@ -46,6 +46,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "journal completed simulations to this file and resume from it on rerun")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile on exit to this file")
+		noSkip     = flag.Bool("no-cycle-skip", false, "walk every cycle instead of event-driven skipping (debugging; output is identical, only slower)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -75,6 +76,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Parallelism = *jobs
 	cfg.Context = ctx
+	cfg.NoCycleSkip = *noSkip
 	if *progress {
 		cfg.Progress = os.Stderr
 	}

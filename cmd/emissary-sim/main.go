@@ -43,6 +43,7 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile on exit to this file")
+		noSkip    = flag.Bool("no-cycle-skip", false, "walk every cycle instead of event-driven skipping (debugging; output is identical, only slower)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,7 @@ func main() {
 		TrackReuse:            *reuseFlag,
 		PriorityResetInterval: *reset,
 		TracePath:             *tracePath,
+		NoCycleSkip:           *noSkip,
 		Seed:                  *seed,
 	}
 	// SIGINT/SIGTERM cancel the in-flight simulation cleanly instead of

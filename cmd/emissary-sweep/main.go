@@ -48,6 +48,7 @@ func main() {
 		keepGoing  = flag.Bool("keep-going", false, "run remaining cells when one fails; failed cells render as 'failed'")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile on exit to this file")
+		noSkip     = flag.Bool("no-cycle-skip", false, "walk every cycle instead of event-driven skipping (debugging; output is identical, only slower)")
 	)
 	flag.Parse()
 
@@ -97,6 +98,7 @@ func main() {
 			MeasureInstrs: *measure,
 			FDIP:          true,
 			NLP:           true,
+			NoCycleSkip:   *noSkip,
 			Seed:          *seed,
 		})
 	}

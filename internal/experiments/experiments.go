@@ -53,6 +53,10 @@ type Config struct {
 	// jobs (every figure runs the TPLRU baseline), so one journal
 	// dedupes across them too.
 	Journal *runner.Journal
+	// NoCycleSkip disables the core's event-driven fast-forward in
+	// every simulation of the run (debugging escape hatch; results are
+	// byte-identical either way, only wall-clock changes).
+	NoCycleSkip bool
 }
 
 // DefaultConfig returns a configuration sized to minutes, not hours.
@@ -84,6 +88,9 @@ func (c Config) fill(opt sim.Options) sim.Options {
 	}
 	if opt.Seed == 0 {
 		opt.Seed = c.Seed
+	}
+	if c.NoCycleSkip {
+		opt.NoCycleSkip = true
 	}
 	return opt
 }

@@ -14,6 +14,7 @@
 package hotbench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -93,7 +94,13 @@ type OpResult struct {
 // timeLoop measures fn over iters iterations: wall time from the
 // monotonic clock, allocation counts from the runtime's malloc
 // counters (exact, no sampling — AllocsPerOp is trustworthy at 0).
+// The malloc counters are process-wide, so — like testing.AllocsPerRun
+// — the loop runs at GOMAXPROCS(1) after a GC quiesce; otherwise a
+// background goroutine allocating mid-loop charges a phantom
+// fractional alloc to the hot path.
 func timeLoop(iters int, fn func(i int)) (nsPerOp, allocsPerOp, bytesPerOp float64) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -144,8 +151,14 @@ func MeasureFill(policyText string, iters int) (OpResult, error) {
 // EndToEndResult is one full-simulator throughput row: how fast the
 // whole pipeline (front end, caches, back end) simulates instructions.
 type EndToEndResult struct {
-	Benchmark    string  `json:"benchmark"`
-	Policy       string  `json:"policy"`
+	Benchmark string `json:"benchmark"`
+	Policy    string `json:"policy"`
+	FDIP      bool   `json:"fdip"`
+	// NLP and MaxMSHRs identify the stall-heavy rows: next-line
+	// prefetching off and a tight MSHR file serialize misses, which is
+	// where cycle skipping pays off most (MaxMSHRs 0 = model default).
+	NLP          bool    `json:"nlp"`
+	MaxMSHRs     int     `json:"max_mshrs"`
 	WarmupInstrs uint64  `json:"warmup_instructions"`
 	Instructions uint64  `json:"measured_instructions"`
 	WallMS       float64 `json:"wall_ms"`
@@ -153,28 +166,67 @@ type EndToEndResult struct {
 	// second, in millions — the simulator's own throughput metric.
 	SimMIPS float64 `json:"sim_mips"`
 	IPC     float64 `json:"ipc"`
+	// SkippedCycleFraction is the share of simulated cycles the
+	// event-driven skipper fast-forwarded instead of stepping (0 when
+	// skipping is disabled or never engaged).
+	SkippedCycleFraction float64 `json:"skipped_cycle_fraction"`
+}
+
+// EndToEndConfig names one full-simulator measurement point. The zero
+// values of NLP and MaxMSHRs are NOT the model defaults — construct
+// configs with DefaultEndToEndConfig or EndToEndConfigs.
+type EndToEndConfig struct {
+	Benchmark string
+	Policy    string
+	FDIP      bool
+	NLP       bool
+	MaxMSHRs  int // 0 = model default
+}
+
+// DefaultEndToEndConfig is a measurement point with the simulator's
+// default frontend (NLP on, default MSHR file).
+func DefaultEndToEndConfig(bench, policy string, fdip bool) EndToEndConfig {
+	return EndToEndConfig{Benchmark: bench, Policy: policy, FDIP: fdip, NLP: true}
 }
 
 // MeasureEndToEnd runs one complete simulation under the wall clock.
-func MeasureEndToEnd(benchName, policyText string, warmup, measure uint64) (EndToEndResult, error) {
-	bench, ok := workload.ProfileByName(benchName)
+// noSkip disables the core's event-driven cycle skipping, measuring
+// the naive-walk baseline.
+func MeasureEndToEnd(cfg EndToEndConfig, warmup, measure uint64, noSkip bool) (EndToEndResult, error) {
+	bench, ok := workload.ProfileByName(cfg.Benchmark)
 	if !ok {
-		return EndToEndResult{}, fmt.Errorf("hotbench: unknown benchmark %q", benchName)
+		return EndToEndResult{}, fmt.Errorf("hotbench: unknown benchmark %q", cfg.Benchmark)
 	}
+	spec, err := core.ParsePolicy(cfg.Policy)
+	if err != nil {
+		return EndToEndResult{}, err
+	}
+	opt := sim.DefaultOptions(bench, spec)
+	opt.WarmupInstrs = warmup
+	opt.MeasureInstrs = measure
+	opt.FDIP = cfg.FDIP
+	opt.NLP = cfg.NLP
+	opt.MaxMSHRs = cfg.MaxMSHRs
+	opt.NoCycleSkip = noSkip
+	opt.Seed = 1
 	start := time.Now()
-	res, err := sim.RunPolicy(bench, policyText, warmup, measure, 1)
+	res, stats, err := sim.RunContextStats(context.Background(), opt)
 	if err != nil {
 		return EndToEndResult{}, err
 	}
 	elapsed := time.Since(start)
 	return EndToEndResult{
-		Benchmark:    benchName,
-		Policy:       policyText,
-		WarmupInstrs: warmup,
-		Instructions: measure,
-		WallMS:       float64(elapsed.Nanoseconds()) / 1e6,
-		SimMIPS:      float64(warmup+measure) / elapsed.Seconds() / 1e6,
-		IPC:          res.IPC,
+		Benchmark:            cfg.Benchmark,
+		Policy:               cfg.Policy,
+		FDIP:                 cfg.FDIP,
+		NLP:                  cfg.NLP,
+		MaxMSHRs:             cfg.MaxMSHRs,
+		WarmupInstrs:         warmup,
+		Instructions:         measure,
+		WallMS:               float64(elapsed.Nanoseconds()) / 1e6,
+		SimMIPS:              float64(warmup+measure) / elapsed.Seconds() / 1e6,
+		IPC:                  res.IPC,
+		SkippedCycleFraction: stats.SkippedFraction(),
 	}, nil
 }
 
@@ -194,23 +246,46 @@ type Report struct {
 	EndToEnd []EndToEndResult `json:"end_to_end"`
 }
 
-// EndToEndConfigs are the full-simulator rows Collect measures: the
-// TPLRU baseline and the paper's headline EMISSARY configuration on
-// one mid-size workload.
-var EndToEndConfigs = []struct {
-	Benchmark string
-	Policy    string
-}{
-	{"xapian", "TPLRU"},
-	{"xapian", "P(8):S&E&R(1/32)"},
+// EndToEndBenchmarks and EndToEndPolicies span the full-simulator
+// matrix Collect measures: small-to-large instruction footprints
+// crossed with the TPLRU/LRU baselines, the paper's headline EMISSARY
+// configuration, and a scan-resistant comparison policy — each with
+// FDIP on and off, since the no-FDIP rows are the stall-heavy shape
+// the cycle skipper accelerates most.
+var (
+	EndToEndBenchmarks = []string{"xapian", "tomcat", "verilator", "specjbb"}
+	EndToEndPolicies   = []string{"TPLRU", "LRU", "P(8):S&E&R(1/32)", "DRRIP"}
+)
+
+// EndToEndConfigs enumerates the benchmark x policy x FDIP matrix,
+// then appends the stall-heavy rows: no prefetching at all (FDIP and
+// NLP off) and a 4-entry MSHR file, which serializes misses and drops
+// IPC below 0.5 — the shape where the cycle skipper's fast-forward
+// dominates wall-clock, not just engages.
+func EndToEndConfigs() []EndToEndConfig {
+	var out []EndToEndConfig
+	for _, b := range EndToEndBenchmarks {
+		for _, p := range EndToEndPolicies {
+			for _, fdip := range []bool{true, false} {
+				out = append(out, DefaultEndToEndConfig(b, p, fdip))
+			}
+		}
+	}
+	for _, b := range []string{"tomcat", "verilator"} {
+		for _, p := range []string{"TPLRU", "LRU"} {
+			out = append(out, EndToEndConfig{Benchmark: b, Policy: p, MaxMSHRs: 4})
+		}
+	}
+	return out
 }
 
 // Collect runs the whole suite: Access and Fill for every policy in
-// Policies at iters iterations each, then the EndToEndConfigs at the
-// given instruction counts.
-func Collect(iters int, warmup, measure uint64) (*Report, error) {
+// Policies at iters iterations each, then the end-to-end matrix at the
+// given instruction counts. noSkip disables cycle skipping in the
+// end-to-end rows (their skipped_cycle_fraction then reads 0).
+func Collect(iters int, warmup, measure uint64, noSkip bool) (*Report, error) {
 	rep := &Report{
-		Schema:    1,
+		Schema:    2,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -232,8 +307,8 @@ func Collect(iters int, warmup, measure uint64) (*Report, error) {
 		}
 		rep.Fill = append(rep.Fill, r)
 	}
-	for _, cfg := range EndToEndConfigs {
-		r, err := MeasureEndToEnd(cfg.Benchmark, cfg.Policy, warmup, measure)
+	for _, cfg := range EndToEndConfigs() {
+		r, err := MeasureEndToEnd(cfg, warmup, measure, noSkip)
 		if err != nil {
 			return nil, err
 		}

@@ -42,20 +42,52 @@ func TestMeasureAccessAndFill(t *testing.T) {
 }
 
 func TestMeasureEndToEnd(t *testing.T) {
-	r, err := MeasureEndToEnd("xapian", "TPLRU", 10_000, 40_000)
+	r, err := MeasureEndToEnd(DefaultEndToEndConfig("xapian", "TPLRU", true), 10_000, 40_000, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.WallMS <= 0 || r.SimMIPS <= 0 || r.IPC <= 0 {
 		t.Errorf("degenerate end-to-end row: %+v", r)
 	}
-	if _, err := MeasureEndToEnd("nope", "TPLRU", 1, 1); err == nil {
+	if !r.FDIP {
+		t.Errorf("row not labeled with its FDIP mode: %+v", r)
+	}
+	if _, err := MeasureEndToEnd(DefaultEndToEndConfig("nope", "TPLRU", true), 1, 1, false); err == nil {
 		t.Error("MeasureEndToEnd accepted an unknown benchmark")
+	}
+	if _, err := MeasureEndToEnd(DefaultEndToEndConfig("xapian", "garbage!!", true), 1, 1, false); err == nil {
+		t.Error("MeasureEndToEnd accepted a bad policy")
+	}
+}
+
+// TestMeasureEndToEndSkipFraction pins the schema-2 field: a no-FDIP
+// run stalls on demand misses constantly, so the skipper must engage;
+// a noSkip run must report exactly zero.
+func TestMeasureEndToEndSkipFraction(t *testing.T) {
+	r, err := MeasureEndToEnd(DefaultEndToEndConfig("xapian", "TPLRU", false), 10_000, 40_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SkippedCycleFraction <= 0 {
+		t.Errorf("skipped_cycle_fraction = %v on a no-FDIP run, want > 0", r.SkippedCycleFraction)
+	}
+	r, err = MeasureEndToEnd(DefaultEndToEndConfig("xapian", "TPLRU", false), 10_000, 40_000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SkippedCycleFraction != 0 {
+		t.Errorf("skipped_cycle_fraction = %v with skipping disabled, want 0", r.SkippedCycleFraction)
 	}
 }
 
 func TestReportRoundTrip(t *testing.T) {
-	rep := &Report{Schema: 1, Access: []OpResult{{Policy: "LRU", NsPerOp: 1.5, Iterations: 10}}}
+	rep := &Report{
+		Schema: 2,
+		Access: []OpResult{{Policy: "LRU", NsPerOp: 1.5, Iterations: 10}},
+		EndToEnd: []EndToEndResult{
+			{Benchmark: "xapian", Policy: "TPLRU", FDIP: false, SkippedCycleFraction: 0.75},
+		},
+	}
 	data, err := json.Marshal(rep)
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +96,50 @@ func TestReportRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Schema != 1 || len(back.Access) != 1 || back.Access[0].Policy != "LRU" {
+	if back.Schema != 2 || len(back.Access) != 1 || back.Access[0].Policy != "LRU" {
 		t.Errorf("round trip lost data: %+v", back)
+	}
+	if len(back.EndToEnd) != 1 || back.EndToEnd[0].SkippedCycleFraction != 0.75 {
+		t.Errorf("round trip lost the skip fraction: %+v", back.EndToEnd)
+	}
+}
+
+// TestEndToEndConfigs pins the measurement matrix shape: the full
+// benchmark x policy x FDIP cross, plus dedicated stall-heavy rows
+// (no prefetching, tight MSHR file) where skipping dominates.
+func TestEndToEndConfigs(t *testing.T) {
+	cfgs := EndToEndConfigs()
+	want := len(EndToEndBenchmarks)*len(EndToEndPolicies)*2 + 4
+	if len(cfgs) != want {
+		t.Fatalf("EndToEndConfigs returned %d rows, want %d", len(cfgs), want)
+	}
+	stallHeavy := 0
+	for _, c := range cfgs {
+		if c.MaxMSHRs > 0 {
+			stallHeavy++
+			if c.FDIP || c.NLP {
+				t.Errorf("stall-heavy row %+v still has a prefetcher enabled", c)
+			}
+		}
+	}
+	if stallHeavy != 4 {
+		t.Errorf("got %d stall-heavy rows, want 4", stallHeavy)
+	}
+}
+
+// TestMeasureEndToEndStallHeavy runs one stall-heavy row end to end:
+// with misses serialized, well over half of all cycles must be
+// skippable.
+func TestMeasureEndToEndStallHeavy(t *testing.T) {
+	cfg := EndToEndConfig{Benchmark: "tomcat", Policy: "LRU", MaxMSHRs: 4}
+	r, err := MeasureEndToEnd(cfg, 10_000, 40_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SkippedCycleFraction < 0.5 {
+		t.Errorf("stall-heavy skipped_cycle_fraction = %v, want >= 0.5", r.SkippedCycleFraction)
+	}
+	if r.NLP || r.FDIP || r.MaxMSHRs != 4 {
+		t.Errorf("row not labeled with its config: %+v", r)
 	}
 }

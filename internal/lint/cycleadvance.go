@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+var ruleCycleAdvance = &Rule{
+	Name: "cycle-advance",
+	Doc: "in internal/pipeline, the simulation clock (any struct field named cycle) may only be written " +
+		"inside core.go's Step or skipTo; the event-driven cycle skipper reasons about exactly those two " +
+		"advance sites, and a stage mutating the clock elsewhere would silently desynchronize from it",
+	run: runCycleAdvance,
+}
+
+func runCycleAdvance(u *Unit, report reportFunc) {
+	if !underInternal(u.Path, "pipeline") {
+		return
+	}
+	for _, file := range u.Files {
+		name := u.Fset.Position(file.Pos()).Filename
+		if isTestFilename(name) {
+			continue
+		}
+		isCoreFile := filepath.Base(name) == "core.go"
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isCoreFile && (fn.Name.Name == "Step" || fn.Name.Name == "skipTo") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if sel, ok := cycleField(u, lhs); ok {
+							report(sel.Pos(), "clock field %s.%s written in %s.%s; cycle advances belong only in core.go's Step/skipTo",
+								exprText(sel.X), sel.Sel.Name, filepath.Base(name), fn.Name.Name)
+						}
+					}
+				case *ast.IncDecStmt:
+					if sel, ok := cycleField(u, st.X); ok {
+						report(sel.Pos(), "clock field %s.%s written in %s.%s; cycle advances belong only in core.go's Step/skipTo",
+							exprText(sel.X), sel.Sel.Name, filepath.Base(name), fn.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// cycleField reports whether expr writes a struct field named exactly
+// "cycle" (resolved through the type checker, so locals and methods
+// named cycle are not flagged).
+func cycleField(u *Unit, expr ast.Expr) (*ast.SelectorExpr, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "cycle" {
+		return nil, false
+	}
+	s, ok := u.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, false
+	}
+	return sel, true
+}
+
+// exprText renders a short receiver label for diagnostics.
+func exprText(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "(...)"
+}

@@ -82,6 +82,7 @@ func Rules() []*Rule {
 		ruleMapOrderSink,
 		ruleFloatFold,
 		ruleBarePanic,
+		ruleCycleAdvance,
 	}
 }
 

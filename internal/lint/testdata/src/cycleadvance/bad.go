@@ -1,0 +1,32 @@
+//lintpath emissary/internal/pipeline
+
+// Positive and negative cases for cycle-advance: outside core.go's
+// Step/skipTo, no function may write a struct field named cycle.
+package fix
+
+type stage struct {
+	cycle  uint64
+	cycles uint64 // not the clock: different name
+}
+
+func (s *stage) tick() {
+	s.cycle++ // want "clock field"
+}
+
+func (s *stage) fastForward(n uint64) {
+	s.cycle += n // want "clock field"
+}
+
+// Step outside core.go gets no exemption: the allow-list is
+// (file, function), not function name alone.
+func (s *stage) Step() {
+	s.cycle = s.cycle + 1 // want "clock field"
+}
+
+func (s *stage) okWrites(c *Core) {
+	s.cycles++       // different field name
+	cycle := s.cycle // read, and a local named cycle
+	cycle++          // local variable, not a field
+	_ = cycle
+	_ = c.Cycle()
+}

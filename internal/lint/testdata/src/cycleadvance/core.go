@@ -1,0 +1,24 @@
+package fix
+
+// Core mimics the pipeline core: cycle is the simulation clock.
+type Core struct {
+	cycle uint64
+}
+
+// Step is a sanctioned advance site.
+func (c *Core) Step() {
+	c.cycle++
+}
+
+// skipTo is the other sanctioned advance site.
+func (c *Core) skipTo(target uint64) {
+	c.cycle = target
+}
+
+// Cycle reads the clock; reads are always fine.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// rewind lives in core.go but is not Step/skipTo: still a violation.
+func (c *Core) rewind() {
+	c.cycle-- // want "clock field"
+}

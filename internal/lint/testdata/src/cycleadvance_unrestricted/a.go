@@ -1,0 +1,11 @@
+// No lintpath pin: this package resolves outside internal/pipeline,
+// so cycle-advance does not apply and free cycle writes are fine.
+package fix
+
+type clock struct {
+	cycle uint64
+}
+
+func (c *clock) bump() {
+	c.cycle++
+}

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"math/bits"
+
 	"emissary/internal/cache"
 	"emissary/internal/rng"
 	"emissary/internal/stats"
@@ -54,6 +56,18 @@ type backend struct {
 	iqRelease []int32
 	// issueBusy[c] counts issue slots used at cycle c.
 	issueBusy []int32
+
+	// iqBits is a one-bit-per-slot summary of iqRelease feeding the
+	// cycle skipper's wake-up computation: a set bit marks a slot that
+	// may hold pending releases. dispatch sets it, beginCycle clears
+	// the consumed slot. A flush can leave a stale set bit over a
+	// zero count, which only wakes nextIQEvent early (a harmless extra
+	// Step), never late.
+	iqBits [ringSize / 64]uint64
+	// iqPend counts outstanding iqRelease entries across the whole
+	// ring — the exact number of scheduled future issue events — so
+	// nextIQEvent can skip the bitmap scan when the queue is drained.
+	iqPend int
 
 	lqCount, sqCount int
 
@@ -184,7 +198,10 @@ func (b *backend) dispatch(now uint64, pc uint64, cls trace.Class, hasMem bool, 
 	b.tail = (b.tail + 1) % b.cfg.ROBSize
 	b.count++
 	b.iqCount++
-	b.iqRelease[issueAt&ringMask]++
+	slot := issueAt & ringMask
+	b.iqRelease[slot]++
+	b.iqBits[slot>>6] |= 1 << (slot & 63)
+	b.iqPend++
 	b.lastComplete[b.seq%depWindow] = dataReadyAt
 	b.seq++
 	if wrongPath {
@@ -206,7 +223,9 @@ func (b *backend) completeOf(seq, dist uint64) uint64 {
 func (b *backend) beginCycle(now uint64) {
 	slot := now & ringMask
 	b.iqCount -= int(b.iqRelease[slot])
+	b.iqPend -= int(b.iqRelease[slot])
 	b.iqRelease[slot] = 0
+	b.iqBits[slot>>6] &^= 1 << (slot & 63)
 	if b.iqCount < 0 {
 		b.iqCount = 0
 	}
@@ -253,7 +272,11 @@ func (b *backend) flushAfter(seq, now uint64) {
 		}
 		if e.issueAt > now {
 			// Still waiting in the IQ: free its slot and bandwidth.
+			// iqBits is deliberately left set — clearing would need a
+			// zero-count check, and a stale bit only wakes the skipper
+			// early.
 			b.iqCount--
+			b.iqPend--
 			b.iqRelease[e.issueAt&ringMask]--
 			b.issueBusy[e.issueAt&ringMask]--
 		}
@@ -299,6 +322,37 @@ func (b *backend) commit(now uint64) int {
 		b.CommitActiveCycles++
 	}
 	return n
+}
+
+// nextIQEvent returns the earliest cycle > now at which an
+// issue-queue release is scheduled, scanning the iqBits summary
+// bitmap in ring order. ok is false when no release is pending
+// anywhere. The result may be earlier than the true next release
+// (flushAfter leaves stale bits), which is safe for the cycle
+// skipper: an early wake-up is just one redundant Step.
+func (b *backend) nextIQEvent(now uint64) (uint64, bool) {
+	if b.iqPend == 0 {
+		return 0, false
+	}
+	const numWords = ringSize / 64
+	start := (now + 1) & ringMask
+	firstWord := start >> 6
+	if w := b.iqBits[firstWord] >> (start & 63); w != 0 {
+		return now + 1 + uint64(bits.TrailingZeros64(w)), true
+	}
+	// All scheduled releases lie in (now, now+ringSize-2], so one lap
+	// over the ring — re-entering firstWord at i == numWords to cover
+	// the bits below start — is exhaustive.
+	for i := uint64(1); i <= numWords; i++ {
+		idx := (firstWord + i) & (numWords - 1)
+		w := b.iqBits[idx]
+		if w == 0 {
+			continue
+		}
+		off := i*64 - (start & 63) + uint64(bits.TrailingZeros64(w))
+		return now + 1 + off, true
+	}
+	return 0, false
 }
 
 // classifyStall records the commit-path stall taxonomy for a cycle in

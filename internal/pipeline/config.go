@@ -68,6 +68,13 @@ type Config struct {
 	// default of 5M cycles — far beyond any legitimate stall (a DRAM
 	// round trip is a few hundred cycles).
 	NoProgressLimit uint64
+
+	// NoCycleSkip disables the event-driven fast-forward over
+	// quiescent stall spans and walks every cycle naively. Results are
+	// byte-identical either way (the skipper's contract, pinned by the
+	// differential tests); this is a debugging escape hatch and the
+	// reference half of those tests.
+	NoCycleSkip bool
 }
 
 // DefaultConfig returns the Table 4 core.

@@ -21,6 +21,9 @@ type Core struct {
 	cycle   uint64
 	decoded uint64
 
+	// Cycles fast-forwarded by skipTo (already included in cycle).
+	skipped uint64
+
 	// Committed-instruction threshold of the next P-bit reset (§6).
 	nextPriorityReset uint64
 }
@@ -45,6 +48,11 @@ func NewCore(cfg Config, src trace.Source, hier *cache.Hierarchy, seed uint64) (
 
 // Cycle returns the current cycle count.
 func (c *Core) Cycle() uint64 { return c.cycle }
+
+// SkippedCycles returns how many cycles were fast-forwarded by the
+// event-driven skipper instead of stepped naively. They are included
+// in Cycle(); the fraction skipped/cycles is the throughput win.
+func (c *Core) SkippedCycles() uint64 { return c.skipped }
 
 // Committed returns the committed instruction count.
 func (c *Core) Committed() uint64 { return c.be.committed }
@@ -80,6 +88,54 @@ func (c *Core) Step() {
 		c.hier.ResetPriorities()
 		c.nextPriorityReset += c.cfg.PriorityResetInterval
 	}
+}
+
+// skipTo jumps the clock to target across a span planSkip proved
+// quiescent, applying per-cycle counter deltas in bulk — exactly what
+// target-cycle naive Steps would have accumulated. Besides counters,
+// the only state a skipped Step would touch is beginCycle's clearing
+// of the just-passed issue-bandwidth slot; the span's own slots are
+// provably empty (no scheduled releases before the wake-up), so only
+// the current cycle's slot needs the clear.
+func (c *Core) skipTo(target uint64, d *skipDelta) {
+	n := target - c.cycle
+	c.be.issueBusy[c.cycle&ringMask] = 0
+
+	f := c.fe
+	fw := uint64(c.cfg.FetchWidth) * n
+	f.FTQOccupancySum += fw * uint64(f.ftqCount)
+	switch d.fetchBlockKind {
+	case fbDeadEnd:
+		f.FetchBlockDeadEnd += fw
+	case fbFull:
+		f.FetchBlockFull += fw
+	case fbPredecode:
+		f.FetchBlockPredecode += fw
+	}
+
+	c.be.Stalls.Record(d.stallKind, n)
+	if d.fetchStall {
+		f.FetchStallCycles += n
+	}
+	f.MSHRFullEvents += d.mshrFull * n
+	if d.starv {
+		f.StarvationCycles += n
+		if d.starvIQE {
+			f.StarvationIQECycles += n
+		}
+		if d.starvCommit {
+			f.CommitStarvationCycles += n
+			if d.starvIQE {
+				f.CommitStarvationIQECycles += n
+			}
+			if d.starvBucketOK {
+				f.StarvByBucket[d.starvBucket] += n
+			}
+		}
+	}
+
+	c.cycle = target
+	c.skipped += n
 }
 
 // decode delivers up to DecodeWidth instructions from the FTQ head
@@ -170,6 +226,19 @@ func (c *Core) RunCommitted(n uint64) (uint64, error) {
 					Reason:     ErrNoProgress,
 					IdleCycles: idle,
 					Stall:      c.stall(),
+				}
+			}
+			// Quiescent span: fast-forward to the next wake-up event.
+			// The skip is capped so idle crosses the livelock limit
+			// (and cycle the budget) exactly where a naive walk would.
+			if k := c.trySkip(limit + 1 - idle); k > 0 {
+				idle += k
+				if idle > limit {
+					return c.be.committed, &StallError{
+						Reason:     ErrNoProgress,
+						IdleCycles: idle,
+						Stall:      c.stall(),
+					}
 				}
 			}
 		} else {

@@ -46,5 +46,8 @@ func (o Options) Fingerprint() string {
 	field("mrc", o.MRCEntries)
 	field("maxcycles", o.MaxCycles)
 	field("seed", o.Seed)
+	// NoCycleSkip is deliberately absent: it selects the execution
+	// mechanism, not the result (skip and naive runs are byte-identical
+	// by contract), so journal entries stay valid across the flag.
 	return b.String()
 }

@@ -65,6 +65,13 @@ type Options struct {
 	// sweeps against runaway or livelocked configurations.
 	MaxCycles uint64
 
+	// NoCycleSkip disables the core's event-driven fast-forward over
+	// stalled spans (pipeline.Config.NoCycleSkip), walking every cycle
+	// naively. Results are byte-identical either way — this is a
+	// debugging escape hatch, which is also why the field is excluded
+	// from Fingerprint(): journal entries stay valid across the flag.
+	NoCycleSkip bool
+
 	Seed uint64
 }
 
@@ -98,17 +105,44 @@ func Run(opt Options) (Result, error) {
 	return RunContext(context.Background(), opt)
 }
 
+// RunStats reports execution-mechanics metadata about a finished run —
+// how the simulator got there, not what it measured. It is kept out of
+// Result on purpose: Result feeds golden digests and journals, which
+// must stay byte-identical whether or not cycle skipping was enabled.
+type RunStats struct {
+	// Cycles is the core's final cycle count (warm-up + measurement).
+	Cycles uint64
+	// SkippedCycles is how many of those the event-driven skipper
+	// fast-forwarded instead of stepping naively.
+	SkippedCycles uint64
+}
+
+// SkippedFraction is SkippedCycles / Cycles (0 for an empty run).
+func (s RunStats) SkippedFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.SkippedCycles) / float64(s.Cycles)
+}
+
 // RunContext executes one simulation, honouring cancellation: the core
 // advances in bounded chunks and ctx is checked between them, so an
 // interrupted sweep abandons an in-flight job within ~1M committed
 // instructions instead of only between jobs. Chunking does not change
 // any simulated state — results are byte-identical to Run.
 func RunContext(ctx context.Context, opt Options) (Result, error) {
+	res, _, err := RunContextStats(ctx, opt)
+	return res, err
+}
+
+// RunContextStats is RunContext plus the run's execution mechanics
+// (cycle-skip engagement), for throughput reporting.
+func RunContextStats(ctx context.Context, opt Options) (Result, RunStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if opt.MeasureInstrs == 0 {
-		return Result{}, fmt.Errorf("sim: MeasureInstrs must be positive")
+		return Result{}, RunStats{}, fmt.Errorf("sim: MeasureInstrs must be positive")
 	}
 	var (
 		source    trace.Source
@@ -118,12 +152,12 @@ func RunContext(ctx context.Context, opt Options) (Result, error) {
 	if opt.TracePath != "" {
 		f, err := os.Open(opt.TracePath)
 		if err != nil {
-			return Result{}, fmt.Errorf("sim: %w", err)
+			return Result{}, RunStats{}, fmt.Errorf("sim: %w", err)
 		}
 		defer f.Close()
 		replay, err := trace.NewReplay(f)
 		if err != nil {
-			return Result{}, err
+			return Result{}, RunStats{}, err
 		}
 		source = replay
 		footprint = replay.FootprintBytes()
@@ -131,7 +165,7 @@ func RunContext(ctx context.Context, opt Options) (Result, error) {
 	} else {
 		prog, err := workload.NewProgram(opt.Benchmark)
 		if err != nil {
-			return Result{}, err
+			return Result{}, RunStats{}, err
 		}
 		source = workload.NewEngine(prog)
 		footprint = prog.FootprintBytes()
@@ -167,17 +201,18 @@ func RunContext(ctx context.Context, opt Options) (Result, error) {
 	}
 	pcfg.MRCEntries = opt.MRCEntries
 	pcfg.MaxCycles = opt.MaxCycles
+	pcfg.NoCycleSkip = opt.NoCycleSkip
 	c, err := pipeline.NewCore(pcfg, source, hier, ccfg.Seed)
 	if err != nil {
-		return Result{}, err
+		return Result{}, RunStats{}, err
 	}
 
 	if err := runWindow(ctx, c, opt, "warm-up", opt.WarmupInstrs); err != nil {
-		return Result{}, err
+		return Result{}, RunStats{}, err
 	}
 	start := c.TakeSnapshot()
 	if err := runWindow(ctx, c, opt, "measurement", opt.MeasureInstrs); err != nil {
-		return Result{}, err
+		return Result{}, RunStats{}, err
 	}
 	end := c.TakeSnapshot()
 
@@ -188,7 +223,7 @@ func RunContext(ctx context.Context, opt Options) (Result, error) {
 		Policy:               spec.String(),
 		FootprintBytes:       footprint,
 		BranchMispredictRate: c.BranchMispredictRate(),
-	}, nil
+	}, RunStats{Cycles: c.Cycle(), SkippedCycles: c.SkippedCycles()}, nil
 }
 
 // runWindow advances the core by n more committed instructions in
