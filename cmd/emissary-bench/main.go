@@ -10,6 +10,7 @@
 //	emissary-bench                          # write BENCH_hotpath.json
 //	emissary-bench -o - -iters 1000000      # print to stdout, longer run
 //	emissary-bench -cpuprofile cpu.pprof    # profile the bench itself
+//	emissary-bench -verify BENCH_hotpath.json  # fail unless the artifact's schema is current
 package main
 
 import (
@@ -33,8 +34,18 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile on exit to this file")
 		noSkip  = flag.Bool("no-cycle-skip", false, "disable event-driven cycle skipping in the end-to-end rows (naive-walk baseline)")
+		verify  = flag.String("verify", "", "verify the artifact at this path carries the current schema and exit (no benchmarking)")
 	)
 	flag.Parse()
+
+	if *verify != "" {
+		if err := hotbench.VerifySchema(*verify); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: schema %d ok\n", *verify, hotbench.SchemaVersion)
+		return
+	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {

@@ -15,7 +15,9 @@ package hotbench
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -230,6 +232,13 @@ func MeasureEndToEnd(cfg EndToEndConfig, warmup, measure uint64, noSkip bool) (E
 	}, nil
 }
 
+// SchemaVersion is the current BENCH_hotpath.json schema. Bump it
+// whenever the Report structure or the meaning of a field changes;
+// emissary-bench -verify (and CI's bench-smoke job) fail any artifact
+// whose schema field disagrees, so a bump can't silently pass a stale
+// committed artifact through.
+const SchemaVersion = 2
+
 // Report is the BENCH_hotpath.json schema. Timing fields vary with
 // the host; structure and the allocs_per_op == 0 invariant do not.
 type Report struct {
@@ -279,13 +288,41 @@ func EndToEndConfigs() []EndToEndConfig {
 	return out
 }
 
+// VerifySchema reads the BENCH_hotpath.json artifact at path and
+// fails with a readable message unless its schema field matches
+// SchemaVersion exactly. This is the guard between "the binary's
+// schema moved on" and "a stale committed artifact still parses": CI
+// runs it against the checked-in artifact before regenerating, so a
+// schema bump that forgets to refresh the artifact fails the build
+// instead of shipping mismatched rows.
+func VerifySchema(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("hotbench: reading artifact: %w", err)
+	}
+	var probe struct {
+		Schema *int `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("hotbench: %s is not a BENCH_hotpath.json artifact: %w", path, err)
+	}
+	if probe.Schema == nil {
+		return fmt.Errorf("hotbench: %s has no \"schema\" field — artifact predates schema versioning; regenerate it with emissary-bench", path)
+	}
+	if *probe.Schema != SchemaVersion {
+		return fmt.Errorf("hotbench: %s has schema %d but this binary writes schema %d — stale artifact; regenerate it with emissary-bench",
+			path, *probe.Schema, SchemaVersion)
+	}
+	return nil
+}
+
 // Collect runs the whole suite: Access and Fill for every policy in
 // Policies at iters iterations each, then the end-to-end matrix at the
 // given instruction counts. noSkip disables cycle skipping in the
 // end-to-end rows (their skipped_cycle_fraction then reads 0).
 func Collect(iters int, warmup, measure uint64, noSkip bool) (*Report, error) {
 	rep := &Report{
-		Schema:    2,
+		Schema:    SchemaVersion,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,

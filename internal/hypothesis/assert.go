@@ -1,0 +1,162 @@
+package hypothesis
+
+import (
+	"fmt"
+
+	"emissary/internal/stats"
+)
+
+// Verdict is the outcome of judging an evaluated experiment.
+type Verdict int
+
+const (
+	// Inconclusive: the effect did not clear the thresholds in either
+	// direction. Not a failure — an honest "the data does not decide".
+	Inconclusive Verdict = iota
+	// Confirmed: the claimed direction holds with the required effect
+	// size and consistency.
+	Confirmed
+	// Refuted: the *opposite* direction holds as strongly as the claim
+	// would have been required to. A previously-confirmed hypothesis
+	// coming back Refuted is a behavioral regression.
+	Refuted
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Confirmed:
+		return "CONFIRMED"
+	case Refuted:
+		return "REFUTED"
+	case Inconclusive:
+		return "INCONCLUSIVE"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Assert judges an evaluated experiment, returning the verdict and a
+// one-line justification for the report.
+type Assert func(ev *Evaluation) (Verdict, string)
+
+// Direction is the claimed sign of the treatment's effect on the
+// metric.
+type Direction int
+
+const (
+	// Increase claims treatment raises the metric over baseline.
+	Increase Direction = iota
+	// Decrease claims treatment lowers it.
+	Decrease
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Decrease {
+		return "decrease"
+	}
+	return "increase"
+}
+
+// bootstrapResamples is fixed so reports are byte-stable; the sampling
+// stream is seeded deterministically per call site.
+const bootstrapResamples = 2000
+
+// orient flips deltas so the claimed direction is positive.
+func orient(dir Direction, deltas []float64) []float64 {
+	if dir == Increase {
+		return deltas
+	}
+	out := make([]float64, len(deltas))
+	for i, d := range deltas {
+		out[i] = -d
+	}
+	return out
+}
+
+// DirectionAssert builds the standard effect-size + direction
+// assertion: the aggregate (pair × seed) delta distribution must show
+// a median effect of at least minEffect in the claimed direction, at
+// least minConsistency of the non-zero deltas must agree with it, and
+// the 95% bootstrap CI of the mean delta must exclude zero on the
+// claimed side. The mirror-image criteria hold for REFUTED — the
+// opposite direction must be supported as strongly as the claim would
+// have been — and anything in between is INCONCLUSIVE.
+func DirectionAssert(dir Direction, minEffect, minConsistency float64) Assert {
+	return func(ev *Evaluation) (Verdict, string) {
+		or := orient(dir, ev.Deltas)
+		med := stats.Median(or)
+		pos, neg, _ := stats.Signs(or)
+		n := pos + neg
+		lo, hi := stats.BootstrapCI(or, 0.95, bootstrapResamples, 0xd17ec7)
+		frac := func(k int) float64 {
+			if n == 0 {
+				return 0
+			}
+			return float64(k) / float64(n)
+		}
+		describe := func(agree int) string {
+			return fmt.Sprintf("median %s %+.4f (threshold %.4f), %d/%d deltas agree (need %.0f%%), 95%% CI [%+.4f, %+.4f]",
+				dir, med, minEffect, agree, n, minConsistency*100, lo, hi)
+		}
+		switch {
+		case med >= minEffect && frac(pos) >= minConsistency && lo > 0:
+			return Confirmed, describe(pos)
+		case med <= -minEffect && frac(neg) >= minConsistency && hi < 0:
+			return Refuted, "effect runs opposite to the claim: " + describe(neg)
+		default:
+			return Inconclusive, "thresholds not met: " + describe(pos)
+		}
+	}
+}
+
+// NegligibleAssert builds the saturation-style assertion: the
+// aggregate effect must be indistinguishable from zero — |median|
+// under maxEffect and the 95% bootstrap CI contained in ±maxEffect.
+// A median escaping ±maxEffect with a CI clear of zero REFUTES the
+// claim of negligibility.
+func NegligibleAssert(maxEffect float64) Assert {
+	return func(ev *Evaluation) (Verdict, string) {
+		med := stats.Median(ev.Deltas)
+		lo, hi := stats.BootstrapCI(ev.Deltas, 0.95, bootstrapResamples, 0xd17ec7)
+		desc := fmt.Sprintf("median %+.4f (bound ±%.4f), 95%% CI [%+.4f, %+.4f]", med, maxEffect, lo, hi)
+		abs := med
+		if abs < 0 {
+			abs = -abs
+		}
+		switch {
+		case abs <= maxEffect && lo >= -maxEffect && hi <= maxEffect:
+			return Confirmed, "effect negligible as claimed: " + desc
+		case abs > maxEffect && (lo > 0 || hi < 0):
+			return Refuted, "effect is decidedly non-negligible: " + desc
+		default:
+			return Inconclusive, "spread too wide to call negligible: " + desc
+		}
+	}
+}
+
+// median is a local alias keeping run.go readable.
+func median(xs []float64) float64 { return stats.Median(xs) }
+
+// summarize fills the evaluation's aggregate effect statistics from
+// its delta distribution: median effect, sign consistency, and a
+// deterministic 95% bootstrap CI of the mean delta.
+func summarize(ev *Evaluation) {
+	ev.Median = stats.Median(ev.Deltas)
+	ev.Consistency = stats.SignConsistency(ev.Deltas)
+	ev.CILo, ev.CIHi = stats.BootstrapCI(ev.Deltas, 0.95, bootstrapResamples, 0xd17ec7)
+}
+
+// pairsWithPrefix selects the pair summaries whose name starts with
+// prefix — the idiom multi-part experiments (e.g. grow/... vs sat/...)
+// use to judge their parts separately.
+func pairsWithPrefix(ev *Evaluation, prefix string) []float64 {
+	var out []float64
+	for _, p := range ev.Pairs {
+		if len(p.Name) >= len(prefix) && p.Name[:len(prefix)] == prefix {
+			out = append(out, p.Deltas...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package hypothesis
+
+import (
+	"fmt"
+
+	"emissary/internal/core"
+	"emissary/internal/runner"
+	"emissary/internal/sim"
+	"emissary/internal/stats"
+	"emissary/internal/workload"
+)
+
+// The catalog below seeds the behavioral regression gate with the
+// paper's headline claims. Thresholds were tuned once against the
+// from-scratch simulator at FullScale and then frozen: the simulator
+// is deterministic, so a verdict flip can only come from a code
+// change — which is exactly the regression the CI gate exists to
+// catch.
+
+// Catalog returns the paper-derived hypotheses in ID order.
+func Catalog() []*Hypothesis {
+	return []*Hypothesis{
+		H1StarvationConcentration(),
+		H2SelectiveBeatsAlwaysProtect(),
+		H3ProtectionGrowsWithN(),
+		H4FDIPModulatesBenefit(),
+		H5SkipEngagementAnticorrelatesIPC(),
+	}
+}
+
+// ByID returns the catalog entry with the given ID, or nil.
+func ByID(id string) *Hypothesis {
+	for _, h := range Catalog() {
+		if h.ID == id {
+			return h
+		}
+	}
+	return nil
+}
+
+// profiles resolves a name list against the 13 paper workloads.
+func profiles(names ...string) []workload.Profile {
+	out := make([]workload.Profile, 0, len(names))
+	for _, name := range names {
+		p, ok := workload.ProfileByName(name)
+		if !ok {
+			panic("hypothesis: unknown workload " + name)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// pick returns the full set normally and the first shortN entries at
+// a short scale.
+func pick(s Scale, shortN int, ps []workload.Profile) []workload.Profile {
+	if s.Short && shortN < len(ps) {
+		return ps[:shortN]
+	}
+	return ps
+}
+
+// opts builds the baseline job shape shared by the catalog: FDIP and
+// next-line prefetchers on (the paper's evaluation configuration),
+// windows left to the Scale.
+func opts(bench workload.Profile, policyText string) sim.Options {
+	return sim.Options{
+		Benchmark: bench,
+		Policy:    core.MustParsePolicy(policyText),
+		FDIP:      true,
+		NLP:       true,
+	}
+}
+
+// ipcVariant is a single simulation measured by IPC.
+func ipcVariant(name string, opt sim.Options) Variant {
+	return Variant{
+		Name:   name,
+		Jobs:   []sim.Options{opt},
+		Metric: func(outs []runner.SimOutcome) float64 { return outs[0].Result.IPC },
+	}
+}
+
+// speedupVariant runs base and treat under common random numbers and
+// measures treat's cycle-count speedup over base (a fraction: 0.03 =
+// 3% faster).
+func speedupVariant(name string, base, treat sim.Options) Variant {
+	return Variant{
+		Name: name,
+		Jobs: []sim.Options{base, treat},
+		Metric: func(outs []runner.SimOutcome) float64 {
+			return stats.Speedup(outs[0].Result.Cycles, outs[1].Result.Cycles)
+		},
+	}
+}
+
+// absDiff is the Pair.Diff for metrics that are already fractions.
+func absDiff(base, treat float64) float64 { return treat - base }
+
+// H1StarvationConcentration encodes §3 / Figure 2: under plain
+// recency replacement, decode-starvation cycles concentrate on
+// long-reuse instruction lines far beyond those lines' share of
+// accesses. Baseline and treatment share one simulation (TPLRU with
+// reuse tracking); the controlled dimension is the attribution —
+// access share vs starvation share of the Long bucket.
+func H1StarvationConcentration() *Hypothesis {
+	workloads := profiles("tomcat", "verilator", "finagle-http", "wikipedia", "speedometer2.0", "data-serving")
+	return &Hypothesis{
+		ID:     "H1",
+		Family: "starvation",
+		Claim: "Under recency (TPLRU) replacement, long-reuse instruction lines account for a " +
+			"disproportionate share of decode-starvation cycles relative to their share of accesses (§3, Figure 2).",
+		Pairs: func(s Scale) []Pair {
+			var pairs []Pair
+			for _, w := range pick(s, 3, workloads) {
+				job := opts(w, "TPLRU")
+				job.TrackReuse = true
+				longShare := func(buckets func(r sim.Result) [3]uint64) func([]runner.SimOutcome) float64 {
+					return func(outs []runner.SimOutcome) float64 {
+						b := buckets(outs[0].Result)
+						total := float64(b[0] + b[1] + b[2])
+						if total == 0 {
+							return 0
+						}
+						return float64(b[2]) / total
+					}
+				}
+				pairs = append(pairs, Pair{
+					Name: w.Name,
+					Baseline: Variant{
+						Name:   "long-reuse share of accesses",
+						Jobs:   []sim.Options{job},
+						Metric: longShare(func(r sim.Result) [3]uint64 { return r.AccessByBucket }),
+					},
+					Treatment: Variant{
+						Name:   "long-reuse share of starvation cycles",
+						Jobs:   []sim.Options{job},
+						Metric: longShare(func(r sim.Result) [3]uint64 { return r.StarvByBucket }),
+					},
+				})
+			}
+			return pairs
+		},
+		// The starvation share must exceed the access share by at
+		// least 2x (relative delta ≥ 1.0) on the median workload.
+		Assert: DirectionAssert(Increase, 1.0, 0.9),
+	}
+}
+
+// H2SelectiveBeatsAlwaysProtect encodes the core EMISSARY design
+// point: protecting lines *selectively* — only on misses observed to
+// starve decode (S&E) — outperforms protecting every filled line
+// (selection '1'), which devolves toward protecting the thrash.
+func H2SelectiveBeatsAlwaysProtect() *Hypothesis {
+	return &Hypothesis{
+		ID:     "H2",
+		Family: "policy",
+		Claim: "EMISSARY's one-time priority insertion gated on observed starvation (P(8):S&E) " +
+			"achieves higher IPC than indiscriminate always-protect (P(8):1) across the paper's workloads.",
+		Pairs: func(s Scale) []Pair {
+			var pairs []Pair
+			for _, w := range pick(s, 5, workload.Profiles()) {
+				pairs = append(pairs, Pair{
+					Name:      w.Name,
+					Baseline:  ipcVariant("P(8):1", opts(w, "P(8):1")),
+					Treatment: ipcVariant("P(8):S&E", opts(w, "P(8):S&E")),
+				})
+			}
+			return pairs
+		},
+		// Direction with a modest effect floor: the win is broad but
+		// individually small on instruction-light workloads.
+		Assert: DirectionAssert(Increase, 0.001, 0.65),
+	}
+}
+
+// H3ProtectionGrowsWithN encodes the direction of the P(N)
+// parameterization (§5, Figure 7 / Table 5): widening the priority-way
+// budget strictly helps over the tested range. The experiment holds
+// everything but N fixed and compares the two ends of the sweep —
+// P(1):S&E against P(12):S&E, each measured as speedup over the shared
+// TPLRU baseline under common random numbers. The paper's further
+// claim of an N=8 *saturation point* is deliberately not asserted: at
+// these horizons the marginal value of extra ways is itself
+// horizon-dependent (priority marks keep accumulating over longer
+// windows, so late steps keep paying), and a full-scale run refuted
+// the saturation form while the direction below held in every cell.
+func H3ProtectionGrowsWithN() *Hypothesis {
+	workloads := profiles("tomcat", "verilator", "finagle-chirper", "web-search")
+	return &Hypothesis{
+		ID:     "H3",
+		Family: "policy",
+		Claim: "The speedup of P(N):S&E over TPLRU grows with the priority-way budget N: " +
+			"P(12):S&E beats P(1):S&E on every tested workload (Figure 7 / Table 5, direction only).",
+		Pairs: func(s Scale) []Pair {
+			var pairs []Pair
+			for _, w := range pick(s, 2, workloads) {
+				base := opts(w, "TPLRU")
+				pairs = append(pairs, Pair{
+					Name:      "nways/" + w.Name,
+					Baseline:  speedupVariant("P(1):S&E over TPLRU", base, opts(w, "P(1):S&E")),
+					Treatment: speedupVariant("P(12):S&E over TPLRU", base, opts(w, "P(12):S&E")),
+					Diff:      absDiff,
+				})
+			}
+			return pairs
+		},
+		// Widening 1 → 12 must buy ≥0.2 percentage points of speedup
+		// on the median cell with 3/4 of cells agreeing in sign.
+		Assert: DirectionAssert(Increase, 0.002, 0.75),
+	}
+}
+
+// H4FDIPModulatesBenefit encodes the §5.2 interaction: FDIP's
+// decoupled prefetching hides part of the L2-I miss latency EMISSARY
+// exists to mitigate, so disabling FDIP enlarges EMISSARY's speedup
+// over the recency baseline. The controlled dimension is the FDIP
+// flag; the metric is EMISSARY's speedup itself.
+func H4FDIPModulatesBenefit() *Hypothesis {
+	workloads := profiles("tomcat", "verilator", "finagle-http", "wikipedia")
+	return &Hypothesis{
+		ID:     "H4",
+		Family: "frontend",
+		Claim: "EMISSARY's speedup over TPLRU is larger without FDIP than with it: decoupled " +
+			"prefetching hides a slice of the L2-I miss latency that priority protection targets (§5.2).",
+		Pairs: func(s Scale) []Pair {
+			var pairs []Pair
+			for _, w := range pick(s, 2, workloads) {
+				withFDIP := speedupVariant("P(8):S&E over TPLRU, FDIP on",
+					opts(w, "TPLRU"), opts(w, "P(8):S&E"))
+				baseOff := opts(w, "TPLRU")
+				baseOff.FDIP = false
+				treatOff := opts(w, "P(8):S&E")
+				treatOff.FDIP = false
+				withoutFDIP := speedupVariant("P(8):S&E over TPLRU, FDIP off", baseOff, treatOff)
+				pairs = append(pairs, Pair{
+					Name:      w.Name,
+					Baseline:  withFDIP,
+					Treatment: withoutFDIP,
+					Diff:      absDiff,
+				})
+			}
+			return pairs
+		},
+		// The no-FDIP speedup must exceed the with-FDIP speedup by at
+		// least 0.5 percentage points of speedup.
+		Assert: DirectionAssert(Increase, 0.005, 0.7),
+	}
+}
+
+// H5SkipEngagementAnticorrelatesIPC ties PR 5's cycle-skip machinery
+// to behavior: the event-driven skipper engages exactly where the
+// machine stalls, so configurations with lower IPC must show a higher
+// skipped-cycle fraction. The controlled dimension is front-end
+// pressure (prefetchers off, MSHRs tightened); the assertion demands
+// the two metrics move in opposite directions in every cell.
+func H5SkipEngagementAnticorrelatesIPC() *Hypothesis {
+	workloads := profiles("tomcat", "xapian", "finagle-http", "media-stream")
+	return &Hypothesis{
+		ID:     "H5",
+		Family: "mechanics",
+		Claim: "The cycle skipper's engagement anticorrelates with IPC: stall-heavy configurations " +
+			"(no prefetching, 4 MSHRs) skip a larger fraction of cycles exactly because the pipeline " +
+			"idles more (RunStats.SkippedCycles as a behavioral signal).",
+		Pairs: func(s Scale) []Pair {
+			var pairs []Pair
+			skipFrac := func(outs []runner.SimOutcome) float64 { return outs[0].Stats.SkippedFraction() }
+			for _, w := range pick(s, 2, workloads) {
+				relaxed := opts(w, "TPLRU")
+				stalled := opts(w, "TPLRU")
+				stalled.FDIP = false
+				stalled.NLP = false
+				stalled.MaxMSHRs = 4
+				pairs = append(pairs, Pair{
+					Name:      w.Name,
+					Baseline:  Variant{Name: "relaxed (FDIP+NLP)", Jobs: []sim.Options{relaxed}, Metric: skipFrac},
+					Treatment: Variant{Name: "stall-heavy (no prefetch, 4 MSHRs)", Jobs: []sim.Options{stalled}, Metric: skipFrac},
+					Diff:      absDiff,
+				})
+			}
+			return pairs
+		},
+		Assert: func(ev *Evaluation) (Verdict, string) {
+			// Confirmed only if, cell by cell, the skipped fraction
+			// rises while IPC falls — direction agreement in every
+			// cell, plus a real engagement delta in the median.
+			agree := 0
+			for _, c := range ev.Cells {
+				skipUp := c.Delta > 0
+				ipcDown := c.Treat[0].Result.IPC < c.Base[0].Result.IPC
+				if skipUp && ipcDown {
+					agree++
+				}
+			}
+			med := stats.Median(ev.Deltas)
+			reason := fmt.Sprintf("skip-fraction up while IPC down in %d/%d cells; median engagement delta %+.4f",
+				agree, len(ev.Cells), med)
+			switch {
+			case len(ev.Cells) > 0 && agree == len(ev.Cells) && med >= 0.2:
+				return Confirmed, reason
+			case len(ev.Cells) > 0 && agree == 0:
+				return Refuted, "no cell shows the claimed anticorrelation; " + reason
+			default:
+				return Inconclusive, reason
+			}
+		},
+	}
+}

@@ -1,0 +1,218 @@
+package hypothesis
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCatalogShape pins the catalog's structural contract: stable
+// unique IDs, experiments defined at both scales, and an assertion on
+// every entry — a malformed catalog entry should fail here, not
+// midway through a CI run.
+func TestCatalogShape(t *testing.T) {
+	catalog := Catalog()
+	if len(catalog) < 5 {
+		t.Fatalf("catalog has %d hypotheses, want >= 5", len(catalog))
+	}
+	seen := make(map[string]bool)
+	for _, h := range catalog {
+		if h.ID == "" || h.Family == "" || h.Claim == "" {
+			t.Errorf("hypothesis %+v missing ID/Family/Claim", h)
+		}
+		if seen[h.ID] {
+			t.Errorf("duplicate hypothesis ID %s", h.ID)
+		}
+		seen[h.ID] = true
+		if h.Assert == nil {
+			t.Errorf("%s: no assertion", h.ID)
+		}
+		if got := ByID(h.ID); got == nil || got.ID != h.ID {
+			t.Errorf("ByID(%s) = %v", h.ID, got)
+		}
+		for _, scale := range []Scale{FullScale(), ShortScale()} {
+			pairs := h.Pairs(scale)
+			if len(pairs) == 0 {
+				t.Errorf("%s: no pairs at scale %+v", h.ID, scale)
+			}
+			for _, p := range pairs {
+				if len(p.Baseline.Jobs) == 0 || len(p.Treatment.Jobs) == 0 {
+					t.Errorf("%s/%s: empty variant", h.ID, p.Name)
+				}
+				if p.Baseline.Metric == nil || p.Treatment.Metric == nil {
+					t.Errorf("%s/%s: variant without metric", h.ID, p.Name)
+				}
+			}
+		}
+	}
+	if ByID("no-such-id") != nil {
+		t.Error("ByID of unknown id should be nil")
+	}
+}
+
+func evalWithDeltas(deltas ...float64) *Evaluation {
+	ev := &Evaluation{Deltas: deltas}
+	summarize(ev)
+	return ev
+}
+
+func TestDirectionAssert(t *testing.T) {
+	cases := []struct {
+		name   string
+		dir    Direction
+		min    float64
+		cons   float64
+		deltas []float64
+		want   Verdict
+	}{
+		{"clear increase", Increase, 0.01, 0.8, []float64{0.05, 0.04, 0.06, 0.05}, Confirmed},
+		{"clear decrease claimed increase", Increase, 0.01, 0.8, []float64{-0.05, -0.04, -0.06, -0.05}, Refuted},
+		{"decrease direction confirms", Decrease, 0.01, 0.8, []float64{-0.05, -0.04, -0.06}, Confirmed},
+		{"effect too small", Increase, 0.10, 0.8, []float64{0.01, 0.02, 0.01}, Inconclusive},
+		{"inconsistent signs", Increase, 0.01, 0.9, []float64{0.05, -0.04, 0.06, -0.05}, Inconclusive},
+		{"no data", Increase, 0.01, 0.8, nil, Inconclusive},
+		{"all zero", Increase, 0.01, 0.8, []float64{0, 0, 0}, Inconclusive},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, reason := DirectionAssert(c.dir, c.min, c.cons)(evalWithDeltas(c.deltas...))
+			if got != c.want {
+				t.Errorf("verdict = %s (%s), want %s", got, reason, c.want)
+			}
+			if reason == "" {
+				t.Error("assertion returned empty reason")
+			}
+		})
+	}
+}
+
+func TestNegligibleAssert(t *testing.T) {
+	cases := []struct {
+		name   string
+		bound  float64
+		deltas []float64
+		want   Verdict
+	}{
+		{"negligible", 0.01, []float64{0.001, -0.002, 0.0005, -0.001}, Confirmed},
+		{"decidedly large", 0.01, []float64{0.2, 0.21, 0.19, 0.2}, Refuted},
+		{"wide spread", 0.01, []float64{0.5, -0.49, 0.51, -0.5}, Inconclusive},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, reason := NegligibleAssert(c.bound)(evalWithDeltas(c.deltas...))
+			if got != c.want {
+				t.Errorf("verdict = %s (%s), want %s", got, reason, c.want)
+			}
+		})
+	}
+}
+
+func TestPairsWithPrefix(t *testing.T) {
+	ev := &Evaluation{Pairs: []PairSummary{
+		{Name: "grow/a", Deltas: []float64{1, 2}},
+		{Name: "sat/a", Deltas: []float64{3}},
+		{Name: "grow/b", Deltas: []float64{4}},
+	}}
+	got := pairsWithPrefix(ev, "grow/")
+	want := []float64{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("pairsWithPrefix = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pairsWithPrefix[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := pairsWithPrefix(ev, "none/"); len(out) != 0 {
+		t.Errorf("unmatched prefix returned %v", out)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Confirmed:    "CONFIRMED",
+		Refuted:      "REFUTED",
+		Inconclusive: "INCONCLUSIVE",
+		Verdict(9):   "Verdict(9)",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+// tinyScale keeps the determinism sweep fast: the verdicts at this
+// scale are irrelevant (often INCONCLUSIVE); only byte-stability of
+// the rendered reports is under test.
+func tinyScale() Scale {
+	return Scale{Warmup: 20_000, Measure: 50_000, Short: true}
+}
+
+// renderCatalog runs the full catalog at the given worker count and
+// renders every report plus the summary into one byte stream.
+func renderCatalog(t *testing.T, workers int) []byte {
+	t.Helper()
+	evs, err := RunCatalog(Catalog(), Config{Scale: tinyScale(), Workers: workers})
+	if err != nil {
+		t.Fatalf("catalog at %d workers: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	for _, ev := range evs {
+		WriteReport(&buf, ev)
+	}
+	WriteSummary(&buf, evs)
+	return buf.Bytes()
+}
+
+// TestHypothesisDeterminism is the harness's instance of the repo-wide
+// contract: the full catalog report is byte-identical whether the
+// (variant × seed) simulations run sequentially or race across eight
+// workers — job options are fixed before scheduling and every
+// aggregate (median, sign counts, bootstrap CI) is computed from
+// job-ordered results with seeded randomness.
+func TestHypothesisDeterminism(t *testing.T) {
+	seq := renderCatalog(t, 1)
+	par := renderCatalog(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("catalog report differs between -j 1 and -j 8:\n-j 1: %d bytes\n-j 8: %d bytes\nfirst divergence at byte %d",
+			len(seq), len(par), firstDiff(seq, par))
+	}
+	// The determinism claim is only meaningful if the run produced a
+	// real report: every hypothesis must appear.
+	for _, h := range Catalog() {
+		if !bytes.Contains(seq, []byte("# "+h.ID+" — ")) {
+			t.Errorf("report does not contain a section for %s", h.ID)
+		}
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestReportRendersFiniteNumbers guards the report against NaN/Inf
+// leaking into committed markdown when a metric degenerates.
+func TestReportRendersFiniteNumbers(t *testing.T) {
+	ev := evalWithDeltas(0.1, math.NaN(), 0.2)
+	ev.H = &Hypothesis{ID: "HX", Family: "test", Claim: "claim"}
+	ev.Scale = tinyScale()
+	ev.Seeds = []uint64{1}
+	if math.IsNaN(ev.Median) || math.IsNaN(ev.CILo) || math.IsNaN(ev.CIHi) {
+		t.Fatalf("summarize let NaN through: %+v", ev)
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, ev)
+	if !strings.Contains(buf.String(), "HX") {
+		t.Error("report missing hypothesis ID")
+	}
+}

@@ -1,0 +1,37 @@
+package hypothesis
+
+import (
+	"strings"
+	"testing"
+
+	"emissary/internal/lint"
+)
+
+// TestHypothesisLintClean pins that the determinism lint suite sweeps
+// the hypothesis harness (package + CLI) clean: the harness exists to
+// produce byte-stable reports, so an unseeded RNG, map-order sink, or
+// float fold here would undermine its own gate. The full-tree sweep
+// runs in CI's lint job; this test keeps the guarantee local to the
+// package's own `go test`.
+func TestHypothesisLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide typecheck is slow; CI's lint job covers -short runs")
+	}
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	var units []*lint.Unit
+	for _, u := range mod.Units {
+		if strings.Contains(u.Path, "internal/hypothesis") ||
+			strings.Contains(u.Path, "cmd/emissary-hypothesis") {
+			units = append(units, u)
+		}
+	}
+	if len(units) == 0 {
+		t.Fatal("module load found no hypothesis units")
+	}
+	for _, d := range lint.Run(units, lint.Rules()) {
+		t.Errorf("lint: %s", d)
+	}
+}

@@ -1,0 +1,91 @@
+package hypothesis
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"emissary/internal/atomicfile"
+)
+
+// Reports are regenerated artifacts and regression-gate inputs, so
+// they carry no timestamps, hostnames, or float formatting that could
+// vary: the same catalog at the same scale renders byte-identical
+// markdown at any worker count (TestHypothesisDeterminism pins this).
+
+// WriteReport renders one evaluated hypothesis as markdown: the claim
+// and experiment shape, the per-(pair × seed) delta table, the
+// aggregate effect statistics, and the verdict with its justification.
+func WriteReport(w io.Writer, ev *Evaluation) {
+	h := ev.H
+	fmt.Fprintf(w, "# %s — %s\n\n", h.ID, h.Family)
+	fmt.Fprintf(w, "**Claim.** %s\n\n", h.Claim)
+	fmt.Fprintf(w, "**Verdict: %s** — %s\n\n", ev.Verdict, ev.Reason)
+	mode := "full"
+	if ev.Scale.Short {
+		mode = "short"
+	}
+	fmt.Fprintf(w, "Scale: %s (warm-up %d, measure %d instructions) · seeds %s · %d pairs × %d seeds = %d cells\n\n",
+		mode, ev.Scale.Warmup, ev.Scale.Measure, seedList(ev.Seeds), len(ev.Pairs), len(ev.Seeds), len(ev.Cells))
+
+	fmt.Fprintf(w, "| pair | seed | baseline | treatment | delta |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|\n")
+	for _, c := range ev.Cells {
+		fmt.Fprintf(w, "| %s | %d | %.6f | %.6f | %+.4f |\n",
+			c.Pair, c.Seed, c.BaseMetric, c.TreatMetric, c.Delta)
+	}
+	fmt.Fprintf(w, "\n")
+
+	fmt.Fprintf(w, "Per-pair median deltas:\n\n")
+	for _, p := range ev.Pairs {
+		fmt.Fprintf(w, "- `%s`: %+.4f\n", p.Name, p.Median)
+	}
+	fmt.Fprintf(w, "\nAggregate: median delta %+.4f · sign consistency %.0f%% · 95%% bootstrap CI [%+.4f, %+.4f]\n",
+		ev.Median, ev.Consistency*100, ev.CILo, ev.CIHi)
+}
+
+// WriteSummary renders the catalog index table.
+func WriteSummary(w io.Writer, evs []*Evaluation) {
+	fmt.Fprintf(w, "# Hypothesis catalog\n\n")
+	fmt.Fprintf(w, "Behavioral claims from the paper, run as controlled multi-seed experiments\n")
+	fmt.Fprintf(w, "(see DESIGN.md §11 for the methodology and verdict semantics).\n\n")
+	fmt.Fprintf(w, "| ID | family | verdict | median delta | consistency | claim |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|\n")
+	for _, ev := range evs {
+		fmt.Fprintf(w, "| [%s](%s) | %s | %s | %+.4f | %.0f%% | %s |\n",
+			ev.H.ID, ReportFile(ev.H), ev.H.Family, ev.Verdict, ev.Median, ev.Consistency*100,
+			strings.ReplaceAll(ev.H.Claim, "\n", " "))
+	}
+}
+
+// ReportFile is the per-hypothesis report filename.
+func ReportFile(h *Hypothesis) string { return h.ID + ".md" }
+
+// WriteReports writes each evaluation's report plus a SUMMARY.md index
+// under dir (which must exist), atomically — a crashed or cancelled
+// run never leaves a half-written report behind.
+func WriteReports(dir string, evs []*Evaluation) error {
+	for _, ev := range evs {
+		path := filepath.Join(dir, ReportFile(ev.H))
+		if err := atomicfile.WriteTo(path, func(w io.Writer) error {
+			WriteReport(w, ev)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return atomicfile.WriteTo(filepath.Join(dir, "SUMMARY.md"), func(w io.Writer) error {
+		WriteSummary(w, evs)
+		return nil
+	})
+}
+
+// seedList renders seeds compactly: "42,123,456".
+func seedList(seeds []uint64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return strings.Join(parts, ",")
+}

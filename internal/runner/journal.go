@@ -26,13 +26,17 @@ type Journal struct {
 	mu   sync.Mutex
 	path string
 	f    *os.File
-	done map[string]sim.Result
+	done map[string]SimOutcome
 }
 
-// journalEntry is the on-disk line format.
+// journalEntry is the on-disk line format. Stats was added after the
+// format shipped: lines written by older binaries simply lack the
+// field and load as zero RunStats, which is sound — stats describe
+// execution mechanics, not results, and zero means "not recorded".
 type journalEntry struct {
-	Fingerprint string     `json:"fingerprint"`
-	Result      sim.Result `json:"result"`
+	Fingerprint string       `json:"fingerprint"`
+	Result      sim.Result   `json:"result"`
+	Stats       sim.RunStats `json:"stats"`
 }
 
 // OpenJournal opens (creating if absent) the checkpoint at path and
@@ -44,7 +48,7 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runner: opening journal: %w", err)
 	}
-	j := &Journal{path: path, f: f, done: make(map[string]sim.Result)}
+	j := &Journal{path: path, f: f, done: make(map[string]SimOutcome)}
 
 	var valid int64 // byte offset just past the last complete record
 	sc := bufio.NewScanner(f)
@@ -55,7 +59,7 @@ func OpenJournal(path string) (*Journal, error) {
 		if err := json.Unmarshal(line, &e); err != nil || e.Fingerprint == "" {
 			break
 		}
-		j.done[e.Fingerprint] = e.Result
+		j.done[e.Fingerprint] = SimOutcome{Result: e.Result, Stats: e.Stats}
 		valid += int64(len(line)) + 1
 	}
 	if err := sc.Err(); err != nil {
@@ -85,17 +89,30 @@ func (j *Journal) Completed() int {
 
 // Lookup returns the checkpointed result for a job, if present.
 func (j *Journal) Lookup(opt sim.Options) (sim.Result, bool) {
+	out, ok := j.LookupStats(opt)
+	return out.Result, ok
+}
+
+// LookupStats returns the checkpointed result and run stats for a job,
+// if present. Entries written before stats were journaled carry zero
+// RunStats.
+func (j *Journal) LookupStats(opt sim.Options) (SimOutcome, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	res, ok := j.done[opt.Fingerprint()]
-	return res, ok
+	out, ok := j.done[opt.Fingerprint()]
+	return out, ok
 }
 
 // Record appends one completed job. The line is written and flushed
 // before Record returns, so every result reported to a caller is
 // already durable in the journal.
 func (j *Journal) Record(opt sim.Options, res sim.Result) error {
-	line, err := json.Marshal(journalEntry{Fingerprint: opt.Fingerprint(), Result: res})
+	return j.RecordStats(opt, res, sim.RunStats{})
+}
+
+// RecordStats is Record carrying the run's execution mechanics too.
+func (j *Journal) RecordStats(opt sim.Options, res sim.Result, st sim.RunStats) error {
+	line, err := json.Marshal(journalEntry{Fingerprint: opt.Fingerprint(), Result: res, Stats: st})
 	if err != nil {
 		return fmt.Errorf("runner: encoding journal record: %w", err)
 	}
@@ -108,7 +125,7 @@ func (j *Journal) Record(opt sim.Options, res sim.Result) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("runner: syncing journal %s: %w", j.path, err)
 	}
-	j.done[opt.Fingerprint()] = res
+	j.done[opt.Fingerprint()] = SimOutcome{Result: res, Stats: st}
 	return nil
 }
 

@@ -267,11 +267,37 @@ type SimsConfig struct {
 	Progress func(sim.Result)
 }
 
+// SimOutcome pairs a simulation's measured Result with its execution
+// mechanics (sim.RunStats). Result feeds digests and journals; Stats
+// reports how the simulator got there (cycle-skip engagement) and is
+// what behavioral hypotheses about the machinery itself are asserted
+// on.
+type SimOutcome struct {
+	Result sim.Result
+	Stats  sim.RunStats
+}
+
 // RunSims executes every sim.Options job across the pool and returns
 // the results in job order. Each job must be fully specified before
 // the call: seeds live in the options, so the output is independent of
 // scheduling, worker count, and which jobs a journal replayed.
 func RunSims(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]sim.Result, error) {
+	outs, err := RunSimsStats(ctx, jobs, cfg)
+	res := make([]sim.Result, len(outs))
+	for i, o := range outs {
+		res[i] = o.Result
+	}
+	return res, err
+}
+
+// RunSimsStats is RunSims returning each job's RunStats alongside its
+// Result. Results obey the usual contract (job order, byte-identical
+// at any worker count); Stats are mechanics and come with one caveat:
+// a job served from a journal written before stats were recorded
+// reports zero RunStats, and a journal hit recorded under a different
+// NoCycleSkip setting reports the stats of whichever mechanism
+// actually ran (the fingerprint deliberately ignores that flag).
+func RunSimsStats(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]SimOutcome, error) {
 	var mu sync.Mutex
 	report := func(r sim.Result) {
 		if cfg.Progress != nil {
@@ -280,25 +306,26 @@ func RunSims(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]sim.Res
 			mu.Unlock()
 		}
 	}
-	return DoPolicy(ctx, len(jobs), cfg.Workers, cfg.Policy, func(ctx context.Context, i int) (sim.Result, error) {
+	return DoPolicy(ctx, len(jobs), cfg.Workers, cfg.Policy, func(ctx context.Context, i int) (SimOutcome, error) {
 		opt := jobs[i]
 		if cfg.Journal != nil {
-			if res, ok := cfg.Journal.Lookup(opt); ok {
-				report(res)
-				return res, nil
+			if out, ok := cfg.Journal.LookupStats(opt); ok {
+				report(out.Result)
+				return out, nil
 			}
 		}
-		res, err := sim.RunContext(ctx, opt)
+		res, st, err := sim.RunContextStats(ctx, opt)
+		out := SimOutcome{Result: res, Stats: st}
 		if err != nil {
-			return res, err
+			return out, err
 		}
 		if cfg.Journal != nil {
-			if err := cfg.Journal.Record(opt, res); err != nil {
-				return res, err
+			if err := cfg.Journal.RecordStats(opt, res, st); err != nil {
+				return out, err
 			}
 		}
 		report(res)
-		return res, nil
+		return out, nil
 	})
 }
 

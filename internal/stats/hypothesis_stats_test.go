@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The helpers below feed the hypothesis harness's effect-size and
+// direction assertions, so their edge-case behavior (NaN, empty,
+// single-sample) is part of the verdict contract.
+
+var nan = math.NaN()
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3.5}, 3.5},
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"negative", []float64{-5, -1, -3}, -3},
+		{"nan skipped", []float64{nan, 1, 3}, 2},
+		{"inf skipped", []float64{math.Inf(1), 1, 3, math.Inf(-1)}, 2},
+		{"all nan", []float64{nan, nan}, 0},
+		{"duplicates", []float64{2, 2, 2, 7}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Median(c.in); !almost(got, c.want) {
+				t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		q    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []float64{7}, 0.25, 7},
+		{"min", []float64{1, 2, 3}, 0, 1},
+		{"max", []float64{1, 2, 3}, 1, 3},
+		{"mid", []float64{1, 2, 3}, 0.5, 2},
+		{"interpolated", []float64{0, 10}, 0.25, 2.5},
+		{"clamp below", []float64{1, 2}, -1, 1},
+		{"clamp above", []float64{1, 2}, 2, 2},
+		{"nan skipped", []float64{nan, 0, 10}, 0.5, 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Quantile(c.in, c.q); !almost(got, c.want) {
+				t.Errorf("Quantile(%v, %v) = %v, want %v", c.in, c.q, got, c.want)
+			}
+		})
+	}
+}
+
+func TestPairedPercentChange(t *testing.T) {
+	t.Run("pairs elementwise", func(t *testing.T) {
+		got := PairedPercentChange([]float64{100, 200, 50}, []float64{110, 100, 50})
+		want := []float64{0.1, -0.5, 0}
+		if len(got) != len(want) {
+			t.Fatalf("len = %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !almost(got[i], want[i]) {
+				t.Errorf("delta[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	})
+	t.Run("zero base yields zero", func(t *testing.T) {
+		got := PairedPercentChange([]float64{0}, []float64{5})
+		if got[0] != 0 {
+			t.Errorf("delta over zero base = %v, want 0", got[0])
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if got := PairedPercentChange(nil, nil); got == nil || len(got) != 0 {
+			t.Errorf("empty pair = %v, want empty non-nil", got)
+		}
+	})
+	t.Run("mismatched lengths return nil", func(t *testing.T) {
+		if got := PairedPercentChange([]float64{1, 2}, []float64{1}); got != nil {
+			t.Errorf("mismatched = %v, want nil", got)
+		}
+	})
+	t.Run("nan propagates", func(t *testing.T) {
+		got := PairedPercentChange([]float64{1}, []float64{nan})
+		if !math.IsNaN(got[0]) {
+			t.Errorf("NaN treatment = %v, want NaN", got[0])
+		}
+	})
+}
+
+func TestSigns(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		pos  int
+		neg  int
+		zero int
+	}{
+		{"empty", nil, 0, 0, 0},
+		{"mixed", []float64{1, -2, 0, 3}, 2, 1, 1},
+		{"nan and inf skipped", []float64{nan, math.Inf(1), -1}, 0, 1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pos, neg, zero := Signs(c.in)
+			if pos != c.pos || neg != c.neg || zero != c.zero {
+				t.Errorf("Signs(%v) = (%d, %d, %d), want (%d, %d, %d)",
+					c.in, pos, neg, zero, c.pos, c.neg, c.zero)
+			}
+		})
+	}
+}
+
+func TestSignConsistency(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0}, 0},
+		{"all nan", []float64{nan}, 0},
+		{"unanimous positive", []float64{1, 2, 3}, 1},
+		{"unanimous negative", []float64{-1, -2}, 1},
+		{"split", []float64{1, -1}, 0.5},
+		{"majority", []float64{1, 2, -1, 3}, 0.75},
+		{"zeros ignored", []float64{1, 0, 0, -1}, 0.5},
+		{"single", []float64{-0.001}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := SignConsistency(c.in); !almost(got, c.want) {
+				t.Errorf("SignConsistency(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		lo, hi := BootstrapCI(nil, 0.95, 100, 1)
+		if lo != 0 || hi != 0 {
+			t.Errorf("empty CI = [%v, %v], want [0, 0]", lo, hi)
+		}
+	})
+	t.Run("all nan", func(t *testing.T) {
+		lo, hi := BootstrapCI([]float64{nan, nan}, 0.95, 100, 1)
+		if lo != 0 || hi != 0 {
+			t.Errorf("all-NaN CI = [%v, %v], want [0, 0]", lo, hi)
+		}
+	})
+	t.Run("single sample degenerates", func(t *testing.T) {
+		lo, hi := BootstrapCI([]float64{4.2}, 0.95, 100, 1)
+		if !almost(lo, 4.2) || !almost(hi, 4.2) {
+			t.Errorf("single-sample CI = [%v, %v], want [4.2, 4.2]", lo, hi)
+		}
+	})
+	t.Run("zero resamples degenerate to first sample", func(t *testing.T) {
+		lo, hi := BootstrapCI([]float64{1, 2}, 0.95, 0, 1)
+		if !almost(lo, 1) || !almost(hi, 1) {
+			t.Errorf("no-resample CI = [%v, %v], want [1, 1]", lo, hi)
+		}
+	})
+	t.Run("brackets the mean", func(t *testing.T) {
+		xs := []float64{1, 2, 3, 4, 5}
+		lo, hi := BootstrapCI(xs, 0.95, 2000, 7)
+		if !(lo <= 3 && 3 <= hi) {
+			t.Errorf("CI [%v, %v] does not bracket the mean 3", lo, hi)
+		}
+		if !(1 <= lo && hi <= 5) {
+			t.Errorf("CI [%v, %v] escapes the sample range [1, 5]", lo, hi)
+		}
+		if lo >= hi {
+			t.Errorf("CI [%v, %v] is not an interval", lo, hi)
+		}
+	})
+	t.Run("deterministic for a seed", func(t *testing.T) {
+		xs := []float64{0.3, -0.1, 0.7, 0.2}
+		lo1, hi1 := BootstrapCI(xs, 0.95, 500, 42)
+		lo2, hi2 := BootstrapCI(xs, 0.95, 500, 42)
+		if lo1 != lo2 || hi1 != hi2 {
+			t.Errorf("same seed gave [%v, %v] then [%v, %v]", lo1, hi1, lo2, hi2)
+		}
+	})
+	t.Run("bad confidence falls back to 95%", func(t *testing.T) {
+		xs := []float64{1, 2, 3}
+		lo, hi := BootstrapCI(xs, 0, 500, 9)
+		wlo, whi := BootstrapCI(xs, 0.95, 500, 9)
+		if lo != wlo || hi != whi {
+			t.Errorf("confidence 0 CI = [%v, %v], want the 0.95 interval [%v, %v]", lo, hi, wlo, whi)
+		}
+	})
+	t.Run("nan skipped", func(t *testing.T) {
+		lo, hi := BootstrapCI([]float64{nan, 2, 2, 2}, 0.95, 200, 3)
+		if !almost(lo, 2) || !almost(hi, 2) {
+			t.Errorf("NaN-laced constant CI = [%v, %v], want [2, 2]", lo, hi)
+		}
+	})
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"emissary/internal/rng"
 )
 
 // MPKI returns misses per thousand (kilo) instructions.
@@ -81,6 +83,139 @@ func PercentChange(base, test float64) float64 {
 		return 0
 	}
 	return (test - base) / base
+}
+
+// Median returns the median of the finite samples in xs (NaN and ±Inf
+// are ignored, matching the other aggregates' empty-input convention);
+// an input with no finite sample yields 0. xs is not modified.
+func Median(xs []float64) float64 {
+	fin := finite(xs)
+	if len(fin) == 0 {
+		return 0
+	}
+	sort.Float64s(fin)
+	n := len(fin)
+	if n%2 == 1 {
+		return fin[n/2]
+	}
+	return (fin[n/2-1] + fin[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the finite samples in
+// xs using linear interpolation between order statistics; no finite
+// sample yields 0, and q is clamped to [0,1]. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	fin := finite(xs)
+	if len(fin) == 0 {
+		return 0
+	}
+	sort.Float64s(fin)
+	if q <= 0 || len(fin) == 1 {
+		return fin[0]
+	}
+	if q >= 1 {
+		return fin[len(fin)-1]
+	}
+	pos := q * float64(len(fin)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(fin) {
+		return fin[len(fin)-1]
+	}
+	return fin[lo]*(1-frac) + fin[lo+1]*frac
+}
+
+// PairedPercentChange returns the elementwise PercentChange of each
+// (base[i], test[i]) pair — the per-seed delta distribution hypothesis
+// assertions are computed over. The slices must be the same length;
+// mismatched lengths return nil (a paired design with unpaired samples
+// is a caller bug, and nil keeps it visible instead of silently
+// truncating).
+func PairedPercentChange(base, test []float64) []float64 {
+	if len(base) != len(test) {
+		return nil
+	}
+	out := make([]float64, len(base))
+	for i := range base {
+		out[i] = PercentChange(base[i], test[i])
+	}
+	return out
+}
+
+// Signs counts the strictly positive, strictly negative, and zero
+// samples among the finite entries of xs (NaN and ±Inf are skipped).
+func Signs(xs []float64) (pos, neg, zero int) {
+	for _, x := range xs {
+		switch {
+		case math.IsNaN(x) || math.IsInf(x, 0):
+		case x > 0:
+			pos++
+		case x < 0:
+			neg++
+		default:
+			zero++
+		}
+	}
+	return pos, neg, zero
+}
+
+// SignConsistency returns the fraction of finite non-zero samples that
+// share the majority sign: 1.0 means every seed moved the same
+// direction, 0.5 means a coin flip. An input with no finite non-zero
+// sample yields 0 — "no evidence", not "perfectly consistent".
+func SignConsistency(xs []float64) float64 {
+	pos, neg, _ := Signs(xs)
+	n := pos + neg
+	if n == 0 {
+		return 0
+	}
+	if neg > pos {
+		pos = neg
+	}
+	return float64(pos) / float64(n)
+}
+
+// BootstrapCI returns a percentile-bootstrap confidence interval for
+// the mean of the finite samples in xs: resamples bootstrap means are
+// drawn with replacement from a deterministic seeded stream, and the
+// (α/2, 1-α/2) quantiles of that distribution are returned for
+// confidence 1-α. The same (xs, confidence, resamples, seed) always
+// yields the same interval, which is what lets hypothesis reports be
+// byte-identical across runs and worker counts. No finite sample
+// yields (0, 0); a single sample yields (x, x).
+func BootstrapCI(xs []float64, confidence float64, resamples int, seed uint64) (lo, hi float64) {
+	fin := finite(xs)
+	if len(fin) == 0 {
+		return 0, 0
+	}
+	if len(fin) == 1 || resamples <= 0 {
+		return fin[0], fin[0]
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	r := rng.NewXoshiro256(rng.Mix2(seed, 0xb007))
+	means := make([]float64, resamples)
+	for i := range means {
+		sum := 0.0
+		for j := 0; j < len(fin); j++ {
+			sum += fin[r.Intn(len(fin))]
+		}
+		means[i] = sum / float64(len(fin))
+	}
+	alpha := 1 - confidence
+	return Quantile(means, alpha/2), Quantile(means, 1-alpha/2)
+}
+
+// finite copies the finite entries of xs (drops NaN and ±Inf).
+func finite(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // CacheCounters tracks accesses for one cache and one request class.
