@@ -62,6 +62,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	patterns := fs.Args()
+	// flag stops parsing at the first positional argument, so a flag
+	// placed after a pattern would silently become a pattern (and CI
+	// invoking `emissary-lint ./... -rules x` would run with ALL rules
+	// while appearing configured); reject that.
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(stderr, "emissary-lint: flag %q after patterns; flags must come first\n", p)
+			return 2
+		}
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -114,13 +124,19 @@ func run(args []string, stdout, stderr *os.File) int {
 
 // filterUnits narrows the module's units to those whose directory
 // matches one of the patterns (dir, or dir/... for a recursive match).
+// EVERY pattern must match at least one package: a typo'd path in a CI
+// invocation must fail loudly, not silently skip the packages it was
+// meant to gate.
 func filterUnits(mod *lint.Module, patterns []string) ([]*lint.Unit, error) {
 	type match struct {
+		pattern   string
 		dir       string
 		recursive bool
+		hits      int
 	}
-	matches := make([]match, 0, len(patterns))
+	matches := make([]*match, 0, len(patterns))
 	for _, p := range patterns {
+		orig := p
 		rec := false
 		if strings.HasSuffix(p, "/...") {
 			rec = true
@@ -133,21 +149,27 @@ func filterUnits(mod *lint.Module, patterns []string) ([]*lint.Unit, error) {
 		if err != nil {
 			return nil, err
 		}
-		matches = append(matches, match{dir: abs, recursive: rec})
+		matches = append(matches, &match{pattern: orig, dir: abs, recursive: rec})
 	}
 
 	var units []*lint.Unit
 	for _, u := range mod.Units {
 		dir := unitDir(mod, u)
+		matched := false
 		for _, m := range matches {
 			if dir == m.dir || (m.recursive && strings.HasPrefix(dir, m.dir+string(filepath.Separator))) {
-				units = append(units, u)
-				break
+				m.hits++
+				matched = true
 			}
 		}
+		if matched {
+			units = append(units, u)
+		}
 	}
-	if len(units) == 0 {
-		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	for _, m := range matches {
+		if m.hits == 0 {
+			return nil, fmt.Errorf("pattern %q matches no packages", m.pattern)
+		}
 	}
 	return units, nil
 }

@@ -90,6 +90,58 @@ func Stamp() int64 { return time.Now().UnixNano() }
 	}
 }
 
+// runInProc invokes run() with file-backed stdout/stderr and returns
+// both streams plus the exit code, without building the binary.
+func runInProc(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	outB, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errB, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(outB), string(errB), code
+}
+
+// TestUsageErrors pins the loud-failure contract: a typo'd rule name, a
+// flag after the patterns, or a pattern matching no packages must exit
+// 2 with an explanatory message — never silently run a different
+// configuration (the historical hazard: `emissary-lint ./... -rules x`
+// would have run ALL rules while appearing configured).
+func TestUsageErrors(t *testing.T) {
+	_, errOut, code := runInProc(t, "-rules", "no-such-rule")
+	if code != 2 {
+		t.Fatalf("-rules no-such-rule: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `unknown rule "no-such-rule"`) || !strings.Contains(errOut, "available:") {
+		t.Errorf("unknown-rule stderr does not name the rule and list the valid ones:\n%s", errOut)
+	}
+
+	_, errOut, code = runInProc(t, "./...", "-rules", "float-fold")
+	if code != 2 || !strings.Contains(errOut, "flags must come first") {
+		t.Errorf("flag after pattern: exit %d, stderr:\n%s\nwant 2 with 'flags must come first'", code, errOut)
+	}
+
+	if testing.Short() {
+		t.Skip("zero-match check loads the whole module; skipped with -short")
+	}
+	_, errOut, code = runInProc(t, "./no-such-dir/...")
+	if code != 2 || !strings.Contains(errOut, "matches no packages") {
+		t.Errorf("zero-match pattern: exit %d, stderr:\n%s\nwant 2 with 'matches no packages'", code, errOut)
+	}
+}
+
 func runLint(t *testing.T, bin, dir string, args ...string) (string, int) {
 	t.Helper()
 	cmd := exec.Command(bin, args...)

@@ -1,0 +1,131 @@
+// Command emissary-vet runs the whole-program contract analyzers
+// (internal/lint vet passes) over the module:
+//
+//	fingerprint-complete   every behavior-affecting sim.Options field is fingerprinted
+//	skip-delta-coherent    every Step-path counter is mirrored by skipTo's bulk delta
+//	hot-noalloc            //vet:hot functions and their callees stay allocation-free
+//
+// Usage:
+//
+//	emissary-vet [flags] [module-dir]
+//
+// Unlike emissary-lint, which filters per-package, vet passes are
+// whole-program dataflow analyses: the single optional argument names
+// a directory inside the module to analyze (default "."), and the
+// entire containing module is always loaded. Diagnostics print one per
+// line as
+//
+//	file:line:col: [pass] message
+//
+// and the exit status is 1 if any diagnostic was reported, 2 on usage
+// or load errors, 0 otherwise. Suppress a site-level finding with the
+// shared lint directive (the reason is mandatory):
+//
+//	//lint:ignore pass reason
+//
+// Contract-level exclusions use the //vet: annotation grammar
+// (DESIGN.md §12): //vet:nonbehavioral <reason> on an options field,
+// //vet:skip-invariant <reason> on a counter, //vet:hot on a function.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"emissary/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("emissary-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rulesFlag := fs.String("rules", "", "comma-separated subset of passes to run (default: all)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	listFlag := fs.Bool("list", false, "list available passes and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: emissary-vet [flags] [module-dir]\n\n")
+		fmt.Fprintf(stderr, "Runs the EMISSARY whole-program contract analyzers over the module\ncontaining module-dir (default: the current directory).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listFlag {
+		for _, p := range lint.Passes() {
+			fmt.Fprintf(stdout, "%-20s %s\n", p.Name, p.Doc)
+		}
+		return 0
+	}
+
+	passes, err := lint.SelectPasses(*rulesFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "emissary-vet:", err)
+		return 2
+	}
+
+	dir := "."
+	rest := fs.Args()
+	// flag stops parsing at the first positional argument, so a flag
+	// placed after it would silently become a path; reject that.
+	for _, a := range rest {
+		if strings.HasPrefix(a, "-") {
+			fmt.Fprintf(stderr, "emissary-vet: flag %q after positional argument; flags must come first\n", a)
+			return 2
+		}
+	}
+	switch len(rest) {
+	case 0:
+	case 1:
+		dir = rest[0]
+	default:
+		fmt.Fprintf(stderr, "emissary-vet: at most one module-dir argument (got %d); vet passes are whole-program\n", len(rest))
+		return 2
+	}
+
+	mod, err := lint.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "emissary-vet:", err)
+		return 2
+	}
+
+	diags := lint.RunPasses(mod, passes)
+
+	cwd, _ := os.Getwd()
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "emissary-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+
+	if len(diags) > 0 {
+		if !*jsonFlag {
+			fmt.Fprintf(stderr, "emissary-vet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emissary/internal/lint"
+)
+
+// runInProc invokes run() with file-backed stdout/stderr and returns
+// both streams plus the exit code. The working directory is the test
+// process's own (this package dir), so LoadModule(".") resolves to the
+// real emissary module.
+func runInProc(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	outB, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errB, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(outB), string(errB), code
+}
+
+// TestList pins the -list contract CI smoke-tests: every pass name
+// appears, exit 0.
+func TestList(t *testing.T) {
+	out, _, code := runInProc(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit code = %d, want 0", code)
+	}
+	for _, name := range lint.PassNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing pass %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestUsageErrors pins the loud-failure contract: a typo'd pass name,
+// a flag after the positional argument, or extra arguments must exit 2
+// with an explanatory message — never silently run a different
+// configuration.
+func TestUsageErrors(t *testing.T) {
+	_, errOut, code := runInProc(t, "-rules", "no-such-pass")
+	if code != 2 {
+		t.Fatalf("-rules no-such-pass: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `unknown pass "no-such-pass"`) || !strings.Contains(errOut, "available:") {
+		t.Errorf("unknown-pass stderr does not name the pass and list the valid ones:\n%s", errOut)
+	}
+
+	_, errOut, code = runInProc(t, ".", "-json")
+	if code != 2 || !strings.Contains(errOut, "flags must come first") {
+		t.Errorf("flag after positional: exit %d, stderr:\n%s\nwant 2 with 'flags must come first'", code, errOut)
+	}
+
+	_, errOut, code = runInProc(t, ".", "..")
+	if code != 2 || !strings.Contains(errOut, "at most one module-dir") {
+		t.Errorf("two positionals: exit %d, stderr:\n%s\nwant 2 with 'at most one module-dir'", code, errOut)
+	}
+}
+
+// TestTreeClean is the acceptance gate in test form: the real module
+// must have zero unsuppressed findings under the full pass suite.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module; skipped with -short")
+	}
+	out, errOut, code := runInProc(t, ".")
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("tree not vet-clean: exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+}
+
+// TestSmoke builds the emissary-vet binary and runs it against a
+// temporary module containing one hot-path violation, covering the CLI
+// end to end: text output, JSON output, and the clean exit after the
+// fix.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the vet binary; skipped with -short")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+
+	bin := filepath.Join(t.TempDir(), "emissary-vet")
+	build := exec.Command(gobin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module tmpmod\n\ngo 1.22\n")
+	hot := filepath.Join(mod, "hot.go")
+	writeFile(t, hot, `package tmpmod
+
+//vet:hot
+func Hot(n int) []int { return make([]int, n) }
+`)
+
+	out, code := runVet(t, bin, mod)
+	if code != 1 {
+		t.Fatalf("exit code = %d with violation present, want 1\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[hot-noalloc]") || !strings.Contains(out, "make allocates") {
+		t.Fatalf("output missing [hot-noalloc] / make allocates:\n%s", out)
+	}
+
+	jsonOut, code := runVet(t, bin, mod, "-json")
+	if code != 1 {
+		t.Fatalf("exit code = %d for -json run, want 1\noutput:\n%s", code, jsonOut)
+	}
+	var diags []struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Rule string `json:"rule"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &diags); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, jsonOut)
+	}
+	if len(diags) != 1 || diags[0].Rule != "hot-noalloc" || diags[0].Line != 4 {
+		t.Fatalf("json diagnostics = %+v, want one hot-noalloc at line 4", diags)
+	}
+
+	writeFile(t, hot, `package tmpmod
+
+//vet:hot
+func Hot(n int, buf []int) []int { return buf[:0] }
+`)
+	out, code = runVet(t, bin, mod)
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("fixed module: exit %d, output %q; want 0 and no output", code, out)
+	}
+}
+
+func runVet(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %s: %v", bin, err)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -207,6 +207,7 @@ func (r *RAS) Pop() (uint64, bool) {
 
 // Snapshot captures the stack state for mispredict recovery.
 func (r *RAS) Snapshot() RASSnapshot {
+	//lint:ignore hot-noalloc one snapshot per mispredicted branch (an event edge, not a per-cycle cost); warm-pool reuse is ROADMAP item 5a
 	s := RASSnapshot{top: r.top, depth: r.depth, stack: make([]uint64, len(r.stack))}
 	copy(s.stack, r.stack)
 	return s

@@ -125,6 +125,8 @@ func log2(n int) int {
 // arrays, and the way holding lineAddr (-1 on miss). Every lookup
 // entry point funnels through here so no operation derives the set or
 // tag twice, and none scans a set more than once.
+//
+//vet:hot
 func (c *Cache) locate(lineAddr uint64) (s, base, way int) {
 	s = int(lineAddr & c.setMask)
 	base = s * c.ways
@@ -158,6 +160,8 @@ func (c *Cache) Probe(lineAddr uint64) (Line, bool) {
 // Access performs a demand access: on hit it updates recency and
 // statistics and returns true; on miss it only counts the miss.
 // Callers fill the line separately (possibly later) via Fill.
+//
+//vet:hot
 func (c *Cache) Access(lineAddr uint64, instr bool) bool {
 	s, base, w := c.locate(lineAddr)
 	counters := &c.DataStats
@@ -248,6 +252,8 @@ type Eviction struct {
 // Fill installs lineAddr, evicting a victim if the set is full.
 // If the line is already present, its metadata is refreshed instead
 // (a fill racing a fill; the priority bit is only ever raised).
+//
+//vet:hot
 func (c *Cache) Fill(lineAddr uint64, spec FillSpec) Eviction {
 	s := int(lineAddr & c.setMask)
 	base := s * c.ways

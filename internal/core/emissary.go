@@ -99,6 +99,8 @@ func (e *Emissary) victimAmong(set int, mask uint32, high bool) int {
 // The incoming line's own priority does not influence the choice. The
 // class masks are indexed straight off the cache-maintained view
 // rather than re-derived with a way scan.
+//
+//vet:hot
 func (e *Emissary) Victim(set int, view policy.SetView, incoming policy.LineView) int {
 	highMask, lowMask := view.High, view.Low()
 	if view.HighCount() <= e.n {

@@ -50,6 +50,8 @@ func (e *EmissaryGHRP) OnFill(set, way int, view policy.SetView) {
 
 // Victim implements policy.Policy: Algorithm 1 with GHRP victim
 // selection inside the low-priority class.
+//
+//vet:hot
 func (e *EmissaryGHRP) Victim(set int, view policy.SetView, incoming policy.LineView) int {
 	highMask, lowMask := view.High, view.Low()
 	if view.HighCount() <= e.n {

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The vet passes (vet.go) are whole-program analyses over a Module's
+// library units. They share one statically-resolved call graph: every
+// declared function body, with edges for calls the type checker can
+// resolve to a concrete *types.Func — direct calls, method calls on
+// concrete receivers (including through pointer fields), and calls
+// inside defer/go statements. Two call shapes are deliberately not
+// resolved, and the passes' contracts are scoped accordingly:
+//
+//   - interface method calls (the callee set is open; hot-noalloc
+//     covers them by seeding //vet:hot on each implementation, e.g.
+//     every policy's Victim);
+//   - calls through function-typed values (closures, fields holding
+//     funcs) — none occur on the simulator's analyzed paths today.
+
+// funcNode is one declared function or method with a body.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	unit *Unit
+	// callees holds the statically resolved call targets, in source
+	// order with duplicates retained (the sites slice is parallel).
+	callees []*types.Func
+}
+
+// callGraph indexes every function declared in the module's library
+// units by its types object.
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+}
+
+// buildCallGraph walks the module's non-test units once.
+func buildCallGraph(m *Module) *callGraph {
+	g := &callGraph{nodes: make(map[*types.Func]*funcNode)}
+	for _, u := range m.Units {
+		if u.TestsOnly {
+			continue
+		}
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{obj: obj, decl: fd, unit: u}
+				ast.Inspect(fd.Body, func(node ast.Node) bool {
+					call, ok := node.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := funcObj(u.Info, call); callee != nil {
+						n.callees = append(n.callees, callee)
+					}
+					return true
+				})
+				g.nodes[obj] = n
+			}
+		}
+	}
+	return g
+}
+
+// reach computes the set of declared functions reachable from roots,
+// following only statically resolved edges. filter, when non-nil,
+// prunes traversal: a callee for which filter returns false is neither
+// visited nor expanded.
+func (g *callGraph) reach(roots []*types.Func, filter func(*funcNode) bool) map[*types.Func]*funcNode {
+	seen := make(map[*types.Func]*funcNode)
+	var queue []*types.Func
+	push := func(fn *types.Func) {
+		n, ok := g.nodes[fn]
+		if !ok || seen[fn] != nil {
+			return
+		}
+		if filter != nil && !filter(n) {
+			return
+		}
+		seen[fn] = n
+		queue = append(queue, fn)
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range seen[fn].nodes(g) {
+			push(callee)
+		}
+	}
+	return seen
+}
+
+// nodes returns the node's callees (helper so reach reads cleanly).
+func (n *funcNode) nodes(g *callGraph) []*types.Func { return n.callees }
+
+// sortedFuncs returns the reachable set in deterministic order
+// (package path, then name, then position) for stable iteration.
+func sortedFuncs(set map[*types.Func]*funcNode) []*funcNode {
+	out := make([]*funcNode, 0, len(set))
+	for _, n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].obj, out[j].obj
+		ap, bp := pkgPathOf(a), pkgPathOf(b)
+		if ap != bp {
+			return ap < bp
+		}
+		if a.FullName() != b.FullName() {
+			return a.FullName() < b.FullName()
+		}
+		return out[i].decl.Pos() < out[j].decl.Pos()
+	})
+	return out
+}
+
+func pkgPathOf(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// declFile returns the base name of the file a node is declared in.
+func (n *funcNode) declFile() string {
+	return filepath.Base(n.unit.Fset.Position(n.decl.Pos()).Filename)
+}
+
+// fieldChain resolves an expression of the form root.f1.f2...fn
+// (possibly through pointers, parens, and index expressions) to the
+// FINAL field selected, returning the field object and true. The chain
+// may start at any identifier (a receiver, parameter, or local); only
+// the last selection matters — `c.be.Stalls` resolves to backend's
+// Stalls field. Expressions that are not field selections (bare
+// identifiers, calls, map index of a local, ...) return false.
+func fieldChain(info *types.Info, expr ast.Expr) (*types.Var, bool) {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			sel, ok := info.Selections[e]
+			if !ok || sel.Kind() != types.FieldVal {
+				return nil, false
+			}
+			v, ok := sel.Obj().(*types.Var)
+			return v, ok
+		default:
+			return nil, false
+		}
+	}
+}
+
+// owningStruct returns the named type whose struct declaration holds
+// field, or nil. go/types links a struct field to its *types.Struct
+// only indirectly, so the passes record owners while walking type
+// declarations instead; this helper matches by scanning the package
+// scope of the field's package.
+func owningStruct(field *types.Var, pkg *types.Package) *types.TypeName {
+	if field.Pkg() != pkg {
+		return nil
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn
+			}
+		}
+	}
+	return nil
+}
+
+// --- //vet: markers ---
+
+// vetMarkerPrefix introduces the semantic annotations the passes
+// consume. Grammar (one marker per comment line):
+//
+//	//vet:nonbehavioral <reason>   on an Options field excluded from Fingerprint
+//	//vet:skip-invariant <reason>  on a counter Step mutates outside skips
+//	//vet:hot                      on a function whose tree must not allocate
+const vetMarkerPrefix = "//vet:"
+
+// vetMarkers maps marker name to whether a reason is mandatory.
+var vetMarkers = map[string]bool{
+	"nonbehavioral":  true,
+	"skip-invariant": true,
+	"hot":            false,
+}
+
+// hasVetMarker reports whether any comment in the groups carries the
+// named marker (with a reason, when one is required — a reasonless
+// marker is reported separately by the marker hygiene check and does
+// not count as a suppression).
+func hasVetMarker(name string, groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			mname, reason, ok := parseVetMarker(c.Text)
+			if ok && mname == name && (!vetMarkers[name] || reason != "") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseVetMarker splits a comment into marker name and reason; ok is
+// false when the comment is not a //vet: directive at all.
+func parseVetMarker(text string) (name, reason string, ok bool) {
+	rest, found := strings.CutPrefix(text, vetMarkerPrefix)
+	if !found {
+		return "", "", false
+	}
+	name, reason, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(name), strings.TrimSpace(reason), true
+}
+
+// fieldMarkers returns the comment groups attached to a struct field
+// declaration (doc above, line comment trailing).
+func fieldMarkers(f *ast.Field) []*ast.CommentGroup {
+	return []*ast.CommentGroup{f.Doc, f.Comment}
+}

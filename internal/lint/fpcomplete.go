@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// fingerprint-complete proves the content-addressing contract: every
+// field of an options struct that can influence simulation behavior is
+// part of its Fingerprint(), so two option values with equal
+// fingerprints cannot produce different results (the checkpoint
+// journal — and any future fingerprint-keyed result cache — depends on
+// exactly this).
+//
+// Mechanically, for every named struct type T with a method
+// `Fingerprint() string`, the pass computes
+//
+//	covered = fields of T read inside Fingerprint's body
+//	behavioral = fields of T read in any function statically reachable
+//	             from the Run* entry points of T's package
+//	             (excluding Fingerprint itself and other
+//	             fingerprint-derived helpers that call it)
+//
+// and requires behavioral ⊆ covered, unless the field's declaration
+// carries //vet:nonbehavioral <reason>. A field that is BOTH covered
+// and marked nonbehavioral is a contradiction and also reported.
+//
+// Reads through copies are safe: plumbing a field into pipeline.Config
+// or cache geometry is itself a read of the field at the copy site, so
+// the dataflow need not be followed past the first read.
+var passFingerprintComplete = &Pass{
+	Name: "fingerprint-complete",
+	Doc:  "every options field read on a Run* path must be fingerprinted or //vet:nonbehavioral",
+	run:  runFingerprintComplete,
+}
+
+func runFingerprintComplete(m *Module, report reportFunc) {
+	g := buildCallGraph(m)
+
+	for _, u := range m.Units {
+		if u.TestsOnly {
+			continue
+		}
+		for _, target := range fingerprintTargets(u) {
+			checkFingerprintTarget(m, g, u, target, report)
+		}
+	}
+}
+
+// fpTarget is one struct type with a Fingerprint() string method.
+type fpTarget struct {
+	typeName *types.TypeName
+	strct    *types.Struct
+	fpMethod *types.Func
+	fpDecl   *ast.FuncDecl
+}
+
+// fingerprintTargets finds every named struct type in the unit that
+// declares a method Fingerprint() string.
+func fingerprintTargets(u *Unit) []*fpTarget {
+	var out []*fpTarget
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Fingerprint" || fd.Body == nil {
+				continue
+			}
+			obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if sig.Params().Len() != 0 || sig.Results().Len() != 1 || !isString(sig.Results().At(0).Type()) {
+				continue
+			}
+			recv := sig.Recv().Type()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok {
+				continue
+			}
+			strct, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			out = append(out, &fpTarget{
+				typeName: named.Obj(),
+				strct:    strct,
+				fpMethod: obj,
+				fpDecl:   fd,
+			})
+		}
+	}
+	return out
+}
+
+func checkFingerprintTarget(m *Module, g *callGraph, u *Unit, t *fpTarget, report reportFunc) {
+	// The field objects of T, in declaration order.
+	fieldSet := make(map[*types.Var]bool, t.strct.NumFields())
+	for i := 0; i < t.strct.NumFields(); i++ {
+		fieldSet[t.strct.Field(i)] = true
+	}
+
+	covered := make(map[*types.Var]bool)
+	collectFieldReads(u.Info, t.fpDecl.Body, fieldSet, func(v *types.Var, _ ast.Node) {
+		covered[v] = true
+	})
+
+	// Entry points: Run-prefixed declarations in T's package. The
+	// reachability walk spans the whole module (Run* in sim reaches
+	// pipeline, cache, policy, workload...), minus Fingerprint itself —
+	// the journal keys results by fingerprint on the Run path, and
+	// those reads are definitionally covered.
+	var roots []*types.Func
+	for _, uu := range m.Units {
+		if uu.TestsOnly || uu.Pkg != u.Pkg {
+			continue
+		}
+		for _, f := range uu.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Run") {
+					continue
+				}
+				if obj, ok := uu.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+
+	behavioral := make(map[*types.Var]ast.Node) // field -> first read site
+	reached := g.reach(roots, func(n *funcNode) bool { return n.obj != t.fpMethod })
+	for _, n := range sortedFuncs(reached) {
+		collectFieldReads(n.unit.Info, n.decl.Body, fieldSet, func(v *types.Var, site ast.Node) {
+			if _, ok := behavioral[v]; !ok {
+				behavioral[v] = site
+			}
+		})
+	}
+
+	decls := fieldDecls(u)
+	for i := 0; i < t.strct.NumFields(); i++ {
+		fv := t.strct.Field(i)
+		fd := decls[fv]
+		marked := fd != nil && hasVetMarker("nonbehavioral", fieldMarkers(fd)...)
+		switch {
+		case behavioral[fv] != nil && !covered[fv] && !marked:
+			pos := fv.Pos()
+			if fd != nil {
+				pos = fd.Pos()
+			}
+			report(pos, "%s.%s is read on a Run* path but not written by Fingerprint; fingerprint it or annotate //vet:nonbehavioral <reason>",
+				t.typeName.Name(), fv.Name())
+		case covered[fv] && marked:
+			report(fd.Pos(), "%s.%s is marked //vet:nonbehavioral but Fingerprint writes it; the annotation contradicts the code",
+				t.typeName.Name(), fv.Name())
+		}
+	}
+}
+
+// collectFieldReads walks body and invokes fn for every selection of a
+// field in fieldSet. Writes count too — an options struct is built
+// once and only read afterwards, so on Run* paths every selection is a
+// read or a copy into a derived config, both of which make the field
+// behavioral.
+func collectFieldReads(info *types.Info, body ast.Node, fieldSet map[*types.Var]bool, fn func(*types.Var, ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if v, ok := s.Obj().(*types.Var); ok && fieldSet[v] {
+			fn(v, sel)
+		}
+		return true
+	})
+}
+
+// fieldDecls maps each struct field object declared in the unit to its
+// ast.Field, so passes can attach diagnostics (and read annotations)
+// at the declaration site.
+func fieldDecls(u *Unit) map[*types.Var]*ast.Field {
+	out := make(map[*types.Var]*ast.Field)
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if v, ok := u.Info.Defs[name].(*types.Var); ok {
+						out[v] = fld
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

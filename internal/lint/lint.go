@@ -26,7 +26,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -128,10 +127,9 @@ func Select(spec string) ([]*Rule, error) {
 // suppressions, and returns the surviving diagnostics sorted by
 // position. Malformed directives are reported under bad-ignore.
 func Run(units []*Unit, rules []*Rule) []Diagnostic {
-	known := make(map[string]bool)
-	for _, r := range Rules() {
-		known[r.Name] = true
-	}
+	// Rules and vet passes share one suppression namespace, so a
+	// //lint:ignore hot-noalloc directive is legal to both CLIs.
+	known := knownSuppressionNames()
 
 	var diags []Diagnostic
 	for _, u := range units {
@@ -167,33 +165,10 @@ func Run(units []*Unit, rules []*Rule) []Diagnostic {
 		diags = append(diags, unitDiags...)
 	}
 
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		return a.Message < b.Message
-	})
-
 	// A package's library files are typechecked both alone and inside
-	// the test-augmented unit; dedupe in case both were analyzed.
-	out := diags[:0]
-	for i, d := range diags {
-		if i > 0 && d == diags[i-1] {
-			continue
-		}
-		out = append(out, d)
-	}
-	return out
+	// the test-augmented unit; sortDiagnostics dedupes in case both
+	// were analyzed.
+	return sortDiagnostics(diags)
 }
 
 // --- shared helpers used by the rules ---

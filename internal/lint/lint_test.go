@@ -86,7 +86,15 @@ func runFixture(t *testing.T, fset *token.FileSet, imp types.Importer, dir, name
 	}
 	diags := Run([]*Unit{u}, Rules())
 
-	wants := collectWants(t, fset, files)
+	matchWants(t, collectWants(t, fset, files), diags)
+}
+
+// matchWants pairs every want with exactly one diagnostic on its line
+// (substring match against "[rule] message") and reports both unmatched
+// wants and unclaimed diagnostics. Shared by the rule fixtures
+// (TestFixtures) and the vet-pass fixtures (TestVetFixtures).
+func matchWants(t *testing.T, wants []want, diags []Diagnostic) {
+	t.Helper()
 	type lineKey struct {
 		file string
 		line int

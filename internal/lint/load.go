@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Module is a fully parsed and typechecked Go module, ready for the
@@ -85,7 +86,6 @@ func LoadModule(dir string) (*Module, error) {
 
 	imp := &moduleImporter{
 		modPath: modPath,
-		std:     importer.ForCompiler(fset, "source", nil),
 		pkgs:    make(map[string]*types.Package),
 	}
 
@@ -249,10 +249,9 @@ func topoSort(dirs map[string]*dirFiles) ([]*dirFiles, error) {
 
 // moduleImporter resolves module-internal imports from the packages
 // already typechecked this load, and everything else (the standard
-// library) from GOROOT source.
+// library) from the process-wide GOROOT source importer.
 type moduleImporter struct {
 	modPath string
-	std     types.Importer
 	pkgs    map[string]*types.Package
 }
 
@@ -263,7 +262,29 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
 		return nil, fmt.Errorf("lint: internal package %s not loaded (import cycle?)", path)
 	}
-	return m.std.Import(path)
+	return importStdlib(path)
+}
+
+// The GOROOT source importer memoizes each typechecked stdlib package
+// per instance; sharing one instance process-wide means the standard
+// library is typechecked once per process instead of once per
+// LoadModule call (the fixture-heavy test suite loads dozens of small
+// modules, each of which would otherwise re-typecheck fmt, sort, ...
+// from source). The importer keeps a private FileSet: stdlib positions
+// are never reported by the analyzers, so they never need to resolve
+// against a module's FileSet.
+var (
+	stdImpMu sync.Mutex
+	stdImp   types.Importer
+)
+
+func importStdlib(path string) (*types.Package, error) {
+	stdImpMu.Lock()
+	defer stdImpMu.Unlock()
+	if stdImp == nil {
+		stdImp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	return stdImp.Import(path)
 }
 
 // check typechecks one unit and fills the types.Info the rules need.

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hot-noalloc turns the 0 allocs/op benchmark contract into a
+// tree-wide static proof. Functions annotated //vet:hot — the cache
+// access/fill path, policy victim selection, the pipeline step and
+// skip paths — and everything statically reachable from them inside
+// the module must be free of allocation-inducing constructs:
+//
+//   - make/new and append (append flagged even with capacity headroom:
+//     the suppression must state the capacity bound)
+//   - composite literals that escape (&T{...}) and slice/map literals
+//   - closures (FuncLit)
+//   - calls into package fmt
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - interface conversions, explicit or implicit at call arguments
+//     (boxing a concrete value into an interface parameter)
+//
+// Benchmarks (TestHotPathNoAllocs) prove 0 allocs only for the shapes
+// they drive; this pass proves it for every statically reachable line.
+// Interface method calls are not traversed (the callee set is open);
+// the seed annotations are therefore placed on every implementation of
+// the hot interfaces, e.g. each policy's Victim.
+//
+// Functions declared in a file named invariant.go are exempt and not
+// traversed: they are the sanctioned panic/diagnostic path, reached
+// only when an invariant is already violated (mirrors the bare-panic
+// rule's exemption).
+var passHotNoalloc = &Pass{
+	Name: "hot-noalloc",
+	Doc:  "//vet:hot functions and their intra-module callees must not contain allocating constructs",
+	run:  runHotNoalloc,
+}
+
+const exemptFile = "invariant.go"
+
+func runHotNoalloc(m *Module, report reportFunc) {
+	g := buildCallGraph(m)
+
+	// Seeds in deterministic order: the sorted order of all declared
+	// functions whose doc comment carries //vet:hot.
+	var seeds []*funcNode
+	for _, n := range sortedFuncs(g.nodes) {
+		if hasVetMarker("hot", n.decl.Doc) {
+			seeds = append(seeds, n)
+		}
+	}
+
+	// Per-seed reachability with first-seed-wins provenance, so every
+	// diagnostic names the hot root that pulls the code onto a hot
+	// path.
+	visited := make(map[*types.Func]bool)
+	notExempt := func(n *funcNode) bool { return n.declFile() != exemptFile }
+	for _, seed := range seeds {
+		seedName := funcDisplayName(seed)
+		for _, n := range sortedFuncs(g.reach([]*types.Func{seed.obj}, notExempt)) {
+			if visited[n.obj] {
+				continue
+			}
+			visited[n.obj] = true
+			checkNoalloc(g, n, seedName, report)
+		}
+	}
+}
+
+// funcDisplayName renders pkg.Func or pkg.Recv.Method for messages.
+func funcDisplayName(n *funcNode) string {
+	pkg := n.obj.Pkg().Name()
+	if recv := n.obj.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + n.obj.Name()
+		}
+	}
+	return pkg + "." + n.obj.Name()
+}
+
+func checkNoalloc(g *callGraph, n *funcNode, seed string, report reportFunc) {
+	info := n.unit.Info
+	flag := func(pos token.Pos, what string) {
+		report(pos, "%s on hot path (reachable from //vet:hot %s)", what, seed)
+	}
+
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.CallExpr:
+			// Calls into the exempt invariant file are the sanctioned
+			// failure path; skip the whole call including its
+			// (fmt-formatted) arguments.
+			if callee := funcObj(info, e); callee != nil {
+				if cn, ok := g.nodes[callee]; ok && cn.declFile() == exemptFile {
+					return false
+				}
+			}
+			checkCall(info, e, flag)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					flag(e.Pos(), "escaping composite literal (&T{...})")
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(e)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					flag(e.Pos(), "slice literal allocates")
+				case *types.Map:
+					flag(e.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			flag(e.Pos(), "closure (func literal) allocates")
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if t := info.TypeOf(e); t != nil && isString(t) {
+					flag(e.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall inspects one call expression for allocating behavior:
+// builtins, fmt, conversions, and implicit interface boxing at the
+// call boundary.
+func checkCall(info *types.Info, call *ast.CallExpr, flag func(token.Pos, string)) {
+	// Type conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		checkConversion(call.Pos(), dst, src, flag)
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				flag(call.Pos(), "make allocates")
+			case "new":
+				flag(call.Pos(), "new allocates")
+			case "append":
+				flag(call.Pos(), "append may allocate (growth beyond capacity)")
+			}
+			return
+		}
+	}
+
+	fn := funcObj(info, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		flag(call.Pos(), "fmt."+fn.Name()+" allocates")
+		return
+	}
+
+	// Implicit interface boxing: a concrete argument passed where the
+	// callee declares an interface parameter.
+	sig := fn.Type().(*types.Signature)
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last // s... passes the slice through, no boxing
+			} else if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isUntypedNil(at) {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue // interface-to-interface does not box
+		}
+		flag(arg.Pos(), "interface boxing: concrete "+at.String()+" passed as interface argument")
+	}
+}
+
+// checkConversion flags conversions that allocate: string<->byte/rune
+// slices and concrete-to-interface.
+func checkConversion(pos token.Pos, dst, src types.Type, flag func(token.Pos, string)) {
+	if src == nil {
+		return
+	}
+	du, su := dst.Underlying(), src.Underlying()
+	if _, ok := du.(*types.Interface); ok {
+		if _, srcIface := su.(*types.Interface); !srcIface && !isUntypedNil(src) {
+			flag(pos, "conversion to interface boxes "+src.String())
+		}
+		return
+	}
+	if isString(dst) && isByteOrRuneSlice(su) {
+		flag(pos, "[]byte/[]rune to string conversion allocates")
+		return
+	}
+	if isByteOrRuneSlice(du) && isString(src) {
+		flag(pos, "string to []byte/[]rune conversion allocates")
+	}
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

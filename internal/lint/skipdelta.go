@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// skip-delta-coherent proves the cycle-skipping byte-identity
+// contract: every counter the per-cycle Step path accumulates must
+// also be accumulated by the bulk skipTo path, or carry an explicit
+// //vet:skip-invariant <reason> explaining why skipped cycles cannot
+// change it (commit-path-only, a planSkip refusal condition, or
+// advanced directly by skipTo). Without this, a counter added to Step
+// silently drifts the first time a span is fast-forwarded, and the
+// regression only surfaces as golden-test archaeology.
+//
+// Scope: for every named type C declaring both Step and skipTo
+// methods, the pass walks the intra-package call graph from each and
+// collects "accumulation events": ++/--, +=/-=, and calls to
+// pointer-receiver methods on struct-valued fields (which is how
+// stats.StallBreakdown.Record mutates through the Stalls field —
+// symmetric on both paths, so coherence still holds). Mutations via
+// plain assignment (=) are state transitions, not accumulations, and
+// are outside the contract; so are mutations inside other packages
+// (the cache hierarchy keeps its own counters and is exercised
+// identically by both paths).
+var passSkipDeltaCoherent = &Pass{
+	Name: "skip-delta-coherent",
+	Doc:  "counters accumulated on Step paths must be accumulated by skipTo or //vet:skip-invariant",
+	run:  runSkipDeltaCoherent,
+}
+
+func runSkipDeltaCoherent(m *Module, report reportFunc) {
+	g := buildCallGraph(m)
+	for _, u := range m.Units {
+		if u.TestsOnly {
+			continue
+		}
+		for _, c := range skipCores(u) {
+			checkSkipCore(g, u, c, report)
+		}
+	}
+}
+
+// skipCore is one type with both a Step and a skipTo method.
+type skipCore struct {
+	typeName *types.TypeName
+	step     *types.Func
+	skipTo   *types.Func
+}
+
+func skipCores(u *Unit) []*skipCore {
+	type pair struct{ step, skipTo *types.Func }
+	byType := make(map[*types.TypeName]*pair)
+	var order []*types.TypeName
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Step" && fd.Name.Name != "skipTo" {
+				continue
+			}
+			obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := obj.Type().(*types.Signature).Recv().Type()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok {
+				continue
+			}
+			tn := named.Obj()
+			pr := byType[tn]
+			if pr == nil {
+				pr = &pair{}
+				byType[tn] = pr
+				order = append(order, tn)
+			}
+			if fd.Name.Name == "Step" {
+				pr.step = obj
+			} else {
+				pr.skipTo = obj
+			}
+		}
+	}
+	var out []*skipCore
+	for _, tn := range order {
+		pr := byType[tn]
+		if pr.step != nil && pr.skipTo != nil {
+			out = append(out, &skipCore{typeName: tn, step: pr.step, skipTo: pr.skipTo})
+		}
+	}
+	return out
+}
+
+func checkSkipCore(g *callGraph, u *Unit, c *skipCore, report reportFunc) {
+	samePkg := func(n *funcNode) bool { return n.obj.Pkg() == u.Pkg }
+
+	stepped := collectAccumulations(g, u, c.step, samePkg)
+	skipped := collectAccumulations(g, u, c.skipTo, samePkg)
+
+	decls := fieldDecls(u)
+	// Deterministic report order: by field declaration position.
+	var fields []*types.Var
+	for fv := range stepped {
+		//lint:ignore map-order-sink sortVarsByPos below imposes declaration order before any output
+		fields = append(fields, fv)
+	}
+	for fv := range skipped {
+		if _, ok := stepped[fv]; !ok {
+			//lint:ignore map-order-sink sortVarsByPos below imposes declaration order before any output
+			fields = append(fields, fv)
+		}
+	}
+	sortVarsByPos(fields)
+
+	for _, fv := range fields {
+		fd := decls[fv]
+		if fd == nil {
+			continue // declared outside this package; out of scope
+		}
+		marked := hasVetMarker("skip-invariant", fieldMarkers(fd)...)
+		owner := ownerName(fv, u.Pkg)
+		_, inStep := stepped[fv]
+		_, inSkip := skipped[fv]
+		switch {
+		case inStep && !inSkip && !marked:
+			report(fd.Pos(), "%s.%s is accumulated on a %s.Step path but not by %s.skipTo; add it to the skip delta or annotate //vet:skip-invariant <reason>",
+				owner, fv.Name(), c.typeName.Name(), c.typeName.Name())
+		case inSkip && marked:
+			report(fd.Pos(), "%s.%s is marked //vet:skip-invariant but %s.skipTo accumulates it; the annotation contradicts the code",
+				owner, fv.Name(), c.typeName.Name())
+		}
+	}
+}
+
+// collectAccumulations walks the intra-package call graph from root
+// and returns every field that is the target of an accumulation event.
+func collectAccumulations(g *callGraph, u *Unit, root *types.Func, filter func(*funcNode) bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	record := func(info *types.Info, expr ast.Expr) {
+		if v, ok := fieldChain(info, expr); ok && v.Pkg() == u.Pkg {
+			out[v] = true
+		}
+	}
+	for _, n := range sortedFuncs(g.reach([]*types.Func{root}, filter)) {
+		info := n.unit.Info
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch s := node.(type) {
+			case *ast.IncDecStmt:
+				record(info, s.X)
+			case *ast.AssignStmt:
+				if s.Tok == token.ADD_ASSIGN || s.Tok == token.SUB_ASSIGN {
+					for _, lhs := range s.Lhs {
+						record(info, lhs)
+					}
+				}
+			case *ast.CallExpr:
+				// A pointer-receiver method invoked on a struct-valued
+				// field mutates that field in place (Stalls.Record).
+				sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ms, ok := info.Selections[sel]
+				if !ok || ms.Kind() != types.MethodVal {
+					return true
+				}
+				fn, ok := ms.Obj().(*types.Func)
+				if !ok {
+					return true
+				}
+				recv := fn.Type().(*types.Signature).Recv()
+				if recv == nil {
+					return true
+				}
+				if _, ptr := recv.Type().(*types.Pointer); !ptr {
+					return true // value receiver cannot mutate
+				}
+				if v, ok := fieldChain(info, sel.X); ok && v.Pkg() == u.Pkg {
+					if _, isStruct := v.Type().Underlying().(*types.Struct); isStruct {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ownerName names the struct that declares field, for messages.
+func ownerName(field *types.Var, pkg *types.Package) string {
+	if tn := owningStruct(field, pkg); tn != nil {
+		return tn.Name()
+	}
+	return "(unknown)"
+}
+
+func sortVarsByPos(vars []*types.Var) {
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j].Pos() < vars[j-1].Pos(); j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+}

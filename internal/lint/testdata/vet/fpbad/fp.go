@@ -1,0 +1,30 @@
+// Package fixvet plants one missing-field violation and one stale
+// annotation for fingerprint-complete.
+package fixvet
+
+// Options has: A covered; B read (via Run) but unfingerprinted and
+// unannotated; C read (via a helper, proving call-graph traversal) but
+// annotated; D fingerprinted yet also annotated (contradiction); E
+// dead (neither read nor fingerprinted — silent).
+type Options struct {
+	A int
+	B int // want "Options.B is read on a Run"
+	//vet:nonbehavioral debug-only knob; results identical either way
+	C int
+	//vet:nonbehavioral stale marker left after D was fingerprinted
+	D int // want "annotation contradicts the code"
+	E int
+}
+
+func (o Options) Fingerprint() string {
+	if o.A > 0 && o.D > 0 {
+		return "ad"
+	}
+	return ""
+}
+
+func Run(o Options) int {
+	return o.A + o.B + helper(o)
+}
+
+func helper(o Options) int { return o.C }

@@ -1,0 +1,3 @@
+module fixvet
+
+go 1.22

@@ -1,0 +1,39 @@
+// Package fixvet is the clean fingerprint fixture: every field read on
+// the Run path is either fingerprinted or annotated. The mutation
+// self-test comments out one field(...) line and asserts exactly that
+// field is reported.
+package fixvet
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Options mirrors the sim.Options shape.
+type Options struct {
+	A int
+	B int
+	//vet:nonbehavioral debug flag; results identical either way
+	NoSkip bool
+}
+
+// Fingerprint is written in the production idiom: a field closure
+// appending k:v parts.
+func (o Options) Fingerprint() string {
+	var parts []string
+	field := func(k string, v int) {
+		parts = append(parts, k+":"+strconv.Itoa(v))
+	}
+	field("a", o.A)
+	field("b", o.B)
+	return strings.Join(parts, ",")
+}
+
+// Run is the entry point the pass traces from.
+func Run(o Options) int {
+	n := o.A + o.B
+	if o.NoSkip {
+		n++
+	}
+	return n
+}

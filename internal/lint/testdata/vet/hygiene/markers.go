@@ -1,0 +1,19 @@
+// Package fixvet exercises //vet: marker hygiene: unknown marker names
+// and reasonless reason-mandatory markers are bad-vet-marker findings,
+// which cannot be suppressed.
+package fixvet
+
+//vet:bogus some reason
+// want@-1 "unknown //vet: marker"
+
+//vet:skip-invariant
+// want@-1 "requires a reason"
+
+//vet:nonbehavioral
+// want@-1 "requires a reason"
+
+// F exists so the package has a declaration; //vet:hot needs no
+// reason.
+//
+//vet:hot
+func F() {}

@@ -1,0 +1,37 @@
+// Package fixvet plants every allocating construct hot-noalloc flags,
+// one suppressed site, a callee reached through the call graph, and an
+// exempt invariant.go call.
+package fixvet
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func take(v interface{}) int { return 0 }
+
+//vet:hot
+func Hot(n int, a, b string) int {
+	s := make([]int, n)          // want "make allocates"
+	p := new(int)                // want "new allocates"
+	s = append(s, 1)             // want "append may allocate"
+	q := &point{1, 2}            // want "escaping composite literal"
+	sl := []int{1, 2}            // want "slice literal allocates"
+	mp := map[int]int{}          // want "map literal allocates"
+	f := func() int { return 1 } // want "closure"
+	fmt.Println(n)               // want "fmt.Println allocates"
+	c := a + b                   // want "string concatenation allocates"
+	bs := []byte(a)              // want "conversion allocates"
+	k := take(n)                 // want "interface boxing"
+	e := any(n)                  // want "conversion to interface boxes"
+	//lint:ignore hot-noalloc scratch buffer is reused; growth is bounded by the fixture
+	s = append(s, 2)
+	violated("impossible", n)
+	helper(n)
+	_, _, _, _, _, _, _, _, _ = p, q, sl, mp, f, c, bs, k, e
+	return len(s)
+}
+
+// helper is pulled onto the hot path by the call in Hot.
+func helper(n int) []int {
+	return make([]int, n) // want "make allocates"
+}

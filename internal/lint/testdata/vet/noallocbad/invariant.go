@@ -1,0 +1,10 @@
+package fixvet
+
+import "fmt"
+
+// violated is the sanctioned failure path: functions declared in
+// invariant.go are exempt from hot-noalloc, and calls to them
+// (including their boxed arguments) are skipped.
+func violated(msg string, args ...any) {
+	panic(fmt.Sprintf(msg, args...))
+}

@@ -1,0 +1,40 @@
+// Package fixvet is the clean hot-path fixture: the //vet:hot function
+// and its callee use only non-allocating constructs, and an
+// unreachable cold function may allocate freely.
+package fixvet
+
+type line struct {
+	tag  uint64
+	prio uint8
+}
+
+type set struct {
+	lines [8]line
+	mask  uint32
+}
+
+//vet:hot
+func Access(s *set, tag uint64) int {
+	for i := range s.lines {
+		if s.lines[i].tag == tag {
+			touch(s, i)
+			return i
+		}
+	}
+	return -1
+}
+
+func touch(s *set, way int) {
+	s.mask |= 1 << uint(way)
+	s.lines[way] = line{tag: s.lines[way].tag, prio: 1} // value literal: no alloc
+}
+
+// Cold is not reachable from any //vet:hot root, so its allocations
+// are not flagged.
+func Cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Package fixvet plants skip-delta violations: a counter incremented
+// only on the Step path (through a helper, proving intra-package
+// traversal), a struct field mutated via a pointer-receiver method on
+// the Step path only, and a stale annotation on a counter skipTo does
+// accumulate.
+package fixvet
+
+type rec struct{ n uint64 }
+
+func (r *rec) Add(k uint64) { r.n += k }
+
+type Core struct {
+	Good uint64
+	Bad  uint64 // want "Core.Bad is accumulated on a Core.Step path but not by Core.skipTo"
+	//vet:skip-invariant commit-path only; skipped spans commit nothing
+	Inv uint64
+	//vet:skip-invariant stale marker
+	Contra uint64 // want "annotation contradicts the code"
+	R      rec
+	Rbad   rec // want "Core.Rbad is accumulated on a Core.Step path but not by Core.skipTo"
+}
+
+func (c *Core) Step() {
+	c.Good++
+	c.bump()
+	c.Inv++
+	c.R.Add(1)
+	c.Rbad.Add(1)
+}
+
+func (c *Core) bump() { c.Bad++ }
+
+func (c *Core) skipTo(target uint64) {
+	c.Good += target
+	c.Contra += target
+	c.R.Add(target)
+}

@@ -1,0 +1,33 @@
+// Package fixvet is the coherent skip-delta fixture: every counter
+// Step accumulates is mirrored by skipTo (directly or through a
+// pointer-receiver method on a struct field) or annotated. The
+// mutation self-test plants a c.Spare++ in Step and asserts exactly
+// Spare is reported.
+package fixvet
+
+// rec mutates through a pointer-receiver method, like
+// stats.StallBreakdown.
+type rec struct{ n uint64 }
+
+func (r *rec) Add(k uint64) { r.n += k }
+
+// Core mirrors the pipeline.Core shape.
+type Core struct {
+	cycle uint64 //vet:skip-invariant advanced directly by skipTo, not via the per-cycle delta
+	Good  uint64
+	Spare uint64
+	R     rec
+}
+
+func (c *Core) Step() {
+	c.cycle++
+	c.Good++
+	c.R.Add(1)
+}
+
+func (c *Core) skipTo(target uint64) {
+	n := target - c.cycle
+	c.Good += n
+	c.R.Add(n)
+	c.cycle = target
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is the whole-program layer of the analyzer suite: vet
+// passes. Where the rules in rules.go inspect one unit at a time, a
+// Pass sees the entire typechecked Module and proves a cross-component
+// contract (fingerprint completeness, skip-delta coherence, zero-alloc
+// hot paths). cmd/emissary-vet runs the passes; cmd/emissary-lint runs
+// the rules.
+//
+// Passes consume semantic annotations with the //vet: prefix (see
+// callgraph.go for the grammar) and honor the same //lint:ignore
+// site-level suppressions as the rules. Marker hygiene — an unknown
+// //vet: marker name, or a marker missing its mandatory reason — is
+// reported under bad-vet-marker, which, like bad-ignore, is always on
+// and cannot be suppressed.
+
+// Pass is a whole-program analyzer over a typechecked module.
+type Pass struct {
+	Name string
+	Doc  string
+	run  func(m *Module, report reportFunc)
+}
+
+// Passes returns the full pass suite in stable order.
+func Passes() []*Pass {
+	return []*Pass{
+		passFingerprintComplete,
+		passSkipDeltaCoherent,
+		passHotNoalloc,
+	}
+}
+
+// PassNames returns the names of all selectable passes, in order.
+func PassNames() []string {
+	passes := Passes()
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// SelectPasses resolves a comma-separated pass list. An empty spec
+// selects the whole suite; an unknown name is an error listing the
+// valid passes, so a CI misconfiguration cannot silently disable a
+// gate.
+func SelectPasses(spec string) ([]*Pass, error) {
+	if spec == "" {
+		return Passes(), nil
+	}
+	byName := make(map[string]*Pass)
+	for _, p := range Passes() {
+		byName[p.Name] = p
+	}
+	var out []*Pass
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown pass %q (available: %s)", name, strings.Join(PassNames(), ", "))
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty pass selection")
+	}
+	return out, nil
+}
+
+// RunPasses executes the passes over the module, applies //lint:ignore
+// suppressions (passes share the rules' suppression namespace), checks
+// //vet: marker hygiene, and returns surviving diagnostics sorted by
+// position.
+func RunPasses(m *Module, passes []*Pass) []Diagnostic {
+	var suppressible, hygiene []Diagnostic
+	for _, p := range passes {
+		pass := p
+		p.run(m, func(pos token.Pos, format string, args ...any) {
+			pp := m.Fset.Position(pos)
+			suppressible = append(suppressible, Diagnostic{
+				Pos:     pp,
+				File:    pp.Filename,
+				Line:    pp.Line,
+				Col:     pp.Column,
+				Rule:    pass.Name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		})
+	}
+
+	// Marker hygiene and suppression directives live in library files;
+	// passes never analyze test units, so neither do their scans.
+	known := knownSuppressionNames()
+	for _, u := range m.Units {
+		if u.TestsOnly {
+			continue
+		}
+		hygiene = append(hygiene, scanVetMarkers(u)...)
+		ignores, _ := scanIgnores(u, known) // bad-ignore is the lint CLI's job
+		suppressible = applyIgnores(suppressible, ignores)
+	}
+
+	return sortDiagnostics(append(suppressible, hygiene...))
+}
+
+// knownSuppressionNames is the shared //lint:ignore namespace: rule
+// names plus pass names, so a hot-noalloc suppression in the tree is
+// legal to both CLIs.
+func knownSuppressionNames() map[string]bool {
+	known := make(map[string]bool)
+	for _, r := range Rules() {
+		known[r.Name] = true
+	}
+	for _, p := range Passes() {
+		known[p.Name] = true
+	}
+	return known
+}
+
+// scanVetMarkers validates every //vet: comment in the unit.
+func scanVetMarkers(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		p := u.Fset.Position(pos)
+		out = append(out, Diagnostic{
+			Pos:     p,
+			File:    p.Filename,
+			Line:    p.Line,
+			Col:     p.Column,
+			Rule:    "bad-vet-marker",
+			Message: msg,
+		})
+	}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseVetMarker(c.Text)
+				if !ok {
+					continue
+				}
+				needsReason, known := vetMarkers[name]
+				if !known {
+					names := make([]string, 0, len(vetMarkers))
+					for n := range vetMarkers {
+						names = append(names, n)
+					}
+					sort.Strings(names)
+					report(c.Pos(), fmt.Sprintf("unknown //vet: marker %q (known: %s)", name, strings.Join(names, ", ")))
+					continue
+				}
+				if needsReason && reason == "" {
+					report(c.Pos(), fmt.Sprintf("//vet:%s requires a reason; annotations must say why", name))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sortDiagnostics orders diagnostics by position and drops exact
+// duplicates (shared with Run via lint.go).
+func sortDiagnostics(diags []Diagnostic) []Diagnostic {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

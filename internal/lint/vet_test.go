@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Each directory under testdata/vet is one self-contained fixture
+// module (its own go.mod), loaded with the production LoadModule path
+// and run through the full pass suite. Expectations use the same
+// `// want "substr"` comments as the rule fixtures.
+func TestVetFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "vet")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading %s: %v", root, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			mod, err := LoadModule(dir)
+			if err != nil {
+				t.Fatalf("LoadModule(%s): %v", dir, err)
+			}
+			diags := RunPasses(mod, Passes())
+			var files []*ast.File
+			for _, u := range mod.Units {
+				if u.TestsOnly {
+					continue
+				}
+				files = append(files, u.Files...)
+			}
+			matchWants(t, collectWants(t, mod.Fset, files), diags)
+		})
+	}
+}
+
+// TestSelectPasses covers pass-subset resolution, mirroring TestSelect
+// for rules: empty spec selects everything, unknown names error with
+// the valid list (so a CI typo cannot silently disable a gate).
+func TestSelectPasses(t *testing.T) {
+	all, err := SelectPasses("")
+	if err != nil || len(all) != len(Passes()) {
+		t.Fatalf("SelectPasses(\"\") = %d passes, err %v", len(all), err)
+	}
+	one, err := SelectPasses("hot-noalloc")
+	if err != nil || len(one) != 1 || one[0].Name != "hot-noalloc" {
+		t.Fatalf("SelectPasses(hot-noalloc) = %v, err %v", one, err)
+	}
+	_, err = SelectPasses("no-such-pass")
+	if err == nil {
+		t.Fatal("SelectPasses(no-such-pass) did not error")
+	}
+	if !strings.Contains(err.Error(), "available:") {
+		t.Errorf("unknown-pass error %q does not list the valid passes", err)
+	}
+	if _, err := SelectPasses(", ,"); err == nil {
+		t.Fatal("SelectPasses of only separators did not error")
+	}
+}
+
+// mutateFixture copies a clean fixture module into a temp dir with one
+// string substitution applied to the named file, loads it, and returns
+// the pass-suite diagnostics. The substitution must occur exactly once
+// — a mutation that no longer matches the fixture text is a test bug,
+// not a pass escape.
+func mutateFixture(t *testing.T, fixture, file, old, new string) []Diagnostic {
+	t.Helper()
+	src := filepath.Join("testdata", "vet", fixture)
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Name() == file && old != "" {
+			if n := strings.Count(string(data), old); n != 1 {
+				t.Fatalf("%s/%s: mutation target %q occurs %d times, want 1", fixture, file, old, n)
+			}
+			data = []byte(strings.Replace(string(data), old, new, 1))
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := LoadModule(dst)
+	if err != nil {
+		t.Fatalf("LoadModule(mutated %s): %v", fixture, err)
+	}
+	return RunPasses(mod, Passes())
+}
+
+// TestMutationFingerprint proves fingerprint-complete actually detects
+// a dropped field: commenting out one field(...) line of the clean
+// fixture's Fingerprint must produce exactly one finding naming that
+// field.
+func TestMutationFingerprint(t *testing.T) {
+	if diags := mutateFixture(t, "fpclean", "fp.go", "", ""); len(diags) != 0 {
+		t.Fatalf("unmutated fpclean is not clean: %v", diags)
+	}
+	diags := mutateFixture(t, "fpclean", "fp.go",
+		`field("b", o.B)`, `// field("b", o.B) — dropped from the fingerprint`)
+	if len(diags) != 1 {
+		t.Fatalf("mutated fpclean: got %d diagnostics %v, want exactly 1", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "fingerprint-complete" || !strings.Contains(d.Message, "Options.B") {
+		t.Errorf("mutated fpclean: got [%s] %s, want fingerprint-complete naming Options.B", d.Rule, d.Message)
+	}
+}
+
+// TestMutationSkipDelta proves skip-delta-coherent detects a counter
+// added to Step without a matching skipTo term: planting c.Spare++ in
+// the clean fixture's Step must produce exactly one finding naming
+// Spare.
+func TestMutationSkipDelta(t *testing.T) {
+	if diags := mutateFixture(t, "skipclean", "core.go", "", ""); len(diags) != 0 {
+		t.Fatalf("unmutated skipclean is not clean: %v", diags)
+	}
+	diags := mutateFixture(t, "skipclean", "core.go",
+		"c.Good++", "c.Good++\n\tc.Spare++")
+	if len(diags) != 1 {
+		t.Fatalf("mutated skipclean: got %d diagnostics %v, want exactly 1", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "skip-delta-coherent" || !strings.Contains(d.Message, "Core.Spare") {
+		t.Errorf("mutated skipclean: got [%s] %s, want skip-delta-coherent naming Core.Spare", d.Rule, d.Message)
+	}
+}

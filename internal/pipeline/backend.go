@@ -45,17 +45,17 @@ type backend struct {
 
 	rob        []robEntry
 	head, tail int // ring indices
-	count      int
+	count      int //vet:skip-invariant dispatch/commit/flush only; planSkip refuses commit-eligible, resolve-due and dispatch-able cycles
 
-	seq       uint64
-	committed uint64
+	seq       uint64 //vet:skip-invariant advances only at dispatch; planSkip refuses dispatch-able cycles
+	committed uint64 //vet:skip-invariant commit path only; planSkip refuses commit-eligible cycles
 
 	// Issue-queue model: instructions occupy the IQ from dispatch to
 	// issue; iqRelease[c] counts entries leaving at cycle c.
-	iqCount   int
-	iqRelease []int32
+	iqCount   int     //vet:skip-invariant changes at dispatch and when beginCycle consumes a scheduled release; nextIQEvent makes releases wake-ups, so skipped cycles subtract zero
+	iqRelease []int32 //vet:skip-invariant set at dispatch, cleared when a release fires; both are skip-refused or wake-up events
 	// issueBusy[c] counts issue slots used at cycle c.
-	issueBusy []int32
+	issueBusy []int32 //vet:skip-invariant incremented at dispatch, unwound by flush; both refused by planSkip
 
 	// iqBits is a one-bit-per-slot summary of iqRelease feeding the
 	// cycle skipper's wake-up computation: a set bit marks a slot that
@@ -67,9 +67,10 @@ type backend struct {
 	// iqPend counts outstanding iqRelease entries across the whole
 	// ring — the exact number of scheduled future issue events — so
 	// nextIQEvent can skip the bitmap scan when the queue is drained.
+	//vet:skip-invariant mirrors iqRelease occupancy; dispatch and release cycles are skip-refused or wake-ups
 	iqPend int
 
-	lqCount, sqCount int
+	lqCount, sqCount int //vet:skip-invariant dispatch/commit/flush only; planSkip refuses those cycles
 
 	resolve resolveRecord
 
@@ -80,11 +81,11 @@ type backend struct {
 
 	// Statistics.
 	Stalls             stats.StallBreakdown
-	WrongPathOps       uint64
-	LoadsIssued        uint64
-	StoresIssued       uint64
-	Flushes            uint64
-	CommitActiveCycles uint64
+	WrongPathOps       uint64 //vet:skip-invariant dispatch path only; planSkip refuses dispatch-able cycles
+	LoadsIssued        uint64 //vet:skip-invariant dispatch path only; planSkip refuses dispatch-able cycles
+	StoresIssued       uint64 //vet:skip-invariant dispatch path only; planSkip refuses dispatch-able cycles
+	Flushes            uint64 //vet:skip-invariant flush fires at resolve completion, a wake-up event planSkip refuses when due
+	CommitActiveCycles uint64 //vet:skip-invariant counts only cycles that commit; skipped spans commit nothing
 	lastFlushAt        uint64
 }
 

@@ -18,13 +18,14 @@ type Core struct {
 	hier *cache.Hierarchy
 	src  trace.Source
 
-	cycle   uint64
-	decoded uint64
+	cycle   uint64 //vet:skip-invariant advanced directly by skipTo (c.cycle = target), not via the per-cycle delta
+	decoded uint64 //vet:skip-invariant decode dispatches an instruction; planSkip refuses dispatch-able cycles
 
 	// Cycles fast-forwarded by skipTo (already included in cycle).
 	skipped uint64
 
 	// Committed-instruction threshold of the next P-bit reset (§6).
+	//vet:skip-invariant advances only when a reset fires, gated on committed-instruction growth; planSkip refuses pending resets
 	nextPriorityReset uint64
 }
 
@@ -58,6 +59,8 @@ func (c *Core) SkippedCycles() uint64 { return c.skipped }
 func (c *Core) Committed() uint64 { return c.be.committed }
 
 // Step advances the machine one cycle.
+//
+//vet:hot
 func (c *Core) Step() {
 	c.cycle++
 	now := c.cycle
@@ -97,6 +100,8 @@ func (c *Core) Step() {
 // of the just-passed issue-bandwidth slot; the span's own slots are
 // provably empty (no scheduled releases before the wake-up), so only
 // the current cycle's slot needs the clear.
+//
+//vet:hot
 func (c *Core) skipTo(target uint64, d *skipDelta) {
 	n := target - c.cycle
 	c.be.issueBusy[c.cycle&ringMask] = 0

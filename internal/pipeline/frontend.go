@@ -30,9 +30,9 @@ type ftqEntry struct {
 	mispredict bool // terminator was mispredicted (correct path only)
 
 	mem    []trace.MemRef
-	memIdx int
+	memIdx int //vet:skip-invariant advances with decode; planSkip refuses dispatch-able cycles
 
-	consumed int
+	consumed int //vet:skip-invariant advances with decode; planSkip refuses dispatch-able cycles
 
 	lines     [2]uint64
 	nLines    int
@@ -70,8 +70,8 @@ type frontend struct {
 
 	ftq      []ftqEntry
 	ftqHead  int
-	ftqCount int
-	ftqInstr int
+	ftqCount int //vet:skip-invariant changes on enqueue, decode pop and recover; planSkip requires fetchBlock blocked, no dispatch, no resolve
+	ftqInstr int //vet:skip-invariant changes on enqueue, decode pop and recover; planSkip requires fetchBlock blocked, no dispatch, no resolve
 
 	nextPC     uint64
 	havePC     bool
@@ -97,18 +97,18 @@ type frontend struct {
 	lastBucket     map[uint64]reuse.Bucket
 	lastReuseLine  uint64
 	haveReuseLine  bool
-	AccessByBucket [3]uint64
-	L2MissByBucket [3]uint64
+	AccessByBucket [3]uint64 //vet:skip-invariant counted once per new line; requestWouldStall refuses the skip until that access has fired
+	L2MissByBucket [3]uint64 //vet:skip-invariant counted when a probe needs a fill, which mutates the hierarchy; requestWouldStall confines skips to the bare MSHR-full path
 	StarvByBucket  [3]uint64
 
 	// StarvedLineEvents counts distinct starvation events per line
 	// (allocated when cfg.TrackReuse is set); IQEStarvedLineEvents
 	// restricts to events with an empty issue queue (the paper's E
 	// signal).
-	StarvedLineEvents    map[uint64]uint32
-	IQEStarvedLineEvents map[uint64]uint32
+	StarvedLineEvents    map[uint64]uint32 //vet:skip-invariant edge-triggered once per miss (!m.starved guard); planSkip requires the marking already fired
+	IQEStarvedLineEvents map[uint64]uint32 //vet:skip-invariant edge-triggered once per miss (!m.iqEmptySeen guard); planSkip requires the marking already fired
 	MarkedLines          map[uint64]bool
-	StarvOnMarkedMiss    uint64
+	StarvOnMarkedMiss    uint64 //vet:skip-invariant edge-triggered once per miss (!m.starved guard); planSkip requires the marking already fired
 
 	// Statistics.
 	FTQOccupancySum           uint64
@@ -116,15 +116,15 @@ type frontend struct {
 	FetchBlockDeadEnd         uint64
 	FetchBlockPredecode       uint64
 	MSHRFullEvents            uint64
-	StarvEventsBySrc          [4]uint64
-	StarvationCycles          uint64 // decode starved, any path
-	StarvationIQECycles       uint64 // ... with the issue queue empty
-	CommitStarvationCycles    uint64 // starved on a correct-path line
+	StarvEventsBySrc          [4]uint64 //vet:skip-invariant edge-triggered once per miss (!m.starved guard); planSkip requires the marking already fired
+	StarvationCycles          uint64    // decode starved, any path
+	StarvationIQECycles       uint64    // ... with the issue queue empty
+	CommitStarvationCycles    uint64    // starved on a correct-path line
 	CommitStarvationIQECycles uint64
-	FetchStallCycles          uint64 // FTQ empty or BTB-fill pending
-	Mispredicts               uint64
-	MispredictsByKind         [8]uint64
-	BlocksFetched             uint64
+	FetchStallCycles          uint64    // FTQ empty or BTB-fill pending
+	Mispredicts               uint64    //vet:skip-invariant fetch-enqueue path; planSkip requires fetchBlock blocked
+	MispredictsByKind         [8]uint64 //vet:skip-invariant fetch-enqueue path; planSkip requires fetchBlock blocked
+	BlocksFetched             uint64    //vet:skip-invariant fetch-enqueue path; planSkip requires fetchBlock blocked
 }
 
 func newFrontend(cfg *Config, src trace.Source, hier *cache.Hierarchy, seed uint64) *frontend {
@@ -141,6 +141,7 @@ func newFrontend(cfg *Config, src trace.Source, hier *cache.Hierarchy, seed uint
 		ras:          branch.NewRAS(cfg.RASDepth),
 		ftq:          make([]ftqEntry, cfg.FTQEntries),
 		inflight:     make(map[uint64]*mshrEntry, cfg.MaxMSHRs*2),
+		pending:      make([]*mshrEntry, 0, cfg.MaxMSHRs),
 	}
 	f.mrc = newMRC(cfg.MRCEntries)
 	if cfg.TrackReuse {
@@ -218,8 +219,10 @@ func (f *frontend) requestLine(line uint64, now uint64, trackFig2 bool) bool {
 		f.predecodeLine(line)
 		return true
 	}
+	//lint:ignore hot-noalloc one MSHR entry per outstanding-miss event (bounded by MaxMSHRs), not per cycle; warm-pool reuse is ROADMAP item 5a
 	m := &mshrEntry{line: line, completeAt: now + uint64(res.Latency), src: res.Source}
 	f.inflight[line] = m
+	//lint:ignore hot-noalloc pending's cap is preallocated to MaxMSHRs in newFrontend and len is bounded below it above, so append never grows
 	f.pending = append(f.pending, m)
 	return true
 }
@@ -246,6 +249,7 @@ func (f *frontend) processCompletions(now uint64) {
 	kept := f.pending[:0]
 	for _, m := range f.pending {
 		if m.completeAt > now {
+			//lint:ignore hot-noalloc in-place filter over f.pending reuses its backing array; kept never exceeds the original length
 			kept = append(kept, m)
 			continue
 		}

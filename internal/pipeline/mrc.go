@@ -15,14 +15,15 @@ type mrc struct {
 	entries []uint64
 	valid   []bool
 	stamps  []uint64
-	clock   uint64
+	clock   uint64 //vet:skip-invariant probed only past requestLine's MSHR-full early return; requestWouldStall confines skips to that path
 
 	// fillWindow counts how many more post-recovery line requests are
 	// insertion candidates.
+	//vet:skip-invariant consumed only past requestLine's MSHR-full early return; requestWouldStall confines skips to that path
 	fillWindow int
 
-	Hits    uint64
-	Inserts uint64
+	Hits    uint64 //vet:skip-invariant probed only past requestLine's MSHR-full early return; requestWouldStall confines skips to that path
+	Inserts uint64 //vet:skip-invariant inserts happen only past requestLine's MSHR-full early return; requestWouldStall confines skips to that path
 }
 
 // mrcFillWindow is how many distinct line requests after a re-steer

@@ -99,6 +99,8 @@ func (p *DCLIP) OnFill(set, way int, view SetView) {
 }
 
 // Victim implements Policy.
+//
+//vet:hot
 func (p *DCLIP) Victim(set int, view SetView, incoming LineView) int {
 	base := set * p.ways
 	for {

@@ -123,6 +123,8 @@ func (p *GHRP) DeadMask(set int, valid uint32) uint32 {
 // set's valid ways): predicted-dead lines first, else the least
 // recently used; -1 if the mask is empty. Exported for the
 // EMISSARY+GHRP hybrid.
+//
+//vet:hot
 func (p *GHRP) VictimAmong(set int, mask uint32) int {
 	if mask == 0 {
 		return -1
@@ -136,6 +138,8 @@ func (p *GHRP) VictimAmong(set int, mask uint32) int {
 }
 
 // Victim implements Policy.
+//
+//vet:hot
 func (p *GHRP) Victim(set int, view SetView, incoming LineView) int {
 	v := p.VictimAmong(set, view.Valid)
 	if v < 0 {

@@ -36,6 +36,8 @@ func (l *TrueLRU) MakeLRU(set, way int) {
 }
 
 // Victim implements RecencyBase.
+//
+//vet:hot
 func (l *TrueLRU) Victim(set int) int {
 	v := l.VictimAmong(set, maskAll(l.ways))
 	if v < 0 {
@@ -45,6 +47,8 @@ func (l *TrueLRU) Victim(set int) int {
 }
 
 // VictimAmong implements RecencyBase.
+//
+//vet:hot
 func (l *TrueLRU) VictimAmong(set int, mask uint32) int {
 	best := -1
 	var bestStamp int64

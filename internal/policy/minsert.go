@@ -23,6 +23,8 @@ func (p *Recency) OnHit(set, way int, view SetView) { p.base.Touch(set, way) }
 func (p *Recency) OnFill(set, way int, view SetView) { p.base.Touch(set, way) }
 
 // Victim implements Policy.
+//
+//vet:hot
 func (p *Recency) Victim(set int, view SetView, incoming LineView) int {
 	return p.base.Victim(set)
 }
@@ -70,6 +72,8 @@ func (p *MInsert) OnFill(set, way int, view SetView) {
 }
 
 // Victim implements Policy.
+//
+//vet:hot
 func (p *MInsert) Victim(set int, view SetView, incoming LineView) int {
 	return p.base.Victim(set)
 }

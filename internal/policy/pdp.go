@@ -78,6 +78,8 @@ func (p *PDP) OnFill(set, way int, view SetView) {
 // Victim implements Policy: prefer the least-recently-used expired
 // line; if all lines remain protected, evict the one closest to
 // expiry (ties to LRU).
+//
+//vet:hot
 func (p *PDP) Victim(set int, view SetView, incoming LineView) int {
 	base := set * p.ways
 	var expired uint32

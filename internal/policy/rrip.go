@@ -138,6 +138,8 @@ func (p *RRIP) OnFill(set, way int, view SetView) {
 
 // Victim implements Policy: find a distant line, aging the set until
 // one appears.
+//
+//vet:hot
 func (p *RRIP) Victim(set int, view SetView, incoming LineView) int {
 	base := set * p.ways
 	for {

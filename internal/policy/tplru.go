@@ -64,6 +64,8 @@ func (t *TPLRU) Touch(set, way int) { t.pathSet(set, way, false) }
 func (t *TPLRU) MakeLRU(set, way int) { t.pathSet(set, way, true) }
 
 // Victim implements RecencyBase.
+//
+//vet:hot
 func (t *TPLRU) Victim(set int) int {
 	node := 1
 	for node < t.ways {
@@ -91,6 +93,8 @@ func (t *TPLRU) subtreeMask(node int) uint32 {
 // result is the tree-PLRU victim restricted to the mask (this is the
 // "skipping any lines that do not match the priority criteria" walk
 // from §4.2 of the paper).
+//
+//vet:hot
 func (t *TPLRU) VictimAmong(set int, mask uint32) int {
 	mask &= maskAll(t.ways)
 	if mask == 0 {

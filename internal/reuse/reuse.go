@@ -131,10 +131,13 @@ func (t *Tracker) compact() {
 		line uint64
 		ts   int64
 	}
+	//lint:ignore hot-noalloc compact is amortized-rare: it runs once per cap accesses (cap is at least 4x the distinct-line count)
 	pairs := make([]pair, 0, len(t.last))
 	for l, ts := range t.last {
+		//lint:ignore hot-noalloc cap is preallocated to len(t.last) above, so append never grows
 		pairs = append(pairs, pair{l, ts})
 	}
+	//lint:ignore hot-noalloc sort.Slice boxing/closure is paid once per amortized-rare compact, not per access
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].ts < pairs[j].ts })
 	for i := range t.tree {
 		t.tree[i] = 0

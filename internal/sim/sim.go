@@ -70,6 +70,7 @@ type Options struct {
 	// naively. Results are byte-identical either way — this is a
 	// debugging escape hatch, which is also why the field is excluded
 	// from Fingerprint(): journal entries stay valid across the flag.
+	//vet:nonbehavioral byte-identical either way (golden + skip-differential pinned); journal entries stay valid across the flag
 	NoCycleSkip bool
 
 	Seed uint64
