@@ -47,6 +47,8 @@ func main() {
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile on exit to this file")
 		noSkip     = flag.Bool("no-cycle-skip", false, "walk every cycle instead of event-driven skipping (debugging; output is identical, only slower)")
+		retries    = flag.Int("retries", 0, "extra attempts for transiently-failing simulations (0 = fail on first error; output is identical at any -j)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation deadline (0 = none; a tripped deadline is transient and composes with -retries)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -77,6 +79,11 @@ func main() {
 	cfg.Parallelism = *jobs
 	cfg.Context = ctx
 	cfg.NoCycleSkip = *noSkip
+	cfg.Retries = *retries
+	cfg.JobTimeout = *jobTimeout
+	cfg.Warn = func(e error) {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", e)
+	}
 	if *progress {
 		cfg.Progress = os.Stderr
 	}
@@ -87,6 +94,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer journal.Close()
+		if rec := journal.Recovery(); rec.DiscardedRecords > 0 {
+			fmt.Fprintf(os.Stderr, "warning: checkpoint %s lost %d complete record(s) (%d bytes) to mid-file corruption; they will be recomputed\n",
+				*checkpoint, rec.DiscardedRecords, rec.DiscardedBytes)
+		} else if rec.DiscardedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "checkpoint: discarded a torn final record (%d bytes) from %s\n", rec.DiscardedBytes, *checkpoint)
+		}
 		if n := journal.Completed(); n > 0 {
 			fmt.Fprintf(os.Stderr, "checkpoint: resuming with %d completed simulation(s) from %s\n", n, *checkpoint)
 		}

@@ -43,6 +43,8 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-simulation progress to stderr")
 		warmup     = flag.Uint64("warmup", 0, "override warm-up instructions (0 = scale default)")
 		measure    = flag.Uint64("measure", 0, "override measured instructions (0 = scale default)")
+		retries    = flag.Int("retries", 0, "extra attempts for transiently-failing simulations (0 = fail on first error; reports are identical at any -j)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation deadline (0 = none; a tripped deadline is transient and composes with -retries)")
 	)
 	flag.Parse()
 
@@ -60,7 +62,7 @@ func main() {
 		catalog = selected
 	}
 
-	cfg := hypothesis.Config{Workers: *jobs}
+	cfg := hypothesis.Config{Workers: *jobs, Retries: *retries, JobTimeout: *jobTimeout}
 	if *short {
 		cfg.Scale = hypothesis.ShortScale()
 	} else {
@@ -92,6 +94,12 @@ func main() {
 			os.Exit(2)
 		}
 		defer j.Close()
+		if rec := j.Recovery(); rec.DiscardedRecords > 0 {
+			fmt.Fprintf(os.Stderr, "warning: checkpoint %s lost %d complete record(s) (%d bytes) to mid-file corruption; they will be recomputed\n",
+				*checkpoint, rec.DiscardedRecords, rec.DiscardedBytes)
+		} else if rec.DiscardedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "checkpoint: discarded a torn final record (%d bytes) from %s\n", rec.DiscardedBytes, *checkpoint)
+		}
 		if n := j.Completed(); n > 0 {
 			fmt.Fprintf(os.Stderr, "resuming: %d simulations already journaled in %s\n", n, *checkpoint)
 		}

@@ -9,6 +9,10 @@
 // sweep (SIGINT, crash, OOM) resumes where it left off; -keep-going
 // runs the matrix to completion even when individual cells fail,
 // rendering the failed cells as such instead of aborting the sweep.
+// -retries re-runs transiently-failing simulations with deterministic
+// backoff (output stays byte-identical at any -j), -job-timeout bounds
+// each attempt, and -best-effort-checkpoint downgrades checkpoint
+// write failures to a loud warning instead of killing a healthy sweep.
 //
 // Examples:
 //
@@ -28,6 +32,7 @@ import (
 	"syscall"
 
 	"emissary/internal/core"
+	"emissary/internal/faultinject"
 	"emissary/internal/profiling"
 	"emissary/internal/runner"
 	"emissary/internal/sim"
@@ -49,6 +54,10 @@ func main() {
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile on exit to this file")
 		noSkip     = flag.Bool("no-cycle-skip", false, "walk every cycle instead of event-driven skipping (debugging; output is identical, only slower)")
+		retries    = flag.Int("retries", 0, "extra attempts for transiently-failing simulations (0 = fail on first error; output is identical at any -j)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation deadline (0 = none; a tripped deadline is transient and composes with -retries)")
+		bestEffort = flag.Bool("best-effort-checkpoint", false, "keep sweeping when checkpoint writes fail (loud warning) instead of failing the sweep")
+		inject     = flag.String("inject", "", "deterministic job fault plan 'job:error|panic|stall[@attempts]', comma-separated (testing; e.g. '3:error@1,0:stall')")
 	)
 	flag.Parse()
 
@@ -114,9 +123,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	scfg := runner.SimsConfig{Workers: *jobs}
+	scfg := runner.SimsConfig{
+		Workers:    *jobs,
+		Retry:      runner.RetryPolicy{MaxAttempts: *retries + 1},
+		JobTimeout: *jobTimeout,
+		Warn: func(e error) {
+			fmt.Fprintf(os.Stderr, "warning: %v\n", e)
+		},
+	}
 	if *keepGoing {
 		scfg.Policy = runner.Continue
+	}
+	if *bestEffort {
+		scfg.JournalFailure = runner.JournalDegrade
+	}
+	if *inject != "" {
+		ji, err := faultinject.ParseJobPlan(*inject)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		scfg.Inject = ji.Before
 	}
 	if *verbose {
 		scfg.Progress = func(r sim.Result) {
@@ -130,6 +157,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer journal.Close()
+		if rec := journal.Recovery(); rec.DiscardedRecords > 0 {
+			fmt.Fprintf(os.Stderr, "warning: checkpoint %s lost %d complete record(s) (%d bytes) to mid-file corruption; they will be recomputed\n",
+				*checkpoint, rec.DiscardedRecords, rec.DiscardedBytes)
+		} else if rec.DiscardedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "checkpoint: discarded a torn final record (%d bytes) from %s\n", rec.DiscardedBytes, *checkpoint)
+		}
 		if n := journal.Completed(); n > 0 {
 			fmt.Fprintf(os.Stderr, "checkpoint: resuming with %d completed simulation(s) from %s\n", n, *checkpoint)
 		}

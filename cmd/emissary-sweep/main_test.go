@@ -1,0 +1,173 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildSweep compiles the emissary-sweep binary once per test run.
+func buildSweep(t *testing.T) string {
+	t.Helper()
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "emissary-sweep")
+	build := exec.Command(gobin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runSweep executes the binary and returns stdout, stderr, exit code.
+func runSweep(t *testing.T, bin string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("running %s: %v", bin, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// tinyArgs is a 2-job sweep (TPLRU baseline + DRRIP on one benchmark)
+// sized for a test, not a measurement.
+func tinyArgs(extra ...string) []string {
+	return append([]string{
+		"-benchmarks", "xapian", "-policies", "DRRIP",
+		"-warmup", "20000", "-measure", "80000",
+	}, extra...)
+}
+
+// TestExitCodeTransientFaultHealedByRetry pins exit 0: a sweep whose
+// jobs fail transiently on their first attempt completes under
+// -retries, and its stdout is byte-identical at -j 1 and -j 8 and to a
+// fault-free sweep.
+func TestExitCodeTransientFaultHealedByRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sweep binary; skipped with -short")
+	}
+	bin := buildSweep(t)
+	clean, _, code := runSweep(t, bin, tinyArgs()...)
+	if code != 0 {
+		t.Fatalf("fault-free sweep exited %d", code)
+	}
+	for _, j := range []string{"1", "8"} {
+		out, stderr, code := runSweep(t, bin, tinyArgs(
+			"-inject", "0:error@1,1:panic@1", "-retries", "2", "-j", j)...)
+		if code != 0 {
+			t.Fatalf("-j %s: healed sweep exited %d\nstderr:\n%s", j, code, stderr)
+		}
+		if out != clean {
+			t.Errorf("-j %s: retried sweep output differs from fault-free sweep", j)
+		}
+	}
+}
+
+// TestExitCodeFailFastOnPermanentFault pins exit 1: an injected fault
+// with no retry budget aborts a FailFast sweep.
+func TestExitCodeFailFastOnPermanentFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sweep binary; skipped with -short")
+	}
+	bin := buildSweep(t)
+	_, stderr, code := runSweep(t, bin, tinyArgs("-inject", "1:error")...)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "injected job error") {
+		t.Errorf("stderr does not name the injected fault:\n%s", stderr)
+	}
+}
+
+// TestExitCodeKeepGoingRendersFailedCells pins exit 0 under Continue:
+// -keep-going drains the sweep, renders the failed cell as such, and
+// reports success (the partial table is the product).
+func TestExitCodeKeepGoingRendersFailedCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sweep binary; skipped with -short")
+	}
+	bin := buildSweep(t)
+	out, stderr, code := runSweep(t, bin, tinyArgs("-inject", "1:error", "-keep-going")...)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 under -keep-going\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(out, "failed") {
+		t.Errorf("table does not render the failed cell:\n%s", out)
+	}
+	if !strings.Contains(stderr, "1/2 cells failed") {
+		t.Errorf("stderr does not count the failed cells:\n%s", stderr)
+	}
+}
+
+// TestExitCodeInterrupted pins exit 130: a sweep stalled by an injected
+// hang and interrupted with SIGINT reports the interruption, and its
+// journal resumes the sweep to completion afterwards.
+func TestExitCodeInterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sweep binary; skipped with -short")
+	}
+	bin := buildSweep(t)
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+
+	// Job 1 stalls on every attempt; job 0 completes and is journaled.
+	// -j 1 guarantees job 0 finishes before job 1 blocks.
+	cmd := exec.Command(bin, tinyArgs("-inject", "1:stall", "-checkpoint", journal, "-j", "1")...)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The advisory lock appears when the journal opens at startup; wait
+	// for it (and the first completed record) before interrupting.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if info, err := os.Stat(journal); err == nil && info.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("journal never gained a record\nstderr so far:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 130 {
+		t.Fatalf("interrupted sweep: err = %v, want exit 130\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr does not report the interruption:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "rerun the same command to resume") {
+		t.Errorf("stderr does not point at the resume path:\n%s", stderr.String())
+	}
+
+	// Resume without the stall: the journaled job is served, the sweep
+	// completes clean.
+	_, stderr2, code := runSweep(t, bin, tinyArgs("-checkpoint", journal)...)
+	if code != 0 {
+		t.Fatalf("resume exited %d\nstderr:\n%s", code, stderr2)
+	}
+	if !strings.Contains(stderr2, "resuming with 1 completed simulation") {
+		t.Errorf("resume did not pick up the journaled job:\n%s", stderr2)
+	}
+}

@@ -1,32 +1,46 @@
 // Package atomicfile writes result artifacts crash-safely: content is
 // produced into a temporary file in the destination directory, synced,
-// and renamed into place only on success. A crash or interrupt mid-
-// write therefore never leaves a truncated CSV or trace where a
-// complete one is expected — readers see either the old file or the
-// new one, never a half-written hybrid.
+// renamed into place only on success, and the parent directory is
+// fsynced so the rename itself survives a power cut. A crash or
+// interrupt mid-write therefore never leaves a truncated CSV or trace
+// where a complete one is expected — readers see either the old file
+// or the new one, never a half-written hybrid.
+//
+// All filesystem access goes through faultinject.FS, so the crash-
+// point torture suite can fail, short-write, or power-cut every
+// individual step of a commit and assert the old-or-new contract
+// holds at each one.
 package atomicfile
 
 import (
 	"bufio"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+
+	"emissary/internal/faultinject"
 )
 
-// WriteTo streams fn's output to path atomically. On any error — from
-// fn or from the filesystem — the temporary file is removed and the
-// previous content of path (if any) is left untouched.
-func WriteTo(path string, fn func(io.Writer) error) (err error) {
+// WriteTo streams fn's output to path atomically via the real
+// filesystem. On any error — from fn or from the filesystem — the
+// temporary file is removed and the previous content of path (if any)
+// is left untouched.
+func WriteTo(path string, fn func(io.Writer) error) error {
+	return WriteToFS(faultinject.OS, path, fn)
+}
+
+// WriteToFS is WriteTo against an explicit filesystem — the seam the
+// fault-injection torture suite drives.
+func WriteToFS(fsys faultinject.FS, path string, fn func(io.Writer) error) (err error) {
 	dir, base := filepath.Split(path)
-	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("atomicfile: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 	w := bufio.NewWriter(tmp)
@@ -42,8 +56,14 @@ func WriteTo(path string, fn func(io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("atomicfile: %w", err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("atomicfile: %w", err)
+	}
+	// The rename is only durable once the directory entry is: without
+	// this, a power cut after "success" could resurrect the old file —
+	// or, for a first write, no file at all.
+	if err = fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("atomicfile: syncing parent of %s: %w", path, err)
 	}
 	return nil
 }

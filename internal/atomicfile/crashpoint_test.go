@@ -1,0 +1,147 @@
+package atomicfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emissary/internal/faultinject"
+)
+
+// TestCrashPointCommitTorture is the crash-point sweep for an atomic
+// commit: a counting run learns how many filesystem operations one
+// WriteToFS lifetime performs, then every operation index is hit with
+// both an injected failure and a simulated power cut. At every point
+// the destination must read back as exactly the old content or exactly
+// the new content — never a hybrid — and a clean retry after the
+// "reboot" must land the new content.
+func TestCrashPointCommitTorture(t *testing.T) {
+	oldContent := "old,content\n1,2\n"
+	newContent := strings.Repeat("x,y,z\n", 64)
+	write := func(w io.Writer) error {
+		_, err := io.WriteString(w, newContent)
+		return err
+	}
+
+	// Learn the op-index space from one clean, counted run.
+	counter, err := faultinject.NewInjector(faultinject.OS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	{
+		dir := t.TempDir()
+		path := filepath.Join(dir, "out.csv")
+		if err := os.WriteFile(path, []byte(oldContent), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteToFS(counter, path, write); err != nil {
+			t.Fatalf("counting run failed: %v", err)
+		}
+	}
+	total := counter.Ops()
+	trace := counter.Trace()
+	if total < 6 { // createtemp, write, sync, close, rename, syncdir
+		t.Fatalf("commit lifetime only counted %d ops (%v)", total, trace)
+	}
+
+	for k := 1; k <= total; k++ {
+		for _, mode := range []faultinject.Mode{faultinject.ModeFail, faultinject.ModeCrash} {
+			t.Run(fmt.Sprintf("%s@%d_%s", mode, k, trace[k-1]), func(t *testing.T) {
+				dir := t.TempDir()
+				path := filepath.Join(dir, "out.csv")
+				if err := os.WriteFile(path, []byte(oldContent), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				inj, err := faultinject.NewInjector(faultinject.OS, uint64(k), faultinject.Fault{Op: k, Mode: mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				werr := WriteToFS(inj, path, write)
+				if werr == nil {
+					t.Fatalf("fault at op %d swallowed", k)
+				}
+				if !errors.Is(werr, faultinject.ErrInjected) && !errors.Is(werr, faultinject.ErrPowerCut) {
+					t.Fatalf("err = %v, want an injected fault", werr)
+				}
+
+				got, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("destination unreadable after fault: %v", err)
+				}
+				if string(got) != oldContent && string(got) != newContent {
+					t.Fatalf("destination is a hybrid after fault at op %d (%s):\n%q", k, trace[k-1], got)
+				}
+
+				// Reboot: a clean retry must complete and be durable.
+				if err := WriteTo(path, write); err != nil {
+					t.Fatalf("post-fault retry failed: %v", err)
+				}
+				got, err = os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != newContent {
+					t.Fatalf("retry content = %q", got)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashPointFirstWrite is the same sweep when no previous file
+// exists: after any fault the destination is either absent or complete.
+func TestCrashPointFirstWrite(t *testing.T) {
+	newContent := "fresh\n"
+	write := func(w io.Writer) error {
+		_, err := io.WriteString(w, newContent)
+		return err
+	}
+	counter, err := faultinject.NewInjector(faultinject.OS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteToFS(counter, filepath.Join(t.TempDir(), "out.csv"), write); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= counter.Ops(); k++ {
+		inj, err := faultinject.NewInjector(faultinject.OS, uint64(k), faultinject.Fault{Op: k, Mode: faultinject.ModeCrash})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		path := filepath.Join(dir, "out.csv")
+		if werr := WriteToFS(inj, path, write); werr == nil {
+			t.Fatalf("fault at op %d swallowed", k)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr == nil && string(data) != newContent {
+			t.Fatalf("op %d: partial first write visible at destination: %q", k, data)
+		}
+	}
+}
+
+// TestWriteToSyncsParentDirectory pins the commit sequence: the parent
+// directory fsync lands after the rename, making the rename durable.
+func TestWriteToSyncsParentDirectory(t *testing.T) {
+	inj, err := faultinject.NewInjector(faultinject.OS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteToFS(inj, filepath.Join(dir, "out.csv"), func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	trace := inj.Trace()
+	last := trace[len(trace)-1]
+	prev := trace[len(trace)-2]
+	if !strings.HasPrefix(last, "syncdir ") || !strings.HasPrefix(prev, "rename ") {
+		t.Fatalf("commit tail = %v, want ... rename, syncdir", trace)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"emissary/internal/core"
 	"emissary/internal/runner"
@@ -57,6 +58,21 @@ type Config struct {
 	// every simulation of the run (debugging escape hatch; results are
 	// byte-identical either way, only wall-clock changes).
 	NoCycleSkip bool
+	// Retries is the number of extra attempts a transiently-failing
+	// simulation gets (0 = fail on first error). Backoff is virtual-
+	// time deterministic, so artifacts stay byte-identical at any
+	// Parallelism.
+	Retries int
+	// JobTimeout, when positive, bounds each simulation attempt with
+	// its own deadline; a tripped deadline is transient and composes
+	// with Retries.
+	JobTimeout time.Duration
+	// JournalFailure selects how a checkpoint write failure is handled
+	// (runner.JournalFatal fails the job; runner.JournalDegrade warns
+	// and keeps the sweep alive).
+	JournalFailure runner.JournalFailureMode
+	// Warn receives non-fatal degradation notices; nil discards them.
+	Warn func(error)
 }
 
 // DefaultConfig returns a configuration sized to minutes, not hours.
@@ -136,10 +152,14 @@ func (c Config) runBatch(jobs []sim.Options) ([]sim.Result, error) {
 		filled[i] = c.fill(job)
 	}
 	return runner.RunSims(c.ctx(), filled, runner.SimsConfig{
-		Workers:  c.Parallelism,
-		Policy:   c.Failure,
-		Journal:  c.Journal,
-		Progress: c.progress(),
+		Workers:        c.Parallelism,
+		Policy:         c.Failure,
+		Journal:        c.Journal,
+		Progress:       c.progress(),
+		Retry:          runner.RetryPolicy{MaxAttempts: c.Retries + 1},
+		JobTimeout:     c.JobTimeout,
+		JournalFailure: c.JournalFailure,
+		Warn:           c.Warn,
 	})
 }
 

@@ -1,0 +1,260 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeSyncScenario opens a file through fsys, appends two records
+// with a sync between them, and closes. It is the minimal journal-like
+// lifetime the injector tests exercise.
+func writeSyncScenario(fsys FS, path string) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644) // op 1
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("record-one\n")); err != nil { // op 2
+		return err
+	}
+	if err := f.Sync(); err != nil { // op 3
+		return err
+	}
+	if _, err := f.Write([]byte("record-two\n")); err != nil { // op 4
+		return err
+	}
+	if err := f.Sync(); err != nil { // op 5
+		return err
+	}
+	return f.Close() // op 6
+}
+
+func TestInjectorCountsOps(t *testing.T) {
+	in, err := NewInjector(OS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f")
+	if err := writeSyncScenario(in, path); err != nil {
+		t.Fatalf("clean pass-through failed: %v", err)
+	}
+	if got := in.Ops(); got != 6 {
+		t.Fatalf("Ops() = %d, want 6\ntrace: %v", got, in.Trace())
+	}
+	want := []string{"open " + path, "write " + path, "sync " + path, "write " + path, "sync " + path, "close " + path}
+	if got := in.Trace(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Trace() = %v, want %v", got, want)
+	}
+}
+
+func TestInjectorFailAtEveryOp(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		in, err := NewInjector(OS, 1, Fault{Op: k, Mode: ModeFail})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "f")
+		err = writeSyncScenario(in, path)
+		if err == nil {
+			t.Fatalf("op %d: fault swallowed", k)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d: err = %v, not ErrInjected", k, err)
+		}
+		var ie *InjectedError
+		if !errors.As(err, &ie) || ie.Op != k {
+			t.Fatalf("op %d: err = %v, want *InjectedError at that op", k, err)
+		}
+		var tr interface{ Transient() bool }
+		if !errors.As(err, &tr) || !tr.Transient() {
+			t.Fatalf("op %d: injected fault not classified transient", k)
+		}
+	}
+}
+
+func TestInjectorShortWrite(t *testing.T) {
+	in, err := NewInjector(OS, 1, Fault{Op: 2, Mode: ModeShortWrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f")
+	if err := writeSyncScenario(in, path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half of "record-one\n" (11 bytes) is 5 bytes.
+	if string(data) != "recor" {
+		t.Fatalf("on-disk after short write = %q, want %q", data, "recor")
+	}
+}
+
+// TestInjectorCrashTearsUnsyncedTail proves a power cut keeps the
+// synced prefix intact and at most part of the unsynced tail, and that
+// the same (seed, plan) tears identically on every run.
+func TestInjectorCrashTearsUnsyncedTail(t *testing.T) {
+	tear := func(seed uint64) string {
+		t.Helper()
+		in, err := NewInjector(OS, seed, Fault{Op: 5, Mode: ModeCrash}) // crash at the second sync
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "f")
+		err = writeSyncScenario(in, path)
+		if !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("err = %v, want ErrPowerCut", err)
+		}
+		if !in.Crashed() {
+			t.Fatal("Crashed() = false after a power cut")
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		return string(data)
+	}
+
+	got := tear(7)
+	if len(got) < len("record-one\n") || got[:len("record-one\n")] != "record-one\n" {
+		t.Fatalf("synced prefix damaged: %q", got)
+	}
+	if len(got) > len("record-one\nrecord-two\n") {
+		t.Fatalf("file grew past logical size: %q", got)
+	}
+	if again := tear(7); again != got {
+		t.Fatalf("same seed tore differently: %q vs %q", again, got)
+	}
+}
+
+func TestInjectorPowerCutPoisonsLaterOps(t *testing.T) {
+	in, err := NewInjector(OS, 1, Fault{Op: 2, Mode: ModeCrash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := writeSyncScenario(in, filepath.Join(dir, "f")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("err = %v, want ErrPowerCut", err)
+	}
+	if _, err := in.OpenFile(filepath.Join(dir, "g"), os.O_CREATE|os.O_RDWR, 0o644); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-crash open err = %v, want ErrPowerCut", err)
+	}
+	if err := in.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-crash rename err = %v, want ErrPowerCut", err)
+	}
+	var tr interface{ Transient() bool }
+	err = in.SyncDir(dir)
+	if !errors.As(err, &tr) || tr.Transient() {
+		t.Fatalf("power cut must classify permanent, got %v", err)
+	}
+}
+
+// TestInjectorDropSyncLosesTailOnCrash is the lying-hardware case: the
+// sync at op 3 reports success without syncing, so the crash at op 5
+// can tear away record-one too.
+func TestInjectorDropSyncLosesTailOnCrash(t *testing.T) {
+	// Seed chosen so the deterministic tear keeps a strict prefix;
+	// any seed is legal, the assertion below only needs "no byte
+	// beyond what an honest sync would have pinned is guaranteed".
+	in, err := NewInjector(OS, 3, Fault{Op: 3, Mode: ModeDropSync}, Fault{Op: 5, Mode: ModeCrash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f")
+	if err := writeSyncScenario(in, path); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("err = %v, want ErrPowerCut", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := "record-one\nrecord-two\n"
+	if string(data) == full {
+		t.Fatalf("dropped sync still produced a fully durable file")
+	}
+	if len(data) > len(full) || string(data) != full[:len(data)] {
+		t.Fatalf("torn file %q is not a prefix of %q", data, full)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	faults, err := ParsePlan("dropsync@4, crash@9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{{Op: 4, Mode: ModeDropSync}, {Op: 9, Mode: ModeCrash}}
+	if !reflect.DeepEqual(faults, want) {
+		t.Fatalf("ParsePlan = %v, want %v", faults, want)
+	}
+	for _, bad := range []string{"", "crash", "crash@0", "explode@3", "crash@x"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	if _, err := NewInjector(OS, 1, Fault{Op: 3, Mode: ModeFail}, Fault{Op: 3, Mode: ModeCrash}); err == nil {
+		t.Error("duplicate op accepted")
+	}
+}
+
+func TestJobInjector(t *testing.T) {
+	ji, err := ParseJobPlan("2:error@2,5:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ji.Before(ctx, 0, 1); err != nil {
+		t.Fatalf("unplanned job faulted: %v", err)
+	}
+	for attempt := 1; attempt <= 2; attempt++ {
+		err := ji.Before(ctx, 2, attempt)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("job 2 attempt %d: err = %v, want ErrInjected", attempt, err)
+		}
+		var je *InjectedJobError
+		if !errors.As(err, &je) || je.Attempt != attempt || !je.Transient() {
+			t.Fatalf("job 2 attempt %d: err = %#v", attempt, err)
+		}
+	}
+	if err := ji.Before(ctx, 2, 3); err != nil {
+		t.Fatalf("job 2 attempt 3 should run clean, got %v", err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if _, ok := r.(*InjectedJobError); !ok {
+				t.Fatalf("job 5 recover = %v, want *InjectedJobError", r)
+			}
+		}()
+		ji.Before(ctx, 5, 1)
+		t.Fatal("job 5 did not panic")
+	}()
+
+	stall, err := ParseJobPlan("0:stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := stall.Before(cctx, 0, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stall err = %v, want context.Canceled", err)
+	}
+	// Stall defaults to every attempt.
+	if err := stall.Before(cctx, 0, 7); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stall attempt 7 err = %v, want context.Canceled", err)
+	}
+
+	var nilInj *JobInjector
+	if err := nilInj.Before(ctx, 0, 1); err != nil {
+		t.Fatalf("nil injector faulted: %v", err)
+	}
+
+	for _, bad := range []string{"", "3", "3:explode", "x:error", "3:error@x", "-1:error"} {
+		if _, err := ParseJobPlan(bad); err == nil {
+			t.Errorf("ParseJobPlan(%q) accepted", bad)
+		}
+	}
+}

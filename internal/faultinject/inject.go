@@ -1,0 +1,414 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"emissary/internal/rng"
+)
+
+// Mode selects what happens at a planned operation index.
+type Mode int
+
+const (
+	// ModeFail makes the operation return an *InjectedError with no
+	// side effect: the write writes nothing, the sync syncs nothing.
+	ModeFail Mode = iota
+	// ModeShortWrite applies to writes: half the buffer reaches the
+	// file, then the call fails — the classic torn write.
+	ModeShortWrite
+	// ModeDropSync applies to Sync/SyncDir: the call reports success
+	// without making anything durable, modeling lying hardware. It is
+	// only observable combined with a later ModeCrash, which throws
+	// away everything after the last honoured sync.
+	ModeDropSync
+	// ModeCrash simulates a power cut at the operation: the call
+	// fails with *PowerCutError, every open file is torn back to its
+	// last-synced size plus a seed-deterministic fraction of the
+	// unsynced tail, and every subsequent operation on the filesystem
+	// fails until the test "reboots" by reopening paths through a
+	// fresh FS.
+	ModeCrash
+)
+
+// String names the mode as the plan grammar spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeFail:
+		return "fail"
+	case ModeShortWrite:
+		return "shortwrite"
+	case ModeDropSync:
+		return "dropsync"
+	case ModeCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Fault plants one mode at one 1-based counted-operation index.
+type Fault struct {
+	Op   int
+	Mode Mode
+}
+
+// ErrInjected is the errors.Is target every injected fault matches.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrPowerCut is the errors.Is target for operations refused because
+// the simulated machine lost power.
+var ErrPowerCut = errors.New("faultinject: simulated power cut")
+
+// InjectedError is a planned, non-crash filesystem fault. It is
+// transient by classification: retrying the operation (or the job that
+// issued it) against a healthy filesystem succeeds.
+type InjectedError struct {
+	Op   int    // the counted operation index that faulted
+	Call string // which operation (write, sync, rename, ...)
+	Mode Mode
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at op %d (%s)", e.Mode, e.Op, e.Call)
+}
+
+// Transient marks the fault retryable for runner classification.
+func (e *InjectedError) Transient() bool { return true }
+
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// PowerCutError reports an operation refused by a crashed filesystem.
+// It is permanent: no retry against the same FS can succeed until the
+// scenario reopens its files through a fresh filesystem ("reboots").
+type PowerCutError struct {
+	Op   int
+	Call string
+}
+
+func (e *PowerCutError) Error() string {
+	return fmt.Sprintf("faultinject: power cut at op %d (%s)", e.Op, e.Call)
+}
+
+// Transient reports false: a power cut does not heal under retry.
+func (e *PowerCutError) Transient() bool { return false }
+
+func (e *PowerCutError) Is(target error) bool { return target == ErrPowerCut }
+
+// Injector wraps a base FS, counts every mutating/durability
+// operation (writes, syncs, opens, closes, renames, removes, seeks,
+// truncates — reads are free), and fires the planned faults. All
+// state is guarded by one mutex, so a multi-worker sweep sees one
+// coherent operation ordering.
+type Injector struct {
+	mu      sync.Mutex
+	base    FS
+	rand    *rng.SplitMix64
+	faults  map[int]Mode
+	ops     int
+	crashed bool
+	cut     *PowerCutError        // the original power cut, re-reported by later ops
+	open    map[*injFile]struct{} // files subject to tearing on crash
+	trace   []string
+}
+
+// NewInjector wraps base with the planned faults. seed drives the only
+// stochastic choice (how much of an unsynced tail a power cut keeps),
+// so (seed, faults) fully determines the injector's behaviour. With no
+// faults the injector is a pure pass-through operation counter.
+func NewInjector(base FS, seed uint64, faults ...Fault) (*Injector, error) {
+	in := &Injector{
+		base:   base,
+		rand:   rng.NewSplitMix64(seed),
+		faults: make(map[int]Mode, len(faults)),
+		open:   make(map[*injFile]struct{}),
+	}
+	for _, f := range faults {
+		if f.Op < 1 {
+			return nil, fmt.Errorf("faultinject: fault op %d is not a 1-based operation index", f.Op)
+		}
+		if prev, dup := in.faults[f.Op]; dup {
+			return nil, fmt.Errorf("faultinject: op %d planned twice (%s and %s)", f.Op, prev, f.Mode)
+		}
+		in.faults[f.Op] = f.Mode
+	}
+	return in, nil
+}
+
+// Ops returns how many counted operations have been issued so far. A
+// clean pass-through run's final count is the index space a torture
+// suite enumerates.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Trace returns the counted operations in order, one "call name" per
+// entry — the torture suites use it to label which step a fault hit.
+func (in *Injector) Trace() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, len(in.trace))
+	copy(out, in.trace)
+	return out
+}
+
+// Crashed reports whether a ModeCrash fault has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// advance counts one operation and returns the fault planned for it,
+// if any. Callers hold in.mu.
+func (in *Injector) advance(call string) (Mode, *InjectedError, error) {
+	in.ops++
+	in.trace = append(in.trace, call)
+	if in.crashed {
+		return 0, nil, &PowerCutError{Op: in.cut.Op, Call: call}
+	}
+	mode, ok := in.faults[in.ops]
+	if !ok {
+		return 0, nil, nil
+	}
+	if mode == ModeCrash {
+		in.crash(call)
+		return 0, nil, in.cut
+	}
+	return mode, &InjectedError{Op: in.ops, Call: call, Mode: mode}, nil
+}
+
+// crash tears every open file back to last-synced + a deterministic
+// fraction of its unsynced tail, closes the underlying files, and
+// poisons all future operations. Callers hold in.mu.
+func (in *Injector) crash(call string) {
+	in.crashed = true
+	in.cut = &PowerCutError{Op: in.ops, Call: call}
+	for f := range in.open {
+		if tail := f.size - f.synced; tail > 0 {
+			frac := float64(in.rand.Uint64()>>11) / (1 << 53)
+			keep := f.synced + int64(frac*float64(tail))
+			// Ignore tearing errors: the file may already be gone,
+			// and a partially-applied tear is itself a legal crash
+			// outcome.
+			f.f.Truncate(keep)
+		}
+		f.f.Close()
+	}
+	clear(in.open)
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ierr, err := in.advance("open " + name); err != nil {
+		return nil, err
+	} else if ierr != nil {
+		return nil, ierr
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return in.track(f)
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ierr, err := in.advance("createtemp " + pattern); err != nil {
+		return nil, err
+	} else if ierr != nil {
+		return nil, ierr
+	}
+	f, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return in.track(f)
+}
+
+// track wraps a freshly opened file, recording its current size as
+// durable (it was there before this scenario's faults).
+func (in *Injector) track(f File) (File, error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	jf := &injFile{in: in, f: f, pos: 0, size: size, synced: size}
+	in.open[jf] = struct{}{}
+	return jf, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ierr, err := in.advance("rename " + newpath); err != nil {
+		return err
+	} else if ierr != nil {
+		return ierr
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ierr, err := in.advance("remove " + name); err != nil {
+		return err
+	} else if ierr != nil {
+		return ierr
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	mode, ierr, err := in.advance("syncdir " + dir)
+	if err != nil {
+		return err
+	}
+	if ierr != nil {
+		if mode == ModeDropSync {
+			return nil // reported durable, wasn't
+		}
+		return ierr
+	}
+	return in.base.SyncDir(dir)
+}
+
+// injFile interposes on one open file. size/synced model an
+// append-only writer (which both adopters are): size is the logical
+// end of file, synced the prefix guaranteed to survive a power cut.
+type injFile struct {
+	in     *Injector
+	f      File
+	pos    int64
+	size   int64
+	synced int64
+}
+
+func (jf *injFile) Name() string { return jf.f.Name() }
+
+// Read is never fault-counted, but a crashed filesystem refuses it.
+func (jf *injFile) Read(p []byte) (int, error) {
+	jf.in.mu.Lock()
+	if jf.in.crashed {
+		defer jf.in.mu.Unlock()
+		return 0, &PowerCutError{Op: jf.in.cut.Op, Call: "read " + jf.f.Name()}
+	}
+	jf.in.mu.Unlock()
+	n, err := jf.f.Read(p)
+	jf.in.mu.Lock()
+	jf.pos += int64(n)
+	jf.in.mu.Unlock()
+	return n, err
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	jf.in.mu.Lock()
+	defer jf.in.mu.Unlock()
+	mode, ierr, err := jf.in.advance("write " + jf.f.Name())
+	if err != nil {
+		return 0, err
+	}
+	if ierr != nil {
+		switch mode {
+		case ModeShortWrite:
+			n, _ := jf.f.Write(p[:len(p)/2])
+			jf.advanceBy(int64(n))
+			return n, ierr
+		default:
+			return 0, ierr
+		}
+	}
+	n, werr := jf.f.Write(p)
+	jf.advanceBy(int64(n))
+	return n, werr
+}
+
+// advanceBy moves the write position and grows the logical size.
+// Callers hold in.mu.
+func (jf *injFile) advanceBy(n int64) {
+	jf.pos += n
+	if jf.pos > jf.size {
+		jf.size = jf.pos
+	}
+}
+
+func (jf *injFile) Seek(offset int64, whence int) (int64, error) {
+	jf.in.mu.Lock()
+	defer jf.in.mu.Unlock()
+	if _, ierr, err := jf.in.advance("seek " + jf.f.Name()); err != nil {
+		return 0, err
+	} else if ierr != nil {
+		return 0, ierr
+	}
+	pos, err := jf.f.Seek(offset, whence)
+	if err == nil {
+		jf.pos = pos
+	}
+	return pos, err
+}
+
+func (jf *injFile) Truncate(size int64) error {
+	jf.in.mu.Lock()
+	defer jf.in.mu.Unlock()
+	if _, ierr, err := jf.in.advance("truncate " + jf.f.Name()); err != nil {
+		return err
+	} else if ierr != nil {
+		return ierr
+	}
+	if err := jf.f.Truncate(size); err != nil {
+		return err
+	}
+	if size < jf.size {
+		jf.size = size
+	}
+	if size < jf.synced {
+		jf.synced = size
+	}
+	return nil
+}
+
+func (jf *injFile) Sync() error {
+	jf.in.mu.Lock()
+	defer jf.in.mu.Unlock()
+	mode, ierr, err := jf.in.advance("sync " + jf.f.Name())
+	if err != nil {
+		return err
+	}
+	if ierr != nil {
+		if mode == ModeDropSync {
+			return nil // lied: synced watermark stays put
+		}
+		return ierr
+	}
+	if err := jf.f.Sync(); err != nil {
+		return err
+	}
+	jf.synced = jf.size
+	return nil
+}
+
+func (jf *injFile) Close() error {
+	jf.in.mu.Lock()
+	defer jf.in.mu.Unlock()
+	if _, ierr, err := jf.in.advance("close " + jf.f.Name()); err != nil {
+		return err
+	} else if ierr != nil {
+		return ierr
+	}
+	delete(jf.in.open, jf)
+	return jf.f.Close()
+}

@@ -1,0 +1,163 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// JobMode selects how a job-level fault manifests.
+type JobMode int
+
+const (
+	// JobFail returns a transient *InjectedJobError from the attempt.
+	JobFail JobMode = iota
+	// JobPanic panics with a transient *InjectedJobError, exercising
+	// the runner's recover-to-*JobError path.
+	JobPanic
+	// JobStall blocks until the attempt's context is done (job
+	// deadline or sweep cancellation) and returns ctx.Err().
+	JobStall
+)
+
+// String names the mode as the job-plan grammar spells it.
+func (m JobMode) String() string {
+	switch m {
+	case JobFail:
+		return "error"
+	case JobPanic:
+		return "panic"
+	case JobStall:
+		return "stall"
+	}
+	return fmt.Sprintf("JobMode(%d)", int(m))
+}
+
+// JobFault plants one fault on one job index.
+type JobFault struct {
+	Job  int
+	Mode JobMode
+	// Attempts is how many leading attempts of the job fault; later
+	// attempts run clean (a transient fault that heals under retry).
+	// 0 faults every attempt (effectively permanent).
+	Attempts int
+}
+
+// InjectedJobError is a planned job-attempt failure. Transient by
+// classification: the fault is environmental, not a property of the
+// job's options, so a retry may succeed.
+type InjectedJobError struct {
+	Job     int
+	Attempt int
+	Mode    JobMode
+}
+
+func (e *InjectedJobError) Error() string {
+	return fmt.Sprintf("faultinject: injected job %s (job %d, attempt %d)", e.Mode, e.Job, e.Attempt)
+}
+
+// Transient marks the fault retryable for runner classification.
+func (e *InjectedJobError) Transient() bool { return true }
+
+func (e *InjectedJobError) Is(target error) bool { return target == ErrInjected }
+
+// JobInjector fires deterministic faults at chosen (job, attempt)
+// coordinates. Its Before method matches the runner's SimsConfig
+// Inject seam; a nil *JobInjector injects nothing.
+type JobInjector struct {
+	faults map[int]JobFault
+}
+
+// NewJobInjector builds an injector from the planned faults.
+func NewJobInjector(faults ...JobFault) (*JobInjector, error) {
+	ji := &JobInjector{faults: make(map[int]JobFault, len(faults))}
+	for _, f := range faults {
+		if f.Job < 0 {
+			return nil, fmt.Errorf("faultinject: job index %d is negative", f.Job)
+		}
+		if _, dup := ji.faults[f.Job]; dup {
+			return nil, fmt.Errorf("faultinject: job %d planned twice", f.Job)
+		}
+		ji.faults[f.Job] = f
+	}
+	return ji, nil
+}
+
+// Before runs ahead of one attempt of one job (attempts are 1-based).
+// It returns nil when the attempt should proceed, returns or panics a
+// transient *InjectedJobError per the plan, or blocks until ctx is
+// done for stall faults.
+func (ji *JobInjector) Before(ctx context.Context, job, attempt int) error {
+	if ji == nil {
+		return nil
+	}
+	f, ok := ji.faults[job]
+	if !ok || (f.Attempts > 0 && attempt > f.Attempts) {
+		return nil
+	}
+	ie := &InjectedJobError{Job: job, Attempt: attempt, Mode: f.Mode}
+	switch f.Mode {
+	case JobPanic:
+		panic(ie)
+	case JobStall:
+		<-ctx.Done()
+		return ctx.Err()
+	default:
+		return ie
+	}
+}
+
+// ParseJobPlan parses the job fault-plan grammar (DESIGN.md §13),
+// the CLIs' -inject flag:
+//
+//	plan  := fault ("," fault)*
+//	fault := job ":" mode ["@" attempts]
+//	mode  := "error" | "panic" | "stall"
+//
+// attempts defaults to 1 for error/panic (a transient fault healed by
+// one retry) and to every attempt for stall. "@0" spells every
+// attempt explicitly.
+//
+// Examples: "3:error@1", "0:stall", "2:error@2,5:panic".
+func ParseJobPlan(spec string) (*JobInjector, error) {
+	var faults []JobFault
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		jobStr, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: job fault %q lacks a job:mode separator", part)
+		}
+		job, err := strconv.Atoi(jobStr)
+		if err != nil || job < 0 {
+			return nil, fmt.Errorf("faultinject: job fault %q: job must be a non-negative integer", part)
+		}
+		name, at, hasAt := strings.Cut(rest, "@")
+		var mode JobMode
+		attempts := 1
+		switch name {
+		case "error":
+			mode = JobFail
+		case "panic":
+			mode = JobPanic
+		case "stall":
+			mode, attempts = JobStall, 0
+		default:
+			return nil, fmt.Errorf("faultinject: unknown job fault mode %q (error, panic, stall)", name)
+		}
+		if hasAt {
+			attempts, err = strconv.Atoi(at)
+			if err != nil || attempts < 0 {
+				return nil, fmt.Errorf("faultinject: job fault %q: attempts must be a non-negative integer", part)
+			}
+		}
+		faults = append(faults, JobFault{Job: job, Mode: mode, Attempts: attempts})
+	}
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("faultinject: empty job fault plan")
+	}
+	return NewJobInjector(faults...)
+}

@@ -1,0 +1,52 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses the filesystem fault-plan grammar (DESIGN.md §13):
+//
+//	plan  := fault ("," fault)*
+//	fault := mode "@" op
+//	mode  := "fail" | "shortwrite" | "dropsync" | "crash"
+//	op    := 1-based counted-operation index
+//
+// Examples: "crash@7", "dropsync@4,crash@9" (the sync at op 4 lies,
+// the power cut at op 9 then throws the unsynced tail away).
+func ParsePlan(spec string) ([]Fault, error) {
+	var out []Fault
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, at, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: fault %q lacks an @op index", part)
+		}
+		var mode Mode
+		switch name {
+		case "fail":
+			mode = ModeFail
+		case "shortwrite":
+			mode = ModeShortWrite
+		case "dropsync":
+			mode = ModeDropSync
+		case "crash":
+			mode = ModeCrash
+		default:
+			return nil, fmt.Errorf("faultinject: unknown fault mode %q (fail, shortwrite, dropsync, crash)", name)
+		}
+		op, err := strconv.Atoi(at)
+		if err != nil || op < 1 {
+			return nil, fmt.Errorf("faultinject: fault %q: op index must be a positive integer", part)
+		}
+		out = append(out, Fault{Op: op, Mode: mode})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faultinject: empty fault plan")
+	}
+	return out, nil
+}

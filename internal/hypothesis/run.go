@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"emissary/internal/runner"
 	"emissary/internal/sim"
@@ -27,6 +28,13 @@ type Config struct {
 	// Progress, when non-nil, receives one line per completed
 	// simulation.
 	Progress io.Writer
+	// Retries is the number of extra attempts a transiently-failing
+	// simulation gets (0 = fail on first error); the deterministic
+	// backoff keeps reports byte-identical at any Workers setting.
+	Retries int
+	// JobTimeout, when positive, bounds each simulation attempt with
+	// its own deadline (tripped deadlines are transient).
+	JobTimeout time.Duration
 }
 
 func (c Config) scale() Scale {
@@ -104,9 +112,11 @@ func Run(h *Hypothesis, cfg Config) (*Evaluation, error) {
 		}
 	}
 	outs, err := runner.RunSimsStats(cfg.ctx(), jobs, runner.SimsConfig{
-		Workers:  cfg.Workers,
-		Journal:  cfg.Journal,
-		Progress: progress,
+		Workers:    cfg.Workers,
+		Journal:    cfg.Journal,
+		Progress:   progress,
+		Retry:      runner.RetryPolicy{MaxAttempts: cfg.Retries + 1},
+		JobTimeout: cfg.JobTimeout,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hypothesis %s: %w", h.ID, err)

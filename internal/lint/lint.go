@@ -82,6 +82,7 @@ func Rules() []*Rule {
 		ruleFloatFold,
 		ruleBarePanic,
 		ruleCycleAdvance,
+		ruleRawFileWrite,
 	}
 }
 

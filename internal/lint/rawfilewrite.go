@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+var ruleRawFileWrite = &Rule{
+	Name: "raw-file-write",
+	Doc: "forbid direct os.Create/os.WriteFile/os.OpenFile in internal/runner and " +
+		"internal/experiments (outside _test.go files); result artifacts go through " +
+		"internal/atomicfile and checkpoints through runner.Journal, whose faultinject.FS " +
+		"seam is what makes every write crash-safe and torture-testable",
+	run: runRawFileWrite,
+}
+
+// rawWriteFuncs are the os entry points that put bytes on disk without
+// the atomicity / fault-injection seam.
+var rawWriteFuncs = []string{"Create", "WriteFile", "OpenFile"}
+
+func runRawFileWrite(u *Unit, report reportFunc) {
+	if !underInternal(u.Path, "runner") && !underInternal(u.Path, "experiments") {
+		return
+	}
+	for _, file := range u.Files {
+		if isTestPos(u, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range rawWriteFuncs {
+				if stdlibFunc(u.Info, call, "os", name) {
+					report(call.Pos(),
+						"os.%s in %s writes files without the atomicfile/journal seam; route artifacts through internal/atomicfile (or faultinject.FS) so crashes cannot leave hybrids",
+						name, u.Path)
+				}
+			}
+			return true
+		})
+	}
+}

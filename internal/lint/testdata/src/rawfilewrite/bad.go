@@ -1,0 +1,30 @@
+//lintpath emissary/internal/runner
+
+// Positive cases for raw-file-write: direct os writes inside a
+// restricted package (internal/runner here; internal/experiments is
+// equally restricted).
+package fix
+
+import "os"
+
+func persist(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want "os.WriteFile"
+		return err
+	}
+	f, err := os.Create(path + ".tmp") // want "os.Create"
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644) // want "os.OpenFile"
+	if err != nil {
+		return err
+	}
+	return g.Close()
+}
+
+func readOnlyIsFine(path string) ([]byte, error) {
+	// Reads carry no durability hazard; only the write entry points are
+	// restricted.
+	return os.ReadFile(path)
+}

@@ -1,0 +1,16 @@
+package fix
+
+import "os"
+
+// Test files may write files directly: fixtures, planted corruption,
+// and golden outputs all need raw byte-level control.
+func plantCorruption(path string) error {
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(path + ".extra")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

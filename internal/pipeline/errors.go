@@ -55,3 +55,7 @@ func (e *StallError) Error() string {
 }
 
 func (e *StallError) Unwrap() error { return e.Reason }
+
+// Transient reports false: the simulated machine is deterministic, so
+// a livelock or blown cycle budget recurs identically on retry.
+func (e *StallError) Transient() bool { return false }

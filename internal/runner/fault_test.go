@@ -246,6 +246,85 @@ func TestFaultJournalCorruptTailRecovery(t *testing.T) {
 	}
 }
 
+// TestFailuresFlattensNestedJoinTrees pins the Failures walk on every
+// error-tree shape a pool (or a caller wrapping a pool's error) can
+// produce: single errors, wrapped errors, joins, joins of wrapped
+// joins — with traversal order preserved and foreign leaves skipped.
+func TestFailuresFlattensNestedJoinTrees(t *testing.T) {
+	je := make([]*JobError, 6)
+	for i := range je {
+		je[i] = &JobError{Job: i, Cause: fmt.Errorf("cause %d", i)}
+	}
+	jobs := func(errs []*JobError) []int {
+		out := make([]int, len(errs))
+		for i, e := range errs {
+			out[i] = e.Job
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		err  error
+		want []int
+	}{
+		{"nil", nil, []int{}},
+		{"single", je[0], []int{0}},
+		{"wrapped single", fmt.Errorf("sweep: %w", je[1]), []int{1}},
+		{"flat join", errors.Join(je[0], je[1], je[2]), []int{0, 1, 2}},
+		{
+			"nested joins",
+			errors.Join(errors.Join(je[0], je[1]), je[2], errors.Join(je[3], errors.Join(je[4], je[5]))),
+			[]int{0, 1, 2, 3, 4, 5},
+		},
+		{
+			"wrapped join inside join",
+			errors.Join(fmt.Errorf("stage A: %w", errors.Join(je[2], je[3])), fmt.Errorf("stage B: %w", je[5])),
+			[]int{2, 3, 5},
+		},
+		{
+			"foreign leaves skipped",
+			errors.Join(je[1], context.Canceled, errors.Join(errors.New("plain"), je[4])),
+			[]int{1, 4},
+		},
+		{"foreign only", errors.Join(context.Canceled, errors.New("plain")), []int{}},
+		{
+			// The walk stops at the first *JobError on a branch: a
+			// JobError whose cause is itself a JobError (a retried job
+			// re-wrapped by a caller) reports once, not twice.
+			"job error wrapping job error",
+			&JobError{Job: 9, Cause: je[0]},
+			[]int{9},
+		},
+	}
+	for _, tc := range cases {
+		got := jobs(Failures(tc.err))
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: Failures jobs = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestFailuresOnRealContinueTree proves the flattening on an error
+// tree an actual Continue pool produced, not a hand-built one.
+func TestFailuresOnRealContinueTree(t *testing.T) {
+	_, err := DoPolicy(context.Background(), 8, 4, Continue, func(_ context.Context, i int) (int, error) {
+		if i%3 == 1 { // jobs 1, 4, 7
+			return 0, fmt.Errorf("planted %d", i)
+		}
+		return i, nil
+	})
+	outer := fmt.Errorf("sweep failed: %w", errors.Join(err, context.DeadlineExceeded))
+	fails := Failures(outer)
+	if got, want := len(fails), 3; got != want {
+		t.Fatalf("Failures = %d errors, want %d", got, want)
+	}
+	for i, wantJob := range []int{1, 4, 7} {
+		if fails[i].Job != wantJob {
+			t.Errorf("fails[%d].Job = %d, want %d", i, fails[i].Job, wantJob)
+		}
+	}
+}
+
 // TestFaultCancelledSweepResumes proves cancellation (the SIGINT path)
 // stops a sweep with the completed jobs durable in the journal, and a
 // rerun finishes byte-identical to a never-interrupted sweep.

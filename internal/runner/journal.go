@@ -3,10 +3,18 @@ package runner
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
+	"syscall"
 
+	"emissary/internal/faultinject"
 	"emissary/internal/sim"
 )
 
@@ -21,12 +29,43 @@ import (
 // Records are flushed to the OS line by line under a mutex, so a
 // crash or SIGKILL loses at most the in-flight jobs; a torn final
 // line (power cut mid-append) is detected on reopen and truncated
-// away rather than poisoning the resume.
+// away rather than poisoning the resume. Corruption further up the
+// file still recovers to the clean record prefix, but the damage is
+// accounted (Recovery) so a resume that lost more than the final line
+// can warn loudly instead of silently recomputing.
+//
+// Two writers on one journal would interleave lines and corrupt both;
+// an advisory lock file (path + ".lock", holding the writer's pid)
+// plus an in-process registry reject the second opener. Locks whose
+// process is gone — a crashed run — are stolen, so crash-resume is
+// never wedged behind its own corpse.
+//
+// All filesystem access goes through faultinject.FS, which is how the
+// crash-point torture suite drives every I/O step of the journal's
+// lifetime to a fault and asserts recovery.
 type Journal struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-	done map[string]SimOutcome
+	mu     sync.Mutex
+	fsys   faultinject.FS
+	path   string
+	f      faultinject.File
+	done   map[string]SimOutcome
+	rec    JournalRecovery
+	closed bool
+}
+
+// JournalRecovery reports what OpenJournal had to discard to restore a
+// clean record prefix.
+type JournalRecovery struct {
+	// DiscardedBytes counts bytes truncated away past the last record
+	// of the clean prefix. A torn final line — the ordinary crash
+	// signature — shows up here as a small nonzero count.
+	DiscardedBytes int64
+	// DiscardedRecords counts complete, well-formed records that were
+	// unreachable because corruption earlier in the file ended the
+	// clean prefix before them. Nonzero means the journal lost more
+	// than a torn tail; callers should surface it loudly, since the
+	// resume will silently recompute those jobs.
+	DiscardedRecords int
 }
 
 // journalEntry is the on-disk line format. Stats was added after the
@@ -39,38 +78,212 @@ type journalEntry struct {
 	Stats       sim.RunStats `json:"stats"`
 }
 
+// maxRecordBytes caps one journal line. It matches the reopen
+// scanner's buffer ceiling, so any record this side accepts is a
+// record the next open can load back; oversized records are rejected
+// at RecordStats time with *RecordTooLargeError instead of poisoning
+// the file for the next open.
+const maxRecordBytes = 16 << 20
+
+// journalLineLimit is maxRecordBytes behind a variable so tests can
+// exercise the rejection path without marshalling 16 MiB.
+var journalLineLimit = maxRecordBytes
+
+// ErrRecordTooLarge is the errors.Is target for oversized records.
+var ErrRecordTooLarge = errors.New("runner: journal record exceeds the line-size cap")
+
+// RecordTooLargeError reports a record whose JSON line would not
+// survive a reopen and was therefore refused at write time.
+type RecordTooLargeError struct {
+	Fingerprint string
+	Size, Max   int
+}
+
+func (e *RecordTooLargeError) Error() string {
+	return fmt.Sprintf("%v: %d bytes > %d (%s)", ErrRecordTooLarge, e.Size, e.Max, e.Fingerprint)
+}
+
+func (e *RecordTooLargeError) Is(target error) bool { return target == ErrRecordTooLarge }
+
+// ErrJournalLocked is the errors.Is target for a journal already held
+// by a live writer.
+var ErrJournalLocked = errors.New("runner: journal locked by another writer")
+
+// JournalLockedError identifies the holder blocking an open.
+type JournalLockedError struct {
+	Path string
+	PID  int
+}
+
+func (e *JournalLockedError) Error() string {
+	return fmt.Sprintf("%v: %s (held by pid %d)", ErrJournalLocked, e.Path, e.PID)
+}
+
+func (e *JournalLockedError) Is(target error) bool { return target == ErrJournalLocked }
+
+// journalLocks is the in-process half of the advisory lock: the pid
+// file cannot arbitrate two goroutines of one process (they share a
+// pid), so open journals register their cleaned path here.
+var journalLocks = struct {
+	mu   sync.Mutex
+	held map[string]bool
+}{held: make(map[string]bool)}
+
+func lockFilePath(path string) string { return path + ".lock" }
+
+// acquireJournalLock takes both halves of the advisory lock, stealing
+// stale pid files: one naming our own pid (the in-process registry is
+// authoritative there — a same-pid file with no registration is debris
+// from a crashed-and-recovered lifetime) and one naming a dead process.
+func acquireJournalLock(fsys faultinject.FS, path string) error {
+	canon := filepath.Clean(path)
+	journalLocks.mu.Lock()
+	if journalLocks.held[canon] {
+		journalLocks.mu.Unlock()
+		return &JournalLockedError{Path: path, PID: os.Getpid()}
+	}
+	journalLocks.held[canon] = true
+	journalLocks.mu.Unlock()
+
+	if err := createLockFile(fsys, lockFilePath(path)); err != nil {
+		releaseJournalRegistry(path)
+		return err
+	}
+	return nil
+}
+
+func releaseJournalRegistry(path string) {
+	canon := filepath.Clean(path)
+	journalLocks.mu.Lock()
+	delete(journalLocks.held, canon)
+	journalLocks.mu.Unlock()
+}
+
+func createLockFile(fsys faultinject.FS, lockPath string) error {
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := fsys.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := f.Write([]byte(strconv.Itoa(os.Getpid()) + "\n"))
+			cerr := f.Close()
+			return errors.Join(werr, cerr)
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return err
+		}
+		pid, perr := readLockPID(fsys, lockPath)
+		if perr == nil && pid != os.Getpid() && processAlive(pid) {
+			return &JournalLockedError{Path: lockPath, PID: pid}
+		}
+		// Stale: our own pid (registry said free), a dead process, or
+		// an unreadable/garbage pid file — steal it and retry once.
+		if rerr := fsys.Remove(lockPath); rerr != nil {
+			return rerr
+		}
+	}
+	return fmt.Errorf("runner: journal lock %s kept reappearing", lockPath)
+}
+
+func readLockPID(fsys faultinject.FS, lockPath string) (int, error) {
+	f, err := fsys.OpenFile(lockPath, os.O_RDONLY, 0)
+	if err != nil {
+		return 0, err
+	}
+	data, rerr := io.ReadAll(f)
+	cerr := f.Close()
+	if err := errors.Join(rerr, cerr); err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimSpace(string(data)))
+}
+
+// processAlive reports whether pid names a live process (signal 0
+// probe). Any failure reads as dead: the lock is advisory, and a
+// false "dead" only risks two writers where before the lock existed
+// there was no protection at all.
+func processAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	return p.Signal(syscall.Signal(0)) == nil
+}
+
 // OpenJournal opens (creating if absent) the checkpoint at path and
-// loads every complete record. A malformed tail — the signature of a
-// crash mid-append — is discarded and the file truncated back to the
-// last complete line, so the journal is always in a writable state.
+// loads every record of the clean prefix. A malformed tail — the
+// signature of a crash mid-append — is discarded and the file
+// truncated back to the last complete line, so the journal is always
+// in a writable state; what was discarded is reported by Recovery.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenJournalFS(faultinject.OS, path)
+}
+
+// OpenJournalFS is OpenJournal against an explicit filesystem — the
+// seam the fault-injection torture suite drives.
+func OpenJournalFS(fsys faultinject.FS, path string) (*Journal, error) {
+	if err := acquireJournalLock(fsys, path); err != nil {
+		return nil, fmt.Errorf("runner: locking journal %s: %w", path, err)
+	}
+	j, err := openLockedJournal(fsys, path)
+	if err != nil {
+		fsys.Remove(lockFilePath(path)) // best effort; a stale lock is stolen next open
+		releaseJournalRegistry(path)
+		return nil, err
+	}
+	return j, nil
+}
+
+func openLockedJournal(fsys faultinject.FS, path string) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runner: opening journal: %w", err)
 	}
-	j := &Journal{path: path, f: f, done: make(map[string]SimOutcome)}
+	j := &Journal{fsys: fsys, path: path, f: f, done: make(map[string]SimOutcome)}
 
-	var valid int64 // byte offset just past the last complete record
+	var valid int64 // byte offset just past the last record of the clean prefix
+	clean := true
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxRecordBytes)
 	for sc.Scan() {
 		line := sc.Bytes()
 		var e journalEntry
 		if err := json.Unmarshal(line, &e); err != nil || e.Fingerprint == "" {
-			break
+			// Corruption ends the clean prefix, but keep scanning:
+			// every well-formed record past this point is a real
+			// loss the caller deserves to hear about.
+			clean = false
+			continue
+		}
+		if !clean {
+			j.rec.DiscardedRecords++
+			continue
 		}
 		j.done[e.Fingerprint] = SimOutcome{Result: e.Result, Stats: e.Stats}
 		valid += int64(len(line)) + 1
 	}
-	if err := sc.Err(); err != nil {
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
 		f.Close()
 		return nil, fmt.Errorf("runner: reading journal %s: %w", path, err)
 	}
-	if err := f.Truncate(valid); err != nil {
+	// An over-long line (bufio.ErrTooLong) is corruption like any
+	// other: the clean prefix survives, the rest is counted as
+	// discarded bytes below.
+
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("runner: trimming journal %s: %w", path, err)
+		return nil, fmt.Errorf("runner: sizing journal %s: %w", path, err)
 	}
-	if _, err := f.Seek(valid, 0); err != nil {
+	j.rec.DiscardedBytes = size - valid
+	if size != valid {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: trimming journal %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("runner: seeking journal %s: %w", path, err)
 	}
@@ -79,6 +292,16 @@ func OpenJournal(path string) (*Journal, error) {
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
+
+// Recovery reports what this open had to discard to restore a clean
+// record prefix: zero values for a healthy file, a few bytes for the
+// ordinary torn tail, and nonzero DiscardedRecords when mid-file
+// corruption cost more than the final line.
+func (j *Journal) Recovery() JournalRecovery {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec
+}
 
 // Completed returns the number of distinct finished jobs on record.
 func (j *Journal) Completed() int {
@@ -111,28 +334,58 @@ func (j *Journal) Record(opt sim.Options, res sim.Result) error {
 }
 
 // RecordStats is Record carrying the run's execution mechanics too.
+// A record whose JSON line exceeds the reopen scanner's buffer is
+// rejected here with *RecordTooLargeError rather than being written
+// and failing the *next* open.
 func (j *Journal) RecordStats(opt sim.Options, res sim.Result, st sim.RunStats) error {
-	line, err := json.Marshal(journalEntry{Fingerprint: opt.Fingerprint(), Result: res, Stats: st})
+	fp := opt.Fingerprint()
+	line, err := json.Marshal(journalEntry{Fingerprint: fp, Result: res, Stats: st})
 	if err != nil {
 		return fmt.Errorf("runner: encoding journal record: %w", err)
+	}
+	if len(line) > journalLineLimit {
+		return &RecordTooLargeError{Fingerprint: fp, Size: len(line), Max: journalLineLimit}
 	}
 	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("runner: journal %s is closed", j.path)
+	}
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("runner: appending to journal %s: %w", j.path, err)
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("runner: syncing journal %s: %w", j.path, err)
 	}
-	j.done[opt.Fingerprint()] = SimOutcome{Result: res, Stats: st}
+	j.done[fp] = SimOutcome{Result: res, Stats: st}
 	return nil
 }
 
-// Close releases the underlying file. Records already written remain
-// valid; the journal must not be used afterwards.
+// Close syncs, releases the underlying file, and drops the advisory
+// lock. Records already written remain valid; the journal must not be
+// used afterwards. Close is idempotent.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Close()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var errs []error
+	// Sync before close: Record already syncs per append, but the
+	// final flush here is what pins any future buffered write mode —
+	// and it surfaces delayed write-back errors while the caller can
+	// still hear them.
+	if err := j.f.Sync(); err != nil {
+		errs = append(errs, fmt.Errorf("runner: syncing journal %s: %w", j.path, err))
+	}
+	if err := j.f.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("runner: closing journal %s: %w", j.path, err))
+	}
+	if err := j.fsys.Remove(lockFilePath(j.path)); err != nil {
+		errs = append(errs, fmt.Errorf("runner: releasing journal lock: %w", err))
+	}
+	releaseJournalRegistry(j.path)
+	return errors.Join(errs...)
 }

@@ -1,0 +1,307 @@
+package runner
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"emissary/internal/faultinject"
+	"emissary/internal/sim"
+)
+
+// mustRecord runs opt and journals its result, returning the result.
+func mustRecord(t *testing.T, j *Journal, opt sim.Options) sim.Result {
+	t.Helper()
+	res, err := sim.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(opt, res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestJournalMidFileCorruptionSalvage proves corruption in the middle
+// of the file no longer silently discards everything after it: the
+// clean prefix survives, and Recovery reports exactly how many valid
+// records and bytes the truncation cost.
+func TestJournalMidFileCorruptionSalvage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mid.journal")
+	opts := []sim.Options{
+		tinyOptions(t, "TPLRU", 1),
+		tinyOptions(t, "DRRIP", 2),
+		tinyOptions(t, "P(8):S&E", 3),
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFirst := mustRecord(t, j, opts[0])
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLen := int64(len(healthy))
+
+	// Corrupt the middle: garbage where record 2 would be, then two
+	// perfectly valid records that the clean-prefix rule must discard.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"fingerprint\": 12 garbage}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trick: append the two valid records through a scratch journal so
+	// they are real, loadable lines — then splice them after the
+	// corruption.
+	scratchPath := filepath.Join(t.TempDir(), "scratch.journal")
+	scratch, err := OpenJournal(scratchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRecord(t, scratch, opts[1])
+	mustRecord(t, scratch, opts[2])
+	scratch.Close()
+	j2.Close()
+	valid, err := os.ReadFile(scratchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j2's open truncated the garbage; rebuild: record1 + garbage +
+	// two valid records.
+	full := append([]byte{}, healthy...)
+	garbage := "{\"fingerprint\": 12 garbage}\n"
+	full = append(full, garbage...)
+	full = append(full, valid...)
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("corrupt mid-file journal rejected: %v", err)
+	}
+	defer j3.Close()
+	if n := j3.Completed(); n != 1 {
+		t.Fatalf("Completed = %d, want 1 (clean prefix only)", n)
+	}
+	got, ok := j3.Lookup(opts[0])
+	if !ok || !reflect.DeepEqual(got, wantFirst) {
+		t.Fatal("clean-prefix record lost or altered")
+	}
+	rec := j3.Recovery()
+	if rec.DiscardedRecords != 2 {
+		t.Errorf("DiscardedRecords = %d, want 2", rec.DiscardedRecords)
+	}
+	wantBytes := int64(len(full)) - firstLen
+	if rec.DiscardedBytes != wantBytes {
+		t.Errorf("DiscardedBytes = %d, want %d", rec.DiscardedBytes, wantBytes)
+	}
+	// And the file really was truncated back to the clean prefix.
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(onDisk) != string(healthy) {
+		t.Errorf("on-disk journal not trimmed to the clean prefix")
+	}
+}
+
+// TestJournalTornTailRecoveryReport pins the ordinary crash signature:
+// a torn final line reports bytes but no whole records.
+func TestJournalTornTailRecoveryReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.journal")
+	opt := tinyOptions(t, "TPLRU", 1)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRecord(t, j, opt)
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := `{"fingerprint":"half-writ`
+	if _, err := f.WriteString(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rec := j2.Recovery()
+	if rec.DiscardedRecords != 0 {
+		t.Errorf("DiscardedRecords = %d, want 0 for a torn tail", rec.DiscardedRecords)
+	}
+	if rec.DiscardedBytes != int64(len(torn)) {
+		t.Errorf("DiscardedBytes = %d, want %d", rec.DiscardedBytes, len(torn))
+	}
+
+	// A healthy reopen reports nothing discarded.
+	j2.Close()
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if rec := j3.Recovery(); rec != (JournalRecovery{}) {
+		t.Errorf("healthy reopen Recovery = %+v, want zero", rec)
+	}
+}
+
+// TestJournalRejectsOversizedRecord proves the size guard fires at
+// write time — the failure mode used to be a poisoned file that only
+// blew up on the *next* open.
+func TestJournalRejectsOversizedRecord(t *testing.T) {
+	old := journalLineLimit
+	journalLineLimit = 128
+	defer func() { journalLineLimit = old }()
+
+	path := filepath.Join(t.TempDir(), "cap.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	opt := tinyOptions(t, "TPLRU", 1)
+	res, err := sim.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = j.Record(opt, res)
+	if !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+	var tooBig *RecordTooLargeError
+	if !errors.As(err, &tooBig) || tooBig.Max != 128 || tooBig.Size <= 128 {
+		t.Fatalf("err = %#v, want a sized *RecordTooLargeError", err)
+	}
+	// The refusal left the file empty and the journal usable.
+	if info, err := os.Stat(path); err != nil || info.Size() != 0 {
+		t.Fatalf("oversized record leaked onto disk (size %d, err %v)", info.Size(), err)
+	}
+	journalLineLimit = old
+	if err := j.Record(opt, res); err != nil {
+		t.Fatalf("journal unusable after a rejected record: %v", err)
+	}
+}
+
+// TestJournalAdvisoryLock proves a second writer on one journal is
+// rejected while the first is open, in-process and cross-process
+// alike, and that stale locks are stolen.
+func TestJournalAdvisoryLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "locked.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); !errors.Is(err, ErrJournalLocked) {
+		t.Fatalf("second open err = %v, want ErrJournalLocked", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".lock"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("lock file survives Close: %v", err)
+	}
+
+	// A lock naming a dead process is stale — stolen silently.
+	if err := os.WriteFile(path+".lock", []byte("999999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("dead-pid lock not stolen: %v", err)
+	}
+	j2.Close()
+
+	// A lock naming our own pid with no in-process registration is
+	// debris from a crashed lifetime of this process — stolen too.
+	if err := os.WriteFile(path+".lock", []byte(strconv.Itoa(os.Getpid())+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("own-pid stale lock not stolen: %v", err)
+	}
+	j3.Close()
+
+	// An unreadable pid is debris as well.
+	if err := os.WriteFile(path+".lock", []byte("not a pid"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j4, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("garbage lock not stolen: %v", err)
+	}
+	j4.Close()
+
+	// A lock naming a live foreign process blocks. PID 1 is always
+	// alive; the probe may or may not have permission to signal it,
+	// and EPERM reads as dead by design — so only assert when the
+	// probe sees it alive.
+	if processAlive(1) {
+		if err := os.WriteFile(path+".lock", []byte("1\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = OpenJournal(path)
+		if !errors.Is(err, ErrJournalLocked) {
+			t.Fatalf("live-pid lock err = %v, want ErrJournalLocked", err)
+		}
+		var le *JournalLockedError
+		if !errors.As(err, &le) || le.PID != 1 {
+			t.Fatalf("err = %#v, want pid 1 in *JournalLockedError", err)
+		}
+		os.Remove(path + ".lock")
+	}
+}
+
+// TestJournalCloseSyncsBeforeClose pins the Close ordering through the
+// injector's operation trace: the final operations on the journal file
+// are sync, then close, then the lock removal.
+func TestJournalCloseSyncsBeforeClose(t *testing.T) {
+	inj, err := faultinject.NewInjector(faultinject.OS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sync.journal")
+	j, err := OpenJournalFS(inj, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRecord(t, j, tinyOptions(t, "TPLRU", 1))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+	trace := inj.Trace()
+	if len(trace) < 3 {
+		t.Fatalf("trace too short: %v", trace)
+	}
+	tail := trace[len(trace)-3:]
+	if !strings.HasPrefix(tail[0], "sync "+path) ||
+		!strings.HasPrefix(tail[1], "close "+path) ||
+		!strings.HasPrefix(tail[2], "remove "+path+".lock") {
+		t.Fatalf("Close tail = %v, want sync, close, remove-lock", tail)
+	}
+}

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"emissary/internal/rng"
+)
+
+// ErrorClass partitions job failures for retry: transient faults are
+// environmental (injected I/O failure, a job deadline tripped by
+// machine load) and may clear on a second attempt; permanent faults
+// are properties of the job itself — a deterministic simulator fails
+// the same way every time, so simulator errors never retry.
+type ErrorClass int
+
+const (
+	// Permanent is the default: retrying cannot help.
+	Permanent ErrorClass = iota
+	// Transient faults may clear on retry.
+	Transient
+)
+
+func (c ErrorClass) String() string {
+	if c == Transient {
+		return "transient"
+	}
+	return "permanent"
+}
+
+// Classify assigns an error its retry class, extending the typed
+// taxonomy from the failure model (DESIGN.md §8):
+//
+//   - An error anywhere in the chain carrying `Transient() bool`
+//     speaks for itself. sim.TruncatedError and pipeline.StallError
+//     say permanent (deterministic outcomes); faultinject errors say
+//     transient (injected environmental faults) except power cuts.
+//   - context.DeadlineExceeded with no marker is transient: a per-job
+//     deadline trips on load, not on the job's options.
+//   - Everything else — including context.Canceled, which means the
+//     caller wants out, not "try again" — is permanent.
+func Classify(err error) ErrorClass {
+	if err == nil {
+		return Permanent
+	}
+	var marked interface{ Transient() bool }
+	if errors.As(err, &marked) {
+		if marked.Transient() {
+			return Transient
+		}
+		return Permanent
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return Transient
+	}
+	return Permanent
+}
+
+// RetryPolicy retries transiently-failing jobs with deterministic
+// backoff. The backoff duration is computed in virtual time: a pure
+// function of (per-job pre-scheduled seed, job index, attempt), never
+// of the wall clock or of scheduling — so a retried sweep performs the
+// same attempt sequence, and therefore produces byte-identical output,
+// at any worker count.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per job; 0 or 1
+	// disables retry.
+	MaxAttempts int
+	// Backoff computes the wait before the next attempt; nil selects
+	// DefaultBackoff.
+	Backoff func(seed uint64, job, attempt int) time.Duration
+	// Classify partitions failures; nil selects Classify.
+	Classify func(error) ErrorClass
+	// Seed supplies the per-job seed Backoff draws jitter from; nil
+	// selects uint64(job). RunSims wires the job's pre-scheduled
+	// sim.Options.Seed here.
+	Seed func(job int) uint64
+	// Sleep waits out a backoff; nil waits on a real timer, honouring
+	// ctx. Tests inject an instant recorder.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultBackoff is exponential backoff in virtual time: 10ms doubling
+// per attempt, capped at 1s, jittered to [0.75, 1.25)× by a SplitMix64
+// draw seeded from (seed, job, attempt). Identical inputs produce
+// identical durations on every run and platform.
+func DefaultBackoff(seed uint64, job, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 7 {
+		shift = 7 // 10ms << 7 already exceeds the 1s cap
+	}
+	base := 10 * time.Millisecond << uint(shift)
+	if base > time.Second {
+		base = time.Second
+	}
+	r := rng.NewSplitMix64(seed ^ uint64(job)<<32 ^ uint64(attempt))
+	frac := float64(r.Uint64()>>11) / (1 << 53)
+	return time.Duration(float64(base) * (0.75 + frac/2))
+}
+
+// waitBackoff is the default Sleep: a real timer racing the context.
+func waitBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) backoff() func(uint64, int, int) time.Duration {
+	if p.Backoff != nil {
+		return p.Backoff
+	}
+	return DefaultBackoff
+}
+
+func (p RetryPolicy) classify() func(error) ErrorClass {
+	if p.Classify != nil {
+		return p.Classify
+	}
+	return Classify
+}
+
+func (p RetryPolicy) seed(job int) uint64 {
+	if p.Seed != nil {
+		return p.Seed(job)
+	}
+	return uint64(job)
+}
+
+func (p RetryPolicy) sleep() func(context.Context, time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep
+	}
+	return waitBackoff
+}
+
+// attemptJob runs fn under the retry policy: transient failures back
+// off (virtual-time duration, real wait) and re-attempt up to
+// MaxAttempts; permanent failures and exhausted budgets return the
+// last attempt's *JobError.
+func attemptJob[T any](ctx context.Context, i int, retry RetryPolicy, fn func(ctx context.Context, i, attempt int) (T, error)) (T, error) {
+	max := retry.maxAttempts()
+	var (
+		v   T
+		err error
+	)
+	for attempt := 1; ; attempt++ {
+		v, err = runJob(ctx, i, attempt, fn)
+		if err == nil || attempt >= max || ctx.Err() != nil {
+			return v, err
+		}
+		if retry.classify()(err) != Transient {
+			return v, err
+		}
+		d := retry.backoff()(retry.seed(i), i, attempt)
+		if serr := retry.sleep()(ctx, d); serr != nil {
+			return v, err // cancelled mid-backoff: report the job's failure
+		}
+	}
+}

@@ -1,0 +1,455 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"emissary/internal/faultinject"
+	"emissary/internal/pipeline"
+	"emissary/internal/sim"
+)
+
+// instantSleep records backoff durations without waiting them out.
+func instantSleep(record *[]time.Duration, mu *sync.Mutex) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		mu.Lock()
+		*record = append(*record, d)
+		mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// transientErr is a test error carrying the Transient marker.
+type transientErr struct{ transient bool }
+
+func (e *transientErr) Error() string   { return fmt.Sprintf("test error (transient=%v)", e.transient) }
+func (e *transientErr) Transient() bool { return e.transient }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrorClass
+	}{
+		{"nil", nil, Permanent},
+		{"plain", errors.New("boom"), Permanent},
+		{"marker transient", &transientErr{transient: true}, Transient},
+		{"marker permanent", &transientErr{transient: false}, Permanent},
+		{"wrapped marker", fmt.Errorf("outer: %w", &transientErr{transient: true}), Transient},
+		{"injected fs fault", &faultinject.InjectedError{Op: 3, Call: "write", Mode: faultinject.ModeFail}, Transient},
+		{"power cut", &faultinject.PowerCutError{Op: 3, Call: "write"}, Permanent},
+		{"injected job fault", &faultinject.InjectedJobError{Job: 1, Attempt: 1, Mode: faultinject.JobFail}, Transient},
+		{"truncated trace", &sim.TruncatedError{Stage: "warm-up", Want: 10, Got: 5}, Permanent},
+		{"pipeline stall", &pipeline.StallError{Reason: pipeline.ErrNoProgress}, Permanent},
+		{"deadline", context.DeadlineExceeded, Transient},
+		{"wrapped deadline", fmt.Errorf("job deadline exceeded: %w", context.DeadlineExceeded), Transient},
+		{"canceled", context.Canceled, Permanent},
+		{"job error around transient", &JobError{Job: 0, Cause: &transientErr{transient: true}}, Transient},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRetryTransientHeals proves a job that fails transiently on its
+// first attempts succeeds once the fault clears, with no error
+// surfaced and the backoff schedule consulted between attempts.
+func TestRetryTransientHeals(t *testing.T) {
+	var mu sync.Mutex
+	var waits []time.Duration
+	attempts := make(map[int]int)
+	retry := RetryPolicy{
+		MaxAttempts: 3,
+		Sleep:       instantSleep(&waits, &mu),
+	}
+	out, err := DoRetryPolicy(context.Background(), 4, 2, FailFast, retry, func(_ context.Context, i, attempt int) (int, error) {
+		mu.Lock()
+		attempts[i]++
+		mu.Unlock()
+		if i == 2 && attempt < 3 {
+			return 0, &transientErr{transient: true}
+		}
+		return i * 10, nil
+	})
+	if err != nil {
+		t.Fatalf("healed sweep still failed: %v", err)
+	}
+	if !reflect.DeepEqual(out, []int{0, 10, 20, 30}) {
+		t.Errorf("out = %v", out)
+	}
+	if attempts[2] != 3 {
+		t.Errorf("job 2 ran %d attempts, want 3", attempts[2])
+	}
+	for _, i := range []int{0, 1, 3} {
+		if attempts[i] != 1 {
+			t.Errorf("job %d ran %d attempts, want 1", i, attempts[i])
+		}
+	}
+	if len(waits) != 2 {
+		t.Errorf("slept %d times, want 2 (between 3 attempts)", len(waits))
+	}
+}
+
+// TestRetryPermanentNotRetried proves permanent failures run exactly
+// once even with retry budget available.
+func TestRetryPermanentNotRetried(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	retry := RetryPolicy{MaxAttempts: 5, Sleep: func(context.Context, time.Duration) error { return nil }}
+	_, err := DoRetryPolicy(context.Background(), 1, 1, FailFast, retry, func(_ context.Context, _, _ int) (int, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return 0, &transientErr{transient: false}
+	})
+	if err == nil {
+		t.Fatal("permanent failure swallowed")
+	}
+	if calls != 1 {
+		t.Errorf("permanent failure ran %d times, want 1", calls)
+	}
+}
+
+// TestRetryExhaustionReportsFinalAttempt proves an always-transient
+// failure stops at MaxAttempts and the JobError names the last attempt.
+func TestRetryExhaustionReportsFinalAttempt(t *testing.T) {
+	var mu sync.Mutex
+	var waits []time.Duration
+	retry := RetryPolicy{MaxAttempts: 4, Sleep: instantSleep(&waits, &mu)}
+	_, err := DoRetryPolicy(context.Background(), 1, 1, FailFast, retry, func(_ context.Context, _, _ int) (int, error) {
+		return 0, &transientErr{transient: true}
+	})
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %v, want *JobError", err)
+	}
+	if je.Attempt != 4 {
+		t.Errorf("JobError.Attempt = %d, want 4", je.Attempt)
+	}
+	if len(waits) != 3 {
+		t.Errorf("slept %d times, want 3", len(waits))
+	}
+	if got := je.Error(); got != "job 0 (attempt 4): test error (transient=true)" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+// TestRetryPanicRecoveredAndClassified proves a panicking transient
+// fault is recovered into a JobError and still retried.
+func TestRetryPanicRecoveredAndClassified(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	retry := RetryPolicy{MaxAttempts: 2, Sleep: func(context.Context, time.Duration) error { return nil }}
+	out, err := DoRetryPolicy(context.Background(), 1, 1, FailFast, retry, func(_ context.Context, _, attempt int) (int, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		if attempt == 1 {
+			panic(&transientErr{transient: true})
+		}
+		return 7, nil
+	})
+	if err != nil {
+		t.Fatalf("retried panic still failed: %v", err)
+	}
+	if out[0] != 7 || calls != 2 {
+		t.Errorf("out[0] = %d, calls = %d", out[0], calls)
+	}
+}
+
+// TestDefaultBackoffDeterministicAndBounded pins the virtual-time
+// contract: identical (seed, job, attempt) → identical duration, and
+// every duration sits inside [0.75, 1.25)× the exponential base.
+func TestDefaultBackoffDeterministicAndBounded(t *testing.T) {
+	for attempt := 1; attempt <= 12; attempt++ {
+		a := DefaultBackoff(42, 7, attempt)
+		b := DefaultBackoff(42, 7, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: backoff not deterministic (%v vs %v)", attempt, a, b)
+		}
+		base := 10 * time.Millisecond << uint(attempt-1)
+		if base > time.Second {
+			base = time.Second
+		}
+		lo := time.Duration(float64(base) * 0.75)
+		hi := time.Duration(float64(base) * 1.25)
+		if a < lo || a >= hi {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v)", attempt, a, lo, hi)
+		}
+	}
+	// Different seeds jitter differently (with overwhelming likelihood
+	// over 8 attempts).
+	same := true
+	for attempt := 1; attempt <= 8; attempt++ {
+		if DefaultBackoff(1, 0, attempt) != DefaultBackoff(2, 0, attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical jitter across 8 attempts")
+	}
+}
+
+// TestRetryCancelledMidBackoffReportsJobError proves cancellation
+// during a backoff wait surfaces the job's own failure, not a bare
+// context error.
+func TestRetryCancelledMidBackoffReportsJobError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	retry := RetryPolicy{
+		MaxAttempts: 3,
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	}
+	_, err := DoRetryPolicy(ctx, 1, 1, FailFast, retry, func(_ context.Context, _, _ int) (int, error) {
+		return 0, &transientErr{transient: true}
+	})
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %v, want the job's *JobError", err)
+	}
+	var te *transientErr
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want the transientErr cause", err)
+	}
+}
+
+// TestSimsRetryByteIdenticalAcrossWorkers is the acceptance test for
+// deterministic retry: a sweep whose jobs fail transiently on their
+// first attempt (via the job injector) must produce byte-identical
+// results at workers=1 and workers=8, and match a fault-free run.
+func TestSimsRetryByteIdenticalAcrossWorkers(t *testing.T) {
+	jobs := []sim.Options{
+		tinyOptions(t, "TPLRU", 1),
+		tinyOptions(t, "P(8):S&E", 2),
+		tinyOptions(t, "DRRIP", 3),
+		tinyOptions(t, "P(8):S&E&R(1/32)", 4),
+	}
+	clean, err := RunSims(context.Background(), jobs, SimsConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every job fails its first attempt (error on 0 and 2, panic on 1
+	// and 3); attempt 2 runs clean. The injector is stateless, so one
+	// serves both runs.
+	inj, err := faultinject.ParseJobPlan("0:error@1,1:panic@1,2:error@1,3:panic@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []sim.Result {
+		t.Helper()
+		res, err := RunSims(context.Background(), jobs, SimsConfig{
+			Workers: workers,
+			Retry: RetryPolicy{
+				MaxAttempts: 3,
+				Sleep:       func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+			},
+			Inject: inj.Before,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: fault-injected sweep failed: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("retried sweep differs between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(seq, clean) {
+		t.Error("retried sweep differs from fault-free sweep")
+	}
+}
+
+// TestSimsJobTimeoutStallRetries proves the graceful-degradation
+// deadline path: a stall fault on attempt 1 is cut short by
+// JobTimeout, classifies transient, and attempt 2 completes the job.
+func TestSimsJobTimeoutStallRetries(t *testing.T) {
+	jobs := []sim.Options{tinyOptions(t, "TPLRU", 1)}
+	inj, err := faultinject.ParseJobPlan("0:stall@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Time the reference run first and scale the deadline from it, so
+	// the healthy retry attempt fits comfortably under any build mode
+	// (the race detector slows the simulation severalfold) while the
+	// stalled first attempt is still cut short quickly.
+	refStart := time.Now()
+	want, werr := sim.Run(jobs[0])
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	timeout := max(500*time.Millisecond, 10*time.Since(refStart))
+	start := time.Now()
+	res, err := RunSims(context.Background(), jobs, SimsConfig{
+		Workers:    1,
+		JobTimeout: timeout,
+		Inject:     inj.Before,
+		Retry: RetryPolicy{
+			MaxAttempts: 2,
+			Sleep:       func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+		},
+	})
+	if err != nil {
+		t.Fatalf("stalled-then-retried sweep failed after %v (timeout %v): %v", time.Since(start), timeout, err)
+	}
+	if !reflect.DeepEqual(res[0], want) {
+		t.Error("retried result differs from direct run")
+	}
+}
+
+// TestSimsJobTimeoutExhaustionNamesDeadline proves an unrecoverable
+// stall reports the per-job deadline, not a bare context error.
+func TestSimsJobTimeoutExhaustionNamesDeadline(t *testing.T) {
+	jobs := []sim.Options{tinyOptions(t, "TPLRU", 1)}
+	inj, err := faultinject.ParseJobPlan("0:stall") // every attempt
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunSims(context.Background(), jobs, SimsConfig{
+		Workers:    1,
+		JobTimeout: 20 * time.Millisecond,
+		Inject:     inj.Before,
+		Retry: RetryPolicy{
+			MaxAttempts: 2,
+			Sleep:       func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+		},
+	})
+	if err == nil {
+		t.Fatal("permanently stalled job reported success")
+	}
+	var je *JobError
+	if !errors.As(err, &je) || je.Attempt != 2 {
+		t.Fatalf("err = %v, want *JobError from attempt 2", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "job deadline exceeded") {
+		t.Errorf("err = %q, want the job-deadline annotation", msg)
+	}
+}
+
+// removeAll removes paths, failing the test on any error other than
+// the file already being gone.
+func removeAll(t *testing.T, paths ...string) {
+	t.Helper()
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSimsJournalDegrade proves a journal write failure under
+// JournalDegrade warns once, stops checkpointing, and leaves the
+// sweep's results untouched and byte-identical to a journal-free run.
+func TestSimsJournalDegrade(t *testing.T) {
+	jobs := []sim.Options{
+		tinyOptions(t, "TPLRU", 1),
+		tinyOptions(t, "DRRIP", 2),
+		tinyOptions(t, "P(8):S&E", 3),
+	}
+	clean, err := RunSims(context.Background(), jobs, SimsConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A journal whose file fails every write from op 1 onward: opening
+	// happens against a healthy filesystem (ops counted there too), so
+	// pick the first op after open+scan by counting a healthy lifetime.
+	dir := t.TempDir()
+	path := dir + "/degrade.journal"
+	counter, err := faultinject.NewInjector(faultinject.OS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := OpenJournalFS(counter, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openOps := counter.Ops() // ops one open consumes, before any record
+	jc.Close()
+	// Remove journal + lock so the faulted open starts fresh.
+	removeAll(t, path, path+".lock")
+
+	inj, err := faultinject.NewInjector(faultinject.OS, 1,
+		faultinject.Fault{Op: openOps + 1, Mode: faultinject.ModeFail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournalFS(inj, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	var mu sync.Mutex
+	var warnings []error
+	res, err := RunSims(context.Background(), jobs, SimsConfig{
+		Workers:        2,
+		Journal:        j,
+		JournalFailure: JournalDegrade,
+		Warn: func(e error) {
+			mu.Lock()
+			warnings = append(warnings, e)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("degraded sweep failed: %v", err)
+	}
+	if !reflect.DeepEqual(res, clean) {
+		t.Error("degraded sweep results differ from journal-free sweep")
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("Warn invoked %d times, want exactly 1", len(warnings))
+	}
+	if !errors.Is(warnings[0], faultinject.ErrInjected) {
+		t.Errorf("warning = %v, want the injected cause in its chain", warnings[0])
+	}
+}
+
+// TestSimsJournalFatalUnchanged pins the zero-value behaviour: the same
+// failing journal under JournalFatal fails the job.
+func TestSimsJournalFatalUnchanged(t *testing.T) {
+	jobs := []sim.Options{tinyOptions(t, "TPLRU", 1)}
+	dir := t.TempDir()
+	path := dir + "/fatal.journal"
+	counter, err := faultinject.NewInjector(faultinject.OS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := OpenJournalFS(counter, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openOps := counter.Ops()
+	jc.Close()
+	removeAll(t, path, path+".lock")
+
+	inj, err := faultinject.NewInjector(faultinject.OS, 1,
+		faultinject.Fault{Op: openOps + 1, Mode: faultinject.ModeFail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournalFS(inj, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	_, err = RunSims(context.Background(), jobs, SimsConfig{Workers: 1, Journal: j})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want the injected journal failure under JournalFatal", err)
+	}
+}

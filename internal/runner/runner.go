@@ -25,6 +25,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"emissary/internal/sim"
 )
@@ -47,19 +48,25 @@ const (
 )
 
 // JobError is one job's failure: its index into the job list, the
-// cause, and — when the job panicked — the recovered panic's stack.
-// errors.Is/As see through it via Unwrap.
+// attempt that failed (1-based; only the final attempt's error is
+// reported), the cause, and — when the job panicked — the recovered
+// panic's stack. errors.Is/As see through it via Unwrap.
 type JobError struct {
-	Job   int
-	Cause error
-	Stack []byte // non-nil only for recovered panics
+	Job     int
+	Attempt int
+	Cause   error
+	Stack   []byte // non-nil only for recovered panics
 }
 
 func (e *JobError) Error() string {
-	if e.Stack != nil {
-		return fmt.Sprintf("job %d: panic: %v", e.Job, e.Cause)
+	attempt := ""
+	if e.Attempt > 1 {
+		attempt = fmt.Sprintf(" (attempt %d)", e.Attempt)
 	}
-	return fmt.Sprintf("job %d: %v", e.Job, e.Cause)
+	if e.Stack != nil {
+		return fmt.Sprintf("job %d%s: panic: %v", e.Job, attempt, e.Cause)
+	}
+	return fmt.Sprintf("job %d%s: %v", e.Job, attempt, e.Cause)
 }
 
 func (e *JobError) Unwrap() error { return e.Cause }
@@ -102,22 +109,22 @@ func Workers(n int) int {
 	return n
 }
 
-// runJob executes fn(ctx, i), converting an error return or a panic
-// into a *JobError. The recover here is what keeps one corrupted
+// runJob executes fn(ctx, i, attempt), converting an error return or a
+// panic into a *JobError. The recover here is what keeps one corrupted
 // simulation from destroying every completed result in the process.
-func runJob[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+func runJob[T any](ctx context.Context, i, attempt int, fn func(ctx context.Context, i, attempt int) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			cause, ok := r.(error)
 			if !ok {
 				cause = fmt.Errorf("%v", r)
 			}
-			err = &JobError{Job: i, Cause: cause, Stack: debug.Stack()}
+			err = &JobError{Job: i, Attempt: attempt, Cause: cause, Stack: debug.Stack()}
 		}
 	}()
-	v, ferr := fn(ctx, i)
+	v, ferr := fn(ctx, i, attempt)
 	if ferr != nil {
-		return v, &JobError{Job: i, Cause: ferr}
+		return v, &JobError{Job: i, Attempt: attempt, Cause: ferr}
 	}
 	return v, nil
 }
@@ -137,6 +144,19 @@ func Do[T any](ctx context.Context, n, workers int, fn func(ctx context.Context,
 // job's *JobError in job order. Context cancellation always stops
 // scheduling and is reported alongside any job failures.
 func DoPolicy[T any](ctx context.Context, n, workers int, policy FailurePolicy, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return DoRetryPolicy(ctx, n, workers, policy, RetryPolicy{}, func(ctx context.Context, i, _ int) (T, error) {
+		return fn(ctx, i)
+	})
+}
+
+// DoRetryPolicy is DoPolicy with per-job retry: fn receives the
+// 1-based attempt number, and a failure the retry policy classifies as
+// Transient re-runs the job (after a deterministic backoff) up to
+// retry.MaxAttempts times. Only the final attempt's *JobError is
+// reported. The retry loop lives inside the job slot, so job order,
+// the failure policies, and byte-identical output at any worker count
+// are all preserved: retrying job i never reorders or perturbs job j.
+func DoRetryPolicy[T any](ctx context.Context, n, workers int, policy FailurePolicy, retry RetryPolicy, fn func(ctx context.Context, i, attempt int) (T, error)) ([]T, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -159,7 +179,7 @@ func DoPolicy[T any](ctx context.Context, n, workers int, policy FailurePolicy, 
 				}
 				return out, errors.Join(append(compact(jobErrs[:i]), err)...)
 			}
-			v, err := runJob(ctx, i, fn)
+			v, err := attemptJob(ctx, i, retry, fn)
 			if err != nil {
 				if policy == FailFast {
 					return nil, err
@@ -194,7 +214,7 @@ func DoPolicy[T any](ctx context.Context, n, workers int, policy FailurePolicy, 
 			if i >= n || ctx.Err() != nil {
 				return
 			}
-			v, err := runJob(ctx, i, fn)
+			v, err := attemptJob(ctx, i, retry, fn)
 			if err != nil {
 				if policy == FailFast {
 					errOnce.Do(func() {
@@ -252,6 +272,23 @@ func Map[S, T any](ctx context.Context, items []S, workers int, fn func(ctx cont
 	})
 }
 
+// JournalFailureMode selects what a journal write failure does to a
+// sweep whose simulations are otherwise healthy.
+type JournalFailureMode int
+
+const (
+	// JournalFatal fails the job whose checkpoint could not be
+	// written — the historical behaviour, and the right one when the
+	// journal is the product (a resumable long sweep).
+	JournalFatal JournalFailureMode = iota
+	// JournalDegrade downgrades checkpointing to a loud warning: the
+	// first write failure disables further journal writes (Warn is
+	// invoked once), journal reads keep serving from memory, and the
+	// sweep's results are unaffected. The right mode when results
+	// matter more than resumability.
+	JournalDegrade
+)
+
 // SimsConfig tunes RunSims beyond the historical defaults.
 type SimsConfig struct {
 	// Workers is the pool size (0 = GOMAXPROCS, 1 = sequential).
@@ -265,6 +302,27 @@ type SimsConfig struct {
 	// completes (completion order, never interleaved), including jobs
 	// served from the journal.
 	Progress func(sim.Result)
+	// Retry re-runs transiently-failing jobs; the zero value runs each
+	// job once. Unless Retry.Seed is set, backoff jitter derives from
+	// each job's pre-scheduled sim.Options.Seed, so the attempt
+	// schedule — and therefore the output — is byte-identical at any
+	// worker count.
+	Retry RetryPolicy
+	// JobTimeout, when positive, bounds each attempt of each job with
+	// its own context deadline. A tripped deadline classifies as
+	// transient, so it composes with Retry.
+	JobTimeout time.Duration
+	// Inject, when non-nil, runs before each attempt's simulation with
+	// the attempt's (deadline-bounded) context. A non-nil return or a
+	// panic stands in for the simulation's failure — the fault-
+	// injection hook the chaos suite drives.
+	Inject func(ctx context.Context, job, attempt int) error
+	// JournalFailure selects how a journal write failure is handled;
+	// the zero value is JournalFatal.
+	JournalFailure JournalFailureMode
+	// Warn receives non-fatal degradation notices (currently: the one
+	// journal-disable notice under JournalDegrade). Nil discards them.
+	Warn func(error)
 }
 
 // SimOutcome pairs a simulation's measured Result with its execution
@@ -306,7 +364,18 @@ func RunSimsStats(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]Si
 			mu.Unlock()
 		}
 	}
-	return DoPolicy(ctx, len(jobs), cfg.Workers, cfg.Policy, func(ctx context.Context, i int) (SimOutcome, error) {
+	retry := cfg.Retry
+	if retry.Seed == nil {
+		// Backoff jitter from the job's own pre-scheduled seed: fixed
+		// before anything runs, so the attempt schedule cannot depend
+		// on worker count or completion order.
+		retry.Seed = func(job int) uint64 { return jobs[job].Seed }
+	}
+	var (
+		journalDown atomic.Bool
+		warnOnce    sync.Once
+	)
+	return DoRetryPolicy(ctx, len(jobs), cfg.Workers, cfg.Policy, retry, func(ctx context.Context, i, attempt int) (SimOutcome, error) {
 		opt := jobs[i]
 		if cfg.Journal != nil {
 			if out, ok := cfg.Journal.LookupStats(opt); ok {
@@ -314,19 +383,53 @@ func RunSimsStats(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]Si
 				return out, nil
 			}
 		}
-		res, st, err := sim.RunContextStats(ctx, opt)
+		runCtx := ctx
+		if cfg.JobTimeout > 0 {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(ctx, cfg.JobTimeout)
+			defer cancel()
+		}
+		if cfg.Inject != nil {
+			// The injector sees the deadline-bounded context so a stall
+			// fault is cut short by JobTimeout like a real hang.
+			if err := cfg.Inject(runCtx, i, attempt); err != nil {
+				return SimOutcome{}, deadline(ctx, runCtx, err)
+			}
+		}
+		res, st, err := sim.RunContextStats(runCtx, opt)
 		out := SimOutcome{Result: res, Stats: st}
 		if err != nil {
-			return out, err
+			return out, deadline(ctx, runCtx, err)
 		}
-		if cfg.Journal != nil {
-			if err := cfg.Journal.RecordStats(opt, res, st); err != nil {
-				return out, err
+		if cfg.Journal != nil && !journalDown.Load() {
+			if jerr := cfg.Journal.RecordStats(opt, res, st); jerr != nil {
+				if cfg.JournalFailure == JournalFatal {
+					return out, fmt.Errorf("journal: %w", jerr)
+				}
+				// Degrade: results keep flowing, checkpointing stops.
+				// Lookup still serves records loaded at open, so resume
+				// semantics for earlier runs are unaffected.
+				journalDown.Store(true)
+				warnOnce.Do(func() {
+					if cfg.Warn != nil {
+						cfg.Warn(fmt.Errorf("journal degraded, checkpointing disabled for the rest of the sweep: %w", jerr))
+					}
+				})
 			}
 		}
 		report(res)
 		return out, nil
 	})
+}
+
+// deadline annotates err when the per-job deadline (not the sweep's
+// own context) is what expired, so the report says which budget was
+// blown.
+func deadline(parent, runCtx context.Context, err error) error {
+	if errors.Is(runCtx.Err(), context.DeadlineExceeded) && parent.Err() == nil {
+		return fmt.Errorf("job deadline exceeded: %w", err)
+	}
+	return err
 }
 
 // Sims executes every sim.Options job across the pool and returns the

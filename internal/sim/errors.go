@@ -30,3 +30,7 @@ func (e *TruncatedError) Error() string {
 }
 
 func (e *TruncatedError) Unwrap() error { return ErrTruncated }
+
+// Transient reports false: a trace is the same length on every run, so
+// retrying a truncated simulation reproduces the same truncation.
+func (e *TruncatedError) Transient() bool { return false }
