@@ -77,7 +77,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *out != "-" {
-		fmt.Printf("wrote %s (%d access rows, %d fill rows, %d end-to-end rows)\n",
-			*out, len(rep.Access), len(rep.Fill), len(rep.EndToEnd))
+		fmt.Printf("wrote %s (%d access rows, %d fill rows, %d end-to-end rows, %d sweep rows)\n",
+			*out, len(rep.Access), len(rep.Fill), len(rep.EndToEnd), len(rep.Sweep))
 	}
 }

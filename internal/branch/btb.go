@@ -98,6 +98,19 @@ func NewBTB(entries, ways int) *BTB {
 	}
 }
 
+// Reset invalidates every entry and zeroes the statistics, restoring
+// post-construction state without reallocating.
+//
+//vet:hot
+func (b *BTB) Reset() {
+	clear(b.entries)
+	clear(b.valid)
+	clear(b.stamps)
+	b.clock = 0
+	b.Hits = 0
+	b.Misses = 0
+}
+
 func (b *BTB) set(start uint64) int {
 	// Blocks begin at 4-byte boundaries; drop the alignment bits.
 	return int((start >> 2) & uint64(b.sets-1))
@@ -205,12 +218,32 @@ func (r *RAS) Pop() (uint64, bool) {
 	return r.stack[r.top], true
 }
 
-// Snapshot captures the stack state for mispredict recovery.
+// Snapshot captures the stack state for mispredict recovery. It
+// allocates; per-cycle callers keep one snapshot alive and refresh it
+// with SnapshotInto instead.
 func (r *RAS) Snapshot() RASSnapshot {
-	//lint:ignore hot-noalloc one snapshot per mispredicted branch (an event edge, not a per-cycle cost); warm-pool reuse is ROADMAP item 5a
-	s := RASSnapshot{top: r.top, depth: r.depth, stack: make([]uint64, len(r.stack))}
-	copy(s.stack, r.stack)
+	s := RASSnapshot{stack: make([]uint64, len(r.stack))}
+	r.SnapshotInto(&s)
 	return s
+}
+
+// SnapshotInto refreshes s in place, reusing its backing array. s must
+// have been produced by Snapshot on a RAS of the same capacity.
+//
+//vet:hot
+func (r *RAS) SnapshotInto(s *RASSnapshot) {
+	s.top = r.top
+	s.depth = r.depth
+	copy(s.stack, r.stack)
+}
+
+// Reset empties the stack, restoring post-construction state.
+//
+//vet:hot
+func (r *RAS) Reset() {
+	r.top = 0
+	r.depth = 0
+	clear(r.stack)
 }
 
 // Restore rolls the stack back to a snapshot.

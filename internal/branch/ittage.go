@@ -58,6 +58,20 @@ func NewITTAGE(baseSizeLg uint) *ITTAGE {
 	return p
 }
 
+// Reset clears all targets, tags, and history, restoring
+// post-construction state without reallocating.
+//
+//vet:hot
+func (p *ITTAGE) Reset() {
+	clear(p.base)
+	for i := range p.tables {
+		clear(p.tables[i].entries)
+	}
+	p.hist = 0
+	p.Lookups = 0
+	p.Mispredicts = 0
+}
+
 func (p *ITTAGE) index(table int, pc uint64) int {
 	h := foldHistory(p.hist, p.tables[table].histLen, itSizeLg)
 	return int(((pc >> 2) ^ (pc >> 11) ^ h) & ((1 << itSizeLg) - 1))

@@ -56,6 +56,20 @@ func NewTAGE(baseSizeLg uint) *TAGE {
 	return t
 }
 
+// Reset clears all counters, tags, and history, restoring
+// post-construction state without reallocating.
+//
+//vet:hot
+func (t *TAGE) Reset() {
+	clear(t.base)
+	for i := range t.tables {
+		clear(t.tables[i].entries)
+	}
+	t.hist = 0
+	t.Lookups = 0
+	t.Mispredicts = 0
+}
+
 // foldHistory compresses the low n bits of history into width bits.
 func foldHistory(hist uint64, n, width uint) uint64 {
 	if n < 64 {

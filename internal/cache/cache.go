@@ -92,6 +92,32 @@ func NewCache(name string, sets, ways int, pol policy.Policy) *Cache {
 	}
 }
 
+// Reset returns the cache to its post-construction state — every line
+// invalid, the per-set occupancy masks empty, every statistic zero —
+// and swaps in the (already reset) replacement policy for the next
+// run. Geometry is untouched: callers guarantee the new run uses the
+// same sets/ways (Hierarchy.Reset checks and falls back to fresh
+// construction otherwise). It allocates nothing, which is what makes
+// warm-pool reuse a pure win over reconstruction.
+//
+//vet:hot
+func (c *Cache) Reset(pol policy.Policy) {
+	clear(c.lines)
+	clear(c.views)
+	clear(c.valid)
+	clear(c.high)
+	clear(c.instr)
+	c.pol = pol
+	c.InstrStats = stats.CacheCounters{}
+	c.DataStats = stats.CacheCounters{}
+	c.PrefetchFills = 0
+	c.BackInvals = 0
+	c.Writebacks = 0
+	c.Promotions = 0
+	c.HighEvictions = 0
+	c.HighBackInval = 0
+}
+
 // Name returns the cache's name.
 func (c *Cache) Name() string { return c.name }
 
@@ -387,7 +413,18 @@ func (c *Cache) ResetPriorities() {
 // PriorityCensus returns, for each possible count 0..ways, how many
 // sets currently hold that many high-priority lines (Figure 8).
 func (c *Cache) PriorityCensus() []int {
-	census := make([]int, c.ways+1)
+	return c.FillPriorityCensus(make([]int, c.ways+1))
+}
+
+// FillPriorityCensus is PriorityCensus into caller-owned storage: buf
+// must hold at least ways+1 entries; the census is written into its
+// first ways+1 slots (zeroed first) and that prefix is returned. Warm
+// sweeps use it to keep the census off the per-job allocation path.
+//
+//vet:hot
+func (c *Cache) FillPriorityCensus(buf []int) []int {
+	census := buf[:c.ways+1]
+	clear(census)
 	for s := 0; s < c.sets; s++ {
 		census[bits.OnesCount32(c.high[s])]++
 	}

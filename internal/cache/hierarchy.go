@@ -106,31 +106,94 @@ type Hierarchy struct {
 
 	// MemReads counts requests served by DRAM.
 	MemReads uint64
+
+	// polCache retains every policy instance this hierarchy has built,
+	// keyed by level, spec and geometry, so Reset can restore one via
+	// ResetState instead of reallocating its state arrays. The level
+	// tag keeps two levels with coincidentally identical (spec,
+	// geometry) from sharing mutable policy state.
+	polCache map[polKey]policy.Policy
+}
+
+// polKey identifies a cached policy instance (see Hierarchy.polCache).
+type polKey struct {
+	level      string
+	spec       core.Spec
+	sets, ways int
+}
+
+// policyFor returns a policy for the level, reusing (and resetting) a
+// previously built instance when the spec and geometry match, building
+// and caching a fresh one otherwise. Every policy the module builds
+// implements policy.Resetter; a foreign one that doesn't is rebuilt.
+func (h *Hierarchy) policyFor(level string, spec core.Spec, sets, ways int, seed uint64) policy.Policy {
+	k := polKey{level: level, spec: spec, sets: sets, ways: ways}
+	if p, ok := h.polCache[k]; ok {
+		if r, ok := p.(policy.Resetter); ok {
+			r.ResetState(seed)
+			return p
+		}
+	}
+	p := spec.Build(sets, ways, seed)
+	h.polCache[k] = p
+	return p
+}
+
+// l3Spec is the L3 policy spec for a config: DRRIP normally, plain
+// true-LRU recency in the Figure 1 configuration.
+func (cfg Config) l3Spec() core.Spec {
+	if cfg.L1TrueLRU {
+		return core.Spec{Treatment: core.TreatRecency, TrueLRU: true}
+	}
+	return core.Spec{Treatment: core.TreatDRRIP}
 }
 
 // NewHierarchy builds the hierarchy for a config.
 func NewHierarchy(cfg Config) *Hierarchy {
 	ls := cfg.LineSize
-	baseSpec := core.Spec{Treatment: core.TreatRecency, TrueLRU: cfg.L1TrueLRU}
-	l1i := NewCache("L1I", cfg.L1I.sets(ls), cfg.L1I.Ways, baseSpec.Build(cfg.L1I.sets(ls), cfg.L1I.Ways, cfg.Seed+1))
-	l1d := NewCache("L1D", cfg.L1D.sets(ls), cfg.L1D.Ways, baseSpec.Build(cfg.L1D.sets(ls), cfg.L1D.Ways, cfg.Seed+2))
-	l2 := NewCache("L2", cfg.L2.sets(ls), cfg.L2.Ways, cfg.L2Policy.Build(cfg.L2.sets(ls), cfg.L2.Ways, cfg.Seed+3))
-	var l3pol policy.Policy
-	if cfg.L1TrueLRU {
-		l3pol = core.Spec{Treatment: core.TreatRecency, TrueLRU: true}.Build(cfg.L3.sets(ls), cfg.L3.Ways, cfg.Seed+4)
-	} else {
-		l3pol = core.Spec{Treatment: core.TreatDRRIP}.Build(cfg.L3.sets(ls), cfg.L3.Ways, cfg.Seed+4)
-	}
-	l3 := NewCache("L3", cfg.L3.sets(ls), cfg.L3.Ways, l3pol)
-	return &Hierarchy{
+	h := &Hierarchy{
 		cfg:       cfg,
 		lineShift: uint(log2(cfg.LineSize)),
-		L1I:       l1i,
-		L1D:       l1d,
-		L2:        l2,
-		L3:        l3,
 		seenInstr: make(map[uint64]struct{}),
+		polCache:  make(map[polKey]policy.Policy),
 	}
+	baseSpec := core.Spec{Treatment: core.TreatRecency, TrueLRU: cfg.L1TrueLRU}
+	h.L1I = NewCache("L1I", cfg.L1I.sets(ls), cfg.L1I.Ways, h.policyFor("L1I", baseSpec, cfg.L1I.sets(ls), cfg.L1I.Ways, cfg.Seed+1))
+	h.L1D = NewCache("L1D", cfg.L1D.sets(ls), cfg.L1D.Ways, h.policyFor("L1D", baseSpec, cfg.L1D.sets(ls), cfg.L1D.Ways, cfg.Seed+2))
+	h.L2 = NewCache("L2", cfg.L2.sets(ls), cfg.L2.Ways, h.policyFor("L2", cfg.L2Policy, cfg.L2.sets(ls), cfg.L2.Ways, cfg.Seed+3))
+	h.L3 = NewCache("L3", cfg.L3.sets(ls), cfg.L3.Ways, h.policyFor("L3", cfg.l3Spec(), cfg.L3.sets(ls), cfg.L3.Ways, cfg.Seed+4))
+	return h
+}
+
+// Reset re-targets the hierarchy at cfg for a fresh run, reusing every
+// allocation: caches are zeroed in place (Cache.Reset) and policies
+// are restored via the polCache/ResetState path, so a warm run is
+// byte-identical to cold construction with the same config. It reports
+// false — leaving the hierarchy untouched — when cfg's geometry (line
+// size, per-level sets or ways) differs from the one this hierarchy
+// was built with; callers then fall back to NewHierarchy. Everything
+// non-geometric (seed, policies, NLP, latencies, ideal mode) may
+// change freely between runs.
+func (h *Hierarchy) Reset(cfg Config) bool {
+	ls := cfg.LineSize
+	old := h.cfg
+	if ls != old.LineSize ||
+		cfg.L1I.sets(ls) != old.L1I.sets(old.LineSize) || cfg.L1I.Ways != old.L1I.Ways ||
+		cfg.L1D.sets(ls) != old.L1D.sets(old.LineSize) || cfg.L1D.Ways != old.L1D.Ways ||
+		cfg.L2.sets(ls) != old.L2.sets(old.LineSize) || cfg.L2.Ways != old.L2.Ways ||
+		cfg.L3.sets(ls) != old.L3.sets(old.LineSize) || cfg.L3.Ways != old.L3.Ways {
+		return false
+	}
+	h.cfg = cfg
+	baseSpec := core.Spec{Treatment: core.TreatRecency, TrueLRU: cfg.L1TrueLRU}
+	h.L1I.Reset(h.policyFor("L1I", baseSpec, cfg.L1I.sets(ls), cfg.L1I.Ways, cfg.Seed+1))
+	h.L1D.Reset(h.policyFor("L1D", baseSpec, cfg.L1D.sets(ls), cfg.L1D.Ways, cfg.Seed+2))
+	h.L2.Reset(h.policyFor("L2", cfg.L2Policy, cfg.L2.sets(ls), cfg.L2.Ways, cfg.Seed+3))
+	h.L3.Reset(h.policyFor("L3", cfg.l3Spec(), cfg.L3.sets(ls), cfg.L3.Ways, cfg.Seed+4))
+	clear(h.seenInstr)
+	h.CompulsoryL2IMisses = 0
+	h.MemReads = 0
+	return true
 }
 
 // Config returns the hierarchy's configuration.

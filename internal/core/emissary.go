@@ -120,6 +120,20 @@ func (e *Emissary) Victim(set int, view policy.SetView, incoming policy.LineView
 // OnInvalidate implements policy.Policy.
 func (e *Emissary) OnInvalidate(set, way int) {}
 
+// ResetState implements policy.Resetter: whichever recency bases exist
+// return to their post-construction state (the seed is ignored; P(N)
+// itself is deterministic — randomness lives in the Selector).
+//
+//vet:hot
+func (e *Emissary) ResetState(seed uint64) {
+	if e.trueLRU != nil {
+		e.trueLRU.ResetState(seed)
+		return
+	}
+	e.lowT.ResetState(seed)
+	e.highT.ResetState(seed)
+}
+
 // OnPriorityUpdate implements policy.Policy. The P bit is read from
 // the LineView at Victim time, and the dual trees are class-indexed by
 // that same bit, so a promotion (L1I eviction writing P=1 into the L2

@@ -70,6 +70,16 @@ func (e *EmissaryGHRP) OnInvalidate(set, way int) {
 	e.ghrp.OnInvalidate(set, way)
 }
 
+// ResetState implements policy.Resetter: both the GHRP predictor state
+// and the high-class recency tree return to their post-construction
+// state.
+//
+//vet:hot
+func (e *EmissaryGHRP) ResetState(seed uint64) {
+	e.ghrp.ResetState(seed)
+	e.highT.ResetState(seed)
+}
+
 // OnPriorityUpdate implements policy.Policy: a promoted line joins the
 // high class's recency order.
 func (e *EmissaryGHRP) OnPriorityUpdate(set, way int, view policy.SetView) {

@@ -150,8 +150,8 @@ func selectionRNG(seed uint64) *rng.Xoshiro256 {
 	return rng.NewXoshiro256(rng.Mix2(seed, 0x5e1ec7))
 }
 
-// NewSelector returns a stateful evaluator of the spec's selection
-// equation, owning the deterministic random stream for R terms.
+// Selector is a stateful evaluator of the spec's selection equation,
+// owning the deterministic random stream for R terms.
 type Selector struct {
 	sel Selection
 	r   *rng.Xoshiro256
@@ -165,6 +165,16 @@ func (s Spec) NewSelector(seed uint64) *Selector {
 // Select evaluates the mode-selection equation for a completed miss.
 func (sel *Selector) Select(starved, iqEmpty bool) bool {
 	return sel.sel.Eval(starved, iqEmpty, sel.r)
+}
+
+// Reset re-targets the Selector at a (possibly different) spec and
+// seed, restoring exactly the state s.NewSelector(seed) would build —
+// without allocating, so a warm-pooled frontend can reuse it.
+//
+//vet:hot
+func (sel *Selector) Reset(s Spec, seed uint64) {
+	sel.sel = s.Sel
+	sel.r.Seed(rng.Mix2(seed, 0x5e1ec7))
 }
 
 // ParsePolicy parses the paper's policy notation:

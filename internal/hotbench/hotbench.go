@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"emissary/internal/cache"
 	"emissary/internal/core"
 	"emissary/internal/rng"
+	"emissary/internal/runner"
 	"emissary/internal/sim"
 	"emissary/internal/workload"
 )
@@ -232,15 +234,222 @@ func MeasureEndToEnd(cfg EndToEndConfig, warmup, measure uint64, noSkip bool) (E
 	}, nil
 }
 
+// SweepResult is one sweep-throughput row: a deterministic batch of
+// small mixed-policy simulations pushed through runner.RunSimsStats,
+// either cold (every job constructs its simulator from scratch) or
+// warm (each worker resets a pooled simulator in place). The warm
+// rows are what the warm pool buys: higher jobs_per_sec at identical
+// output bytes, and zero steady-state heap allocations per job.
+type SweepResult struct {
+	// Mode is "cold" or "warm".
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	Jobs    int    `json:"jobs"`
+	// WallMS and JobsPerSec are measured over the full Jobs batch,
+	// including each worker's first-job construction cost.
+	WallMS     float64 `json:"wall_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// AllocsPerJob and BytesPerJob are the steady-state per-job heap
+	// costs, isolated by window differencing: the batch runs twice, at
+	// half and full length, and the counter delta is divided by the
+	// extra jobs — so one-time costs (slot construction, program
+	// builds, per-call slices) cancel and only the marginal per-job
+	// cost remains. Exact malloc counters at GOMAXPROCS(1), so a warm
+	// row's 0 is trustworthy. Only single-worker rows are measured;
+	// parallel rows report -1 (scheduler allocations would pollute the
+	// process-wide counters).
+	AllocsPerJob float64 `json:"allocs_per_job"`
+	BytesPerJob  float64 `json:"bytes_per_job"`
+}
+
+// Sweep batch shape. Job windows are deliberately tiny: the sweep
+// section measures per-job overhead (construction vs reset), which
+// long simulation windows would drown out.
+const (
+	// SweepJobs is the full batch length Collect measures.
+	SweepJobs          = 128
+	sweepWarmupInstrs  = 2_000
+	sweepMeasureInstrs = 10_000
+)
+
+// Sweep job mix: two footprints crossed with four treatment families,
+// cycling with period 8. Seeds cycle with the mix, so the stream is
+// fully periodic: any window whose length is a multiple of 8 is an
+// exact whole number of identical cycles. That periodicity is what
+// makes the differencing in MeasureSweep exact — the extra jobs of
+// the longer window replay earlier ones, so every retained structure
+// (programs, policy instances, footprint-sized maps) is already at
+// capacity and the marginal malloc count measures only the per-job
+// steady path.
+var (
+	sweepBenchmarks = []string{"tomcat", "xapian"}
+	sweepPolicies   = []string{"TPLRU", "P(8):S&E&R(1/32)", "SRRIP", "GHRP"}
+)
+
+// sweepCycle is the job-stream period: the benchmark x policy cross.
+const sweepCycle = 8
+
+// SweepJobStream returns the first n jobs of the sweep batch. The
+// stream is a pure function of the index — jobs[i] is identical for
+// every n — so a shorter window is always a prefix of a longer one.
+func SweepJobStream(n int) ([]sim.Options, error) {
+	jobs := make([]sim.Options, n)
+	for i := range jobs {
+		bench, ok := workload.ProfileByName(sweepBenchmarks[i%len(sweepBenchmarks)])
+		if !ok {
+			return nil, fmt.Errorf("hotbench: unknown sweep benchmark %q", sweepBenchmarks[i%len(sweepBenchmarks)])
+		}
+		spec, err := core.ParsePolicy(sweepPolicies[(i/len(sweepBenchmarks))%len(sweepPolicies)])
+		if err != nil {
+			return nil, err
+		}
+		opt := sim.DefaultOptions(bench, spec)
+		opt.WarmupInstrs = sweepWarmupInstrs
+		opt.MeasureInstrs = sweepMeasureInstrs
+		opt.Seed = uint64(i % sweepCycle)
+		jobs[i] = opt
+	}
+	return jobs, nil
+}
+
+// runSweepWindow pushes jobs through the pool once and reports the
+// wall time. pool, when non-nil, is the caller-owned warm rack.
+func runSweepWindow(jobs []sim.Options, workers int, cold bool, pool []*sim.Warm) (time.Duration, error) {
+	cfg := runner.SimsConfig{Workers: workers, ColdStart: cold, WarmPool: pool}
+	start := time.Now()
+	_, err := runner.RunSimsStats(context.Background(), jobs, cfg)
+	return time.Since(start), err
+}
+
+// measuredWindow is runSweepWindow under the malloc counters (exact,
+// like timeLoop — a single-worker sweep's 0 is trustworthy). The
+// caller must already have quiesced the process: GOMAXPROCS(1) so no
+// concurrent goroutine charges phantom allocations to the window, and
+// the collector disabled so a GC cycle landing inside one window but
+// not another cannot skew differenced counters with its own
+// bookkeeping. Under that regime identical windows reproduce their
+// counters exactly, run after run.
+func measuredWindow(jobs []sim.Options, cold bool, pool []*sim.Warm) (elapsed time.Duration, mallocs, bytes int64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	elapsed, err = runSweepWindow(jobs, 1, cold, pool)
+	runtime.ReadMemStats(&after)
+	return elapsed, int64(after.Mallocs - before.Mallocs), int64(after.TotalAlloc - before.TotalAlloc), err
+}
+
+// MeasureSweep measures one sweep row: nJobs batch jobs at the given
+// worker count, cold or warm. Single-worker rows run a half-length
+// window first and difference the counters; warm rows additionally
+// share one caller-owned slot across both windows, primed with a
+// single job cycle, so neither window pays (or jitters on) one-time
+// construction — what remains is exactly the steady path, and its
+// malloc count must be zero. The one honest asymmetry left is each
+// job's slot in the batch's results slice, which scales with the
+// window and therefore survives differencing in BytesPerJob (as a
+// size delta on count-cancelling allocations) — which is why a warm
+// row reads allocs_per_job == 0 alongside a small nonzero
+// bytes_per_job.
+func MeasureSweep(workers, nJobs int, cold bool) (SweepResult, error) {
+	mode := "warm"
+	if cold {
+		mode = "cold"
+	}
+	jobs, err := SweepJobStream(nJobs)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	res := SweepResult{Mode: mode, Workers: workers, Jobs: nJobs, AllocsPerJob: -1, BytesPerJob: -1}
+	if workers == 1 && nJobs >= 2 {
+		// Pin to one P for the whole measurement (not per window:
+		// toggling scheduler state between windows is itself a noise
+		// source). The collector stays enabled — measuredWindow's
+		// forced GC resets the pacer's trigger far above what a warm
+		// window's ~13 KB of fixed overhead can reach, so no natural
+		// cycle lands inside one; disabling it outright and then
+		// forcing cycles anyway proved noisier in practice.
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+		var pool []*sim.Warm
+		pairs := 1
+		if !cold {
+			// Prime the shared slot on one full job cycle so the
+			// measured windows start in steady state.
+			pool = []*sim.Warm{sim.NewWarm()}
+			if _, err := runSweepWindow(jobs[:min(sweepCycle, nJobs)], 1, false, pool); err != nil {
+				return SweepResult{}, err
+			}
+			// Quiesced windows reproduce their counters exactly, with
+			// one rare exception: an amortized allocation (the census
+			// arena doubling) landing inside a single window, additive
+			// in a full window and subtractive in a half window. At
+			// most one of three pairs can see it, so the pair with the
+			// median allocation count is the robust estimator. Warm
+			// pairs are cheap enough to repeat; cold pairs are two
+			// orders of magnitude slower and their per-job counts
+			// dwarf any noise, so one pair suffices there.
+			pairs = 3
+		}
+		half := nJobs / 2
+		extra := float64(nJobs - half)
+		attempts := make([]SweepResult, 0, pairs)
+		for p := 0; p < pairs; p++ {
+			_, mHalf, bHalf, err := measuredWindow(jobs[:half], cold, pool)
+			if err != nil {
+				return SweepResult{}, err
+			}
+			elapsed, mFull, bFull, err := measuredWindow(jobs, cold, pool)
+			if err != nil {
+				return SweepResult{}, err
+			}
+			a := res
+			a.WallMS = float64(elapsed.Nanoseconds()) / 1e6
+			a.JobsPerSec = float64(nJobs) / elapsed.Seconds()
+			a.AllocsPerJob = float64(mFull-mHalf) / extra
+			a.BytesPerJob = float64(bFull-bHalf) / extra
+			attempts = append(attempts, a)
+		}
+		sort.Slice(attempts, func(i, j int) bool { return attempts[i].AllocsPerJob < attempts[j].AllocsPerJob })
+		return attempts[len(attempts)/2], nil
+	}
+	elapsed, err := runSweepWindow(jobs, workers, cold, nil)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	res.WallMS = float64(elapsed.Nanoseconds()) / 1e6
+	res.JobsPerSec = float64(nJobs) / elapsed.Seconds()
+	return res, nil
+}
+
+// SweepConfig names one sweep measurement point.
+type SweepConfig struct {
+	Workers int
+	Cold    bool
+}
+
+// SweepConfigs enumerates the sweep rows Collect measures: cold and
+// warm at one worker (the differenced allocs_per_job rows) and, when
+// the host has the parallelism, cold and warm at GOMAXPROCS.
+func SweepConfigs() []SweepConfig {
+	rows := []SweepConfig{{1, true}, {1, false}}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		rows = append(rows, SweepConfig{n, true}, SweepConfig{n, false})
+	}
+	return rows
+}
+
 // SchemaVersion is the current BENCH_hotpath.json schema. Bump it
 // whenever the Report structure or the meaning of a field changes;
 // emissary-bench -verify (and CI's bench-smoke job) fail any artifact
 // whose schema field disagrees, so a bump can't silently pass a stale
 // committed artifact through.
-const SchemaVersion = 2
+//
+// Schema 3 added the sweep-throughput section (warm-pool cold/warm
+// batch rows).
+const SchemaVersion = 3
 
 // Report is the BENCH_hotpath.json schema. Timing fields vary with
-// the host; structure and the allocs_per_op == 0 invariant do not.
+// the host; structure and the allocs-are-zero invariants (per-op on
+// access/fill rows, per-job on single-worker warm sweep rows) do not.
 type Report struct {
 	Schema    int    `json:"schema"`
 	GoVersion string `json:"go_version"`
@@ -253,6 +462,7 @@ type Report struct {
 	Access   []OpResult       `json:"access"`
 	Fill     []OpResult       `json:"fill"`
 	EndToEnd []EndToEndResult `json:"end_to_end"`
+	Sweep    []SweepResult    `json:"sweep"`
 }
 
 // EndToEndBenchmarks and EndToEndPolicies span the full-simulator
@@ -350,6 +560,13 @@ func Collect(iters int, warmup, measure uint64, noSkip bool) (*Report, error) {
 			return nil, err
 		}
 		rep.EndToEnd = append(rep.EndToEnd, r)
+	}
+	for _, cfg := range SweepConfigs() {
+		r, err := MeasureSweep(cfg.Workers, SweepJobs, cfg.Cold)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sweep = append(rep.Sweep, r)
 	}
 	return rep, nil
 }

@@ -1,0 +1,87 @@
+package hotbench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSweepJobStream pins the stream properties the window-differencing
+// estimator depends on: the stream is deterministic, fully periodic
+// with period sweepCycle, and prefix-stable (a shorter stream is a
+// prefix of a longer one, so the half window measures the same jobs).
+func TestSweepJobStream(t *testing.T) {
+	long, err := SweepJobStream(4 * sweepCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := SweepJobStream(2 * sweepCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(long[:len(short)], short) {
+		t.Error("SweepJobStream is not prefix-stable")
+	}
+	for i := sweepCycle; i < len(long); i++ {
+		if !reflect.DeepEqual(long[i], long[i-sweepCycle]) {
+			t.Errorf("job %d differs from job %d: the stream is not %d-periodic", i, i-sweepCycle, sweepCycle)
+		}
+	}
+	distinct := make(map[string]bool)
+	for _, opt := range long[:sweepCycle] {
+		distinct[opt.Benchmark.Name+"|"+opt.Policy.String()] = true
+	}
+	if len(distinct) != sweepCycle {
+		t.Errorf("one cycle holds %d distinct (benchmark, policy) pairs, want %d", len(distinct), sweepCycle)
+	}
+}
+
+// TestMeasureSweepWarm exercises the row CI gates on: warm reuse at
+// workers=1 must be allocation-free per job (the gate allows < 0.5 to
+// absorb a stray environmental allocation; any true per-job cost is
+// at least 1.0) and labeled correctly.
+func TestMeasureSweepWarm(t *testing.T) {
+	r, err := MeasureSweep(1, 2*sweepCycle, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != "warm" || r.Workers != 1 || r.Jobs != 2*sweepCycle {
+		t.Errorf("row mislabeled: %+v", r)
+	}
+	if r.WallMS <= 0 || r.JobsPerSec <= 0 {
+		t.Errorf("degenerate sweep row: %+v", r)
+	}
+	if r.AllocsPerJob >= 0.5 {
+		t.Errorf("warm sweep allocates %v allocs/job, want < 0.5 (zero steady-state)", r.AllocsPerJob)
+	}
+}
+
+// TestMeasureSweepCold checks the baseline row's labeling; the
+// throughput comparison against warm lives in the committed artifact,
+// not here (relative speed is machine-dependent).
+func TestMeasureSweepCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold sweeps rebuild every job; skipped in -short")
+	}
+	r, err := MeasureSweep(1, sweepCycle, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != "cold" || r.Workers != 1 || r.Jobs != sweepCycle {
+		t.Errorf("row mislabeled: %+v", r)
+	}
+	if r.WallMS <= 0 || r.JobsPerSec <= 0 {
+		t.Errorf("degenerate sweep row: %+v", r)
+	}
+}
+
+// TestSweepConfigs pins the matrix Collect measures: serial cold and
+// warm rows always, parallel rows only on multi-core machines.
+func TestSweepConfigs(t *testing.T) {
+	cfgs := SweepConfigs()
+	if len(cfgs) < 2 {
+		t.Fatalf("SweepConfigs() = %v, want at least serial cold+warm", cfgs)
+	}
+	if cfgs[0] != (SweepConfig{Workers: 1, Cold: true}) || cfgs[1] != (SweepConfig{Workers: 1, Cold: false}) {
+		t.Errorf("serial rows missing or misordered: %v", cfgs)
+	}
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"path/filepath"
 )
@@ -10,7 +11,9 @@ var ruleCycleAdvance = &Rule{
 	Name: "cycle-advance",
 	Doc: "in internal/pipeline, the simulation clock (any struct field named cycle) may only be written " +
 		"inside core.go's Step or skipTo; the event-driven cycle skipper reasons about exactly those two " +
-		"advance sites, and a stage mutating the clock elsewhere would silently desynchronize from it",
+		"advance sites, and a stage mutating the clock elsewhere would silently desynchronize from it. " +
+		"core.go's Reset is additionally allowed to assign the literal 0 — rewinding to the origin is " +
+		"not an advance, and the warm-pool reset path depends on it",
 	run: runCycleAdvance,
 }
 
@@ -32,11 +35,15 @@ func runCycleAdvance(u *Unit, report reportFunc) {
 			if isCoreFile && (fn.Name.Name == "Step" || fn.Name.Name == "skipTo") {
 				continue
 			}
+			isReset := isCoreFile && fn.Name.Name == "Reset"
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				switch st := n.(type) {
 				case *ast.AssignStmt:
-					for _, lhs := range st.Lhs {
+					for i, lhs := range st.Lhs {
 						if sel, ok := cycleField(u, lhs); ok {
+							if isReset && zeroAssign(st, i) {
+								continue
+							}
 							report(sel.Pos(), "clock field %s.%s written in %s.%s; cycle advances belong only in core.go's Step/skipTo",
 								exprText(sel.X), sel.Sel.Name, filepath.Base(name), fn.Name.Name)
 						}
@@ -51,6 +58,16 @@ func runCycleAdvance(u *Unit, report reportFunc) {
 			})
 		}
 	}
+}
+
+// zeroAssign reports whether position i of the assignment writes the
+// literal 0 with a plain = (the rewind Reset is sanctioned to perform).
+func zeroAssign(st *ast.AssignStmt, i int) bool {
+	if st.Tok != token.ASSIGN || len(st.Rhs) != len(st.Lhs) {
+		return false
+	}
+	lit, ok := ast.Unparen(st.Rhs[i]).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
 }
 
 // cycleField reports whether expr writes a struct field named exactly

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+var ruleDocCommentName = &Rule{
+	Name: "doc-comment-name",
+	Doc: "in internal packages, a doc comment that opens with a camelCase identifier must name the " +
+		"declaration it documents; a mismatch is a stale doc left behind by a rename or a copy-paste " +
+		"(the Tracker.Seen doc once described a nonexistent LastBucket) and misleads both godoc and " +
+		"readers. Plain sentence openers and ALL-CAPS acronyms are exempt — only words with an " +
+		"interior case hump are treated as identifiers",
+	run: runDocCommentName,
+}
+
+func runDocCommentName(u *Unit, report reportFunc) {
+	if !strings.Contains("/"+u.Path+"/", "/internal/") {
+		return
+	}
+	for _, file := range u.Files {
+		if isTestFilename(u.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkDocName(report, d.Doc, d.Name.Name)
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+					continue
+				}
+				var blockNames []string
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						checkDocName(report, s.Doc, s.Name.Name)
+						blockNames = append(blockNames, s.Name.Name)
+					case *ast.ValueSpec:
+						names := make([]string, len(s.Names))
+						for i, n := range s.Names {
+							names[i] = n.Name
+						}
+						checkDocName(report, s.Doc, names...)
+						blockNames = append(blockNames, names...)
+					}
+				}
+				// A doc on the decl group may open with any member of
+				// the block (grouped vars are often documented jointly).
+				checkDocName(report, d.Doc, blockNames...)
+			}
+		}
+	}
+}
+
+// checkDocName reports when doc's first word looks like an identifier
+// (interior case hump) yet names none of the declared identifiers.
+func checkDocName(report reportFunc, doc *ast.CommentGroup, names ...string) {
+	if doc == nil || len(names) == 0 {
+		return
+	}
+	fields := strings.Fields(doc.Text())
+	if len(fields) == 0 {
+		return
+	}
+	w := strings.TrimRight(fields[0], ".,:;!?")
+	if !identLike(w) || !caseHumped(w) {
+		return
+	}
+	for _, n := range names {
+		if n == w {
+			return
+		}
+	}
+	report(doc.Pos(), "doc comment opens with %q but documents %q; update the stale name so the doc matches the declaration", w, names[0])
+}
+
+// identLike reports whether s is a plausible Go identifier.
+func identLike(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// caseHumped reports whether s has an interior uppercase letter AND a
+// lowercase letter somewhere — the camelCase shape of a multi-word
+// identifier. Sentence openers ("The", "Reports") and acronyms
+// ("TPLRU", "L2") both fail the test, keeping the rule conservative.
+func caseHumped(s string) bool {
+	hump, lower := false, false
+	for i, r := range s {
+		if i > 0 && unicode.IsUpper(r) {
+			hump = true
+		}
+		if unicode.IsLower(r) {
+			lower = true
+		}
+	}
+	return hump && lower
+}

@@ -83,6 +83,7 @@ func Rules() []*Rule {
 		ruleBarePanic,
 		ruleCycleAdvance,
 		ruleRawFileWrite,
+		ruleDocCommentName,
 	}
 }
 

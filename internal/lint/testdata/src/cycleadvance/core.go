@@ -22,3 +22,13 @@ func (c *Core) Cycle() uint64 { return c.cycle }
 func (c *Core) rewind() {
 	c.cycle-- // want "clock field"
 }
+
+// Reset may rewind the clock to the origin, and only to the origin:
+// assigning the literal 0 is sanctioned, anything else is an advance.
+func (c *Core) Reset(warmed bool) {
+	c.cycle = 0
+	if warmed {
+		c.cycle = 1 // want "clock field"
+	}
+	c.cycle = c.cycle // want "clock field"
+}

@@ -1,0 +1,35 @@
+//lintpath emissary/internal/util
+
+// Positive and negative cases for doc-comment-name: doc comments whose
+// opening word is a camelCase identifier must name the declaration.
+package fix
+
+// LastBucket reports whether the line was ever admitted. // want "doc comment opens with \"LastBucket\""
+func Seen(line uint64) bool { return line != 0 }
+
+// ReuseTracker observes per-line reuse distances. // want "doc comment opens with \"ReuseTracker\""
+type Tracker struct{ n int }
+
+// MaxDepth bounds the recorded histogram. // want "doc comment opens with \"MaxDepth\""
+const MaxWidth = 64
+
+// defaultSpan is shared by the grouped declarations below. // want "doc comment opens with \"defaultSpan\""
+var (
+	spanLo = 1
+	spanHi = 8
+)
+
+// SeenCount is correctly named after its declaration.
+func SeenCount(t *Tracker) int { return t.n }
+
+// The tracker is reset between runs; a plain sentence opener is fine.
+func Reset(t *Tracker) { t.n = 0 }
+
+// TPLRU is an acronym, not a camelCase identifier; exempt.
+func PolicyName() string { return "TPLRU" }
+
+// spanMid names one member of its grouped declaration, which is fine.
+var (
+	spanMid = 4
+	spanTop = 16
+)

@@ -58,11 +58,11 @@ type backend struct {
 	issueBusy []int32 //vet:skip-invariant incremented at dispatch, unwound by flush; both refused by planSkip
 
 	// iqBits is a one-bit-per-slot summary of iqRelease feeding the
-	// cycle skipper's wake-up computation: a set bit marks a slot that
-	// may hold pending releases. dispatch sets it, beginCycle clears
-	// the consumed slot. A flush can leave a stale set bit over a
-	// zero count, which only wakes nextIQEvent early (a harmless extra
-	// Step), never late.
+	// cycle skipper's wake-up computation: a set bit marks a slot
+	// holding pending releases. dispatch sets it, beginCycle clears
+	// the consumed slot, and flushAfter clears a slot's bit eagerly
+	// when it unwinds the slot's last release — so a set bit always
+	// covers a nonzero count (pinned by TestIQBitsCoverReleases).
 	iqBits [ringSize / 64]uint64
 	// iqPend counts outstanding iqRelease entries across the whole
 	// ring — the exact number of scheduled future issue events — so
@@ -99,6 +99,39 @@ func newBackend(cfg *Config, hier *cache.Hierarchy, seed uint64) *backend {
 		issueBusy: make([]int32, ringSize),
 		depSeed:   rng.Mix2(seed, 0xdeb5),
 	}
+}
+
+// reset restores the back-end to the state newBackend would build,
+// reusing every allocation. Core.Reset guarantees ROBSize is
+// unchanged; the scheduling rings are fixed-size.
+//
+//vet:hot
+func (b *backend) reset(hier *cache.Hierarchy, seed uint64) {
+	b.hier = hier
+	b.lineShift = hier.LineShift()
+	clear(b.rob)
+	b.head = 0
+	b.tail = 0
+	b.count = 0
+	b.seq = 0
+	b.committed = 0
+	b.iqCount = 0
+	clear(b.iqRelease)
+	clear(b.issueBusy)
+	clear(b.iqBits[:])
+	b.iqPend = 0
+	b.lqCount = 0
+	b.sqCount = 0
+	b.resolve = resolveRecord{}
+	clear(b.lastComplete[:])
+	b.depSeed = rng.Mix2(seed, 0xdeb5)
+	b.Stalls = stats.StallBreakdown{}
+	b.WrongPathOps = 0
+	b.LoadsIssued = 0
+	b.StoresIssued = 0
+	b.Flushes = 0
+	b.CommitActiveCycles = 0
+	b.lastFlushAt = 0
 }
 
 // canAccept reports whether dispatch has room for one instruction of
@@ -272,14 +305,18 @@ func (b *backend) flushAfter(seq, now uint64) {
 			break
 		}
 		if e.issueAt > now {
-			// Still waiting in the IQ: free its slot and bandwidth.
-			// iqBits is deliberately left set — clearing would need a
-			// zero-count check, and a stale bit only wakes the skipper
-			// early.
+			// Still waiting in the IQ: free its slot and bandwidth,
+			// and clear the slot's summary bit when this was its last
+			// pending release, so the skipper never wakes for an
+			// empty slot.
 			b.iqCount--
 			b.iqPend--
-			b.iqRelease[e.issueAt&ringMask]--
-			b.issueBusy[e.issueAt&ringMask]--
+			slot := e.issueAt & ringMask
+			b.iqRelease[slot]--
+			if b.iqRelease[slot] == 0 {
+				b.iqBits[slot>>6] &^= 1 << (slot & 63)
+			}
+			b.issueBusy[slot]--
 		}
 		if e.isLoad {
 			b.lqCount--
@@ -328,9 +365,9 @@ func (b *backend) commit(now uint64) int {
 // nextIQEvent returns the earliest cycle > now at which an
 // issue-queue release is scheduled, scanning the iqBits summary
 // bitmap in ring order. ok is false when no release is pending
-// anywhere. The result may be earlier than the true next release
-// (flushAfter leaves stale bits), which is safe for the cycle
-// skipper: an early wake-up is just one redundant Step.
+// anywhere. Every set bit covers a nonzero release count (flushAfter
+// clears a slot's bit with its last release), so the result is the
+// exact next release cycle, never an early false wake-up.
 func (b *backend) nextIQEvent(now uint64) (uint64, bool) {
 	if b.iqPend == 0 {
 		return 0, false

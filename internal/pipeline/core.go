@@ -34,17 +34,54 @@ func NewCore(cfg Config, src trace.Source, hier *cache.Hierarchy, seed uint64) (
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Core{
-		cfg:  cfg,
-		fe:   newFrontend(&cfg, src, hier, rng.Mix2(seed, 0xfe)),
-		be:   newBackend(&cfg, hier, rng.Mix2(seed, 0xbe)),
-		hier: hier,
-		src:  src,
-	}
+	c := &Core{cfg: cfg, hier: hier, src: src}
+	// The front- and back-end share &c.cfg so that Reset can re-target
+	// the whole core by assigning c.cfg once.
+	c.fe = newFrontend(&c.cfg, src, hier, rng.Mix2(seed, 0xfe))
+	c.be = newBackend(&c.cfg, hier, rng.Mix2(seed, 0xbe))
 	if cfg.PriorityResetInterval > 0 {
 		c.nextPriorityReset = cfg.PriorityResetInterval
 	}
 	return c, nil
+}
+
+// Reset restores the core to the state NewCore(cfg, src, hier, seed)
+// would build, reusing every allocation, so a warm-pooled sweep can
+// run job after job without constructing a new machine. It reports
+// false — leaving the core untouched — when cfg is invalid or resizes
+// a structure (FTQ, ROB, MSHRs, MRC, BTB, RAS, reuse tracking); the
+// caller then falls back to NewCore. hier must already be reset (or
+// freshly built) for the run's cache config. The per-component resets
+// it fans out to are the //vet:hot-checked no-alloc paths; Reset
+// itself also calls Validate, whose error path formats.
+func (c *Core) Reset(cfg Config, src trace.Source, hier *cache.Hierarchy, seed uint64) bool {
+	if cfg.Validate() != nil {
+		return false
+	}
+	old := c.cfg
+	if cfg.FTQEntries != old.FTQEntries ||
+		cfg.MaxMSHRs != old.MaxMSHRs ||
+		cfg.MRCEntries != old.MRCEntries ||
+		cfg.TrackReuse != old.TrackReuse ||
+		cfg.ROBSize != old.ROBSize ||
+		cfg.BTBEntries != old.BTBEntries ||
+		cfg.BTBWays != old.BTBWays ||
+		cfg.RASDepth != old.RASDepth {
+		return false
+	}
+	c.cfg = cfg
+	c.hier = hier
+	c.src = src
+	c.fe.reset(src, hier, rng.Mix2(seed, 0xfe))
+	c.be.reset(hier, rng.Mix2(seed, 0xbe))
+	c.cycle = 0
+	c.decoded = 0
+	c.skipped = 0
+	c.nextPriorityReset = 0
+	if cfg.PriorityResetInterval > 0 {
+		c.nextPriorityReset = cfg.PriorityResetInterval
+	}
+	return true
 }
 
 // Cycle returns the current cycle count.

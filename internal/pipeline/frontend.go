@@ -46,11 +46,12 @@ func (e *ftqEntry) lineIndex(pc uint64) int {
 	return 1
 }
 
-// resteerState records a detected mispredict awaiting resolution.
+// resteerState records a detected mispredict awaiting resolution. The
+// RAS recovery snapshot lives outside it (frontend.rasSnap) so that
+// clearing the resteer does not drop the snapshot's allocation.
 type resteerState struct {
 	pending      bool
 	correctNext  uint64
-	snapshot     branch.RASSnapshot
 	kind         branch.Kind
 	fallthrough_ uint64
 }
@@ -80,6 +81,12 @@ type frontend struct {
 	resteer    resteerState
 	oracleDone bool
 
+	// rasSnap is the RAS state saved when a mispredict is detected and
+	// restored at recovery. At most one mispredict is outstanding (a
+	// second cannot be detected while already on the wrong path), so a
+	// single persistent snapshot — refreshed in place — suffices.
+	rasSnap branch.RASSnapshot
+
 	predecodeBusy  bool
 	predecodeAt    uint64
 	predecodeEntry branch.BTBEntry
@@ -89,6 +96,17 @@ type frontend struct {
 
 	inflight map[uint64]*mshrEntry
 	pending  []*mshrEntry
+	// mshrSlab backs every mshrEntry; mshrFree is the stack of unused
+	// entries (managed by reslicing within its fixed capacity). An
+	// entry is live — in inflight and pending — from requestLine until
+	// processCompletions returns it to the free stack.
+	mshrSlab []mshrEntry
+	mshrFree []*mshrEntry
+	// memArena holds each FTQ slot's memory references: slot i owns
+	// memArena[i*trace.MaxBlockMem : (i+1)*trace.MaxBlockMem]. Entries
+	// copy the oracle event's Mem here at enqueue, since a Source's
+	// Mem slice is only valid until the next NextBlock call.
+	memArena []trace.MemRef
 	scratch  []branch.BTBEntry
 	mrc      *mrc
 
@@ -142,7 +160,14 @@ func newFrontend(cfg *Config, src trace.Source, hier *cache.Hierarchy, seed uint
 		ftq:          make([]ftqEntry, cfg.FTQEntries),
 		inflight:     make(map[uint64]*mshrEntry, cfg.MaxMSHRs*2),
 		pending:      make([]*mshrEntry, 0, cfg.MaxMSHRs),
+		mshrSlab:     make([]mshrEntry, cfg.MaxMSHRs),
+		mshrFree:     make([]*mshrEntry, cfg.MaxMSHRs),
+		memArena:     make([]trace.MemRef, cfg.FTQEntries*trace.MaxBlockMem),
 	}
+	for i := range f.mshrSlab {
+		f.mshrFree[i] = &f.mshrSlab[i]
+	}
+	f.rasSnap = f.ras.Snapshot()
 	f.mrc = newMRC(cfg.MRCEntries)
 	if cfg.TrackReuse {
 		f.tracker = reuse.NewTracker(1 << 18)
@@ -219,11 +244,17 @@ func (f *frontend) requestLine(line uint64, now uint64, trackFig2 bool) bool {
 		f.predecodeLine(line)
 		return true
 	}
-	//lint:ignore hot-noalloc one MSHR entry per outstanding-miss event (bounded by MaxMSHRs), not per cycle; warm-pool reuse is ROADMAP item 5a
-	m := &mshrEntry{line: line, completeAt: now + uint64(res.Latency), src: res.Source}
+	// Past the MaxMSHRs check above fewer than MaxMSHRs entries are
+	// live, so the free stack is non-empty and pending's reslice stays
+	// within its preallocated capacity.
+	nf := len(f.mshrFree) - 1
+	m := f.mshrFree[nf]
+	f.mshrFree = f.mshrFree[:nf]
+	*m = mshrEntry{line: line, completeAt: now + uint64(res.Latency), src: res.Source}
 	f.inflight[line] = m
-	//lint:ignore hot-noalloc pending's cap is preallocated to MaxMSHRs in newFrontend and len is bounded below it above, so append never grows
-	f.pending = append(f.pending, m)
+	np := len(f.pending)
+	f.pending = f.pending[:np+1]
+	f.pending[np] = m
 	return true
 }
 
@@ -246,11 +277,13 @@ func (f *frontend) processCompletions(now uint64) {
 	if len(f.pending) == 0 {
 		return
 	}
-	kept := f.pending[:0]
+	kept := 0
 	for _, m := range f.pending {
 		if m.completeAt > now {
-			//lint:ignore hot-noalloc in-place filter over f.pending reuses its backing array; kept never exceeds the original length
-			kept = append(kept, m)
+			// In-place filter: survivors compact toward the front of
+			// pending's backing array.
+			f.pending[kept] = m
+			kept++
 			continue
 		}
 		high := false
@@ -263,8 +296,11 @@ func (f *frontend) processCompletions(now uint64) {
 		f.hier.CompleteFetch(m.line, m.src, high)
 		f.predecodeLine(m.line)
 		delete(f.inflight, m.line)
+		nf := len(f.mshrFree)
+		f.mshrFree = f.mshrFree[:nf+1]
+		f.mshrFree[nf] = m
 	}
-	f.pending = kept
+	f.pending = f.pending[:kept]
 }
 
 // prefetchScan is FDIP: walk the FTQ issuing line requests ahead of
@@ -429,10 +465,10 @@ func (f *frontend) fetchBlock(now uint64) {
 			e.mispredict = true
 			f.Mispredicts++
 			f.MispredictsByKind[entry.EndKind]++
+			f.ras.SnapshotInto(&f.rasSnap)
 			f.resteer = resteerState{
 				pending:      true,
 				correctNext:  ev.NextAddr,
-				snapshot:     f.ras.Snapshot(),
 				kind:         entry.EndKind,
 				fallthrough_: fallthrough_,
 			}
@@ -451,6 +487,16 @@ func (f *frontend) fetchBlock(now uint64) {
 		e.nLines = 2
 	}
 	slot := (f.ftqHead + f.ftqCount) % f.cfg.FTQEntries
+	if len(e.mem) > 0 {
+		// e.mem still aliases the oracle event's buffer, which the next
+		// NextBlock call invalidates; copy into the slot's arena region.
+		if len(e.mem) > trace.MaxBlockMem {
+			violated("block at %#x carries %d memory references, above trace.MaxBlockMem %d", e.addr, len(e.mem), trace.MaxBlockMem)
+		}
+		base := slot * trace.MaxBlockMem
+		n := copy(f.memArena[base:base+trace.MaxBlockMem], e.mem)
+		e.mem = f.memArena[base : base+n]
+	}
 	f.ftq[slot] = e
 	f.ftqCount++
 	f.ftqInstr += e.n
@@ -497,7 +543,7 @@ func (f *frontend) recover() {
 	f.ftqCount = 0
 	f.ftqInstr = 0
 	f.predecodeBusy = false
-	f.ras.Restore(f.resteer.snapshot)
+	f.ras.Restore(f.rasSnap)
 	f.applyRASOps(f.resteer.kind, f.resteer.fallthrough_)
 	f.nextPC = f.resteer.correctNext
 	f.wrongPath = false
@@ -507,6 +553,77 @@ func (f *frontend) recover() {
 	if f.mrc != nil {
 		f.mrc.onRecover()
 	}
+}
+
+// reset restores the front-end to the state newFrontend would build
+// for the same structural config, reusing every allocation. Core.Reset
+// guarantees the sizing fields (FTQEntries, MaxMSHRs, MRCEntries,
+// BTB/RAS geometry, TrackReuse) are unchanged; everything else —
+// source, hierarchy, seed, selection spec — may differ per run.
+//
+//vet:hot
+func (f *frontend) reset(src trace.Source, hier *cache.Hierarchy, seed uint64) {
+	spec := hier.Config().L2Policy
+	f.src = src
+	f.hier = hier
+	f.sel.Reset(spec, seed)
+	f.useSelection = spec.UsesSelection()
+	f.btb.Reset()
+	f.tage.Reset()
+	f.ittage.Reset()
+	f.ras.Reset()
+	clear(f.ftq)
+	f.ftqHead = 0
+	f.ftqCount = 0
+	f.ftqInstr = 0
+	f.nextPC = 0
+	f.havePC = false
+	f.wrongPath = false
+	f.deadEnd = false
+	f.resteer = resteerState{}
+	f.oracleDone = false
+	f.predecodeBusy = false
+	f.predecodeAt = 0
+	f.predecodeEntry = branch.BTBEntry{}
+	f.primeEvent = trace.BlockEvent{}
+	f.havePrime = false
+	clear(f.inflight)
+	f.pending = f.pending[:0]
+	f.mshrFree = f.mshrFree[:len(f.mshrSlab)]
+	for i := range f.mshrSlab {
+		f.mshrFree[i] = &f.mshrSlab[i]
+	}
+	f.scratch = f.scratch[:0]
+	if f.mrc != nil {
+		f.mrc.reset()
+	}
+	if f.tracker != nil {
+		f.tracker.Reset()
+		clear(f.lastBucket)
+		clear(f.StarvedLineEvents)
+		clear(f.IQEStarvedLineEvents)
+		clear(f.MarkedLines)
+	}
+	f.lastReuseLine = 0
+	f.haveReuseLine = false
+	f.AccessByBucket = [3]uint64{}
+	f.L2MissByBucket = [3]uint64{}
+	f.StarvByBucket = [3]uint64{}
+	f.StarvOnMarkedMiss = 0
+	f.FTQOccupancySum = 0
+	f.FetchBlockFull = 0
+	f.FetchBlockDeadEnd = 0
+	f.FetchBlockPredecode = 0
+	f.MSHRFullEvents = 0
+	f.StarvEventsBySrc = [4]uint64{}
+	f.StarvationCycles = 0
+	f.StarvationIQECycles = 0
+	f.CommitStarvationCycles = 0
+	f.CommitStarvationIQECycles = 0
+	f.FetchStallCycles = 0
+	f.Mispredicts = 0
+	f.MispredictsByKind = [8]uint64{}
+	f.BlocksFetched = 0
 }
 
 // markStarvation records a decode-starvation cycle blocked on m.

@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"testing"
+
+	"emissary/internal/cache"
+	"emissary/internal/core"
+	"emissary/internal/trace"
+)
+
+// checkIQBits asserts the bitmap invariant the cycle skipper relies
+// on: a set iqBits bit covers exactly the slots with a nonzero
+// iqRelease count, and iqPend mirrors the total outstanding releases.
+func checkIQBits(t *testing.T, be *backend, when string) {
+	t.Helper()
+	pend := 0
+	for slot := 0; slot < ringSize; slot++ {
+		bit := be.iqBits[slot>>6]&(1<<(slot&63)) != 0
+		if n := be.iqRelease[slot]; bit != (n != 0) {
+			t.Fatalf("%s: slot %d: iqBits=%v but iqRelease=%d", when, slot, bit, n)
+		}
+		pend += int(be.iqRelease[slot])
+	}
+	if pend != be.iqPend {
+		t.Fatalf("%s: iqPend=%d but iqRelease sums to %d", when, be.iqPend, pend)
+	}
+}
+
+// TestIQBitsCoverReleases pins the eager-clear contract documented on
+// the iqBits field: dispatch sets a slot's bit, beginCycle clears the
+// consumed slot, and flushAfter clears a slot's bit exactly when it
+// unwinds the slot's last pending release. A bit left set over an
+// empty slot would wake the cycle skipper for nothing; a bit cleared
+// while releases remain would make it sleep through a wake-up.
+func TestIQBitsCoverReleases(t *testing.T) {
+	cfg := DefaultConfig()
+	hier := cache.NewHierarchy(cache.DefaultConfig(core.MustParsePolicy("TPLRU")))
+	be := newBackend(&cfg, hier, 1)
+	now := uint64(10)
+
+	// A mixed wave dispatched at one cycle: bandwidth packing and
+	// hash-derived dependences pile several releases onto shared slots.
+	classes := []trace.Class{trace.ClassALU, trace.ClassLoad, trace.ClassStore, trace.ClassBranch}
+	var mid uint64
+	for i := 0; i < 24; i++ {
+		cls := classes[i%len(classes)]
+		hasMem := cls == trace.ClassLoad || cls == trace.ClassStore
+		be.dispatch(now, uint64(i*4), cls, hasMem, uint64(0x100000+i*0x40), false, false)
+		checkIQBits(t, be, "after dispatch")
+		if i == 11 {
+			mid = be.seq - 1
+		}
+	}
+
+	// Partial flush: the younger half unwinds. Slots shared between
+	// survivors and squashed entries must keep their bit; slots whose
+	// last release unwound must drop it.
+	be.flushAfter(mid, now)
+	checkIQBits(t, be, "after partial flush")
+
+	// Consume the surviving releases cycle by cycle, as the core does.
+	for cyc := now + 1; cyc < now+2*ringSize && be.iqPend > 0; cyc++ {
+		be.beginCycle(cyc)
+		checkIQBits(t, be, "after beginCycle")
+	}
+	if be.iqPend != 0 {
+		t.Fatalf("releases never drained: iqPend=%d", be.iqPend)
+	}
+
+	// Refill, squash everything, and confirm reset leaves a clean map.
+	now += 2 * ringSize
+	for i := 0; i < 8; i++ {
+		be.dispatch(now, uint64(i*4), trace.ClassALU, false, 0, false, false)
+	}
+	checkIQBits(t, be, "after refill")
+	be.flushAfter(0, now)
+	checkIQBits(t, be, "after full flush")
+	be.reset(hier, 1)
+	checkIQBits(t, be, "after reset")
+	if be.iqPend != 0 {
+		t.Fatalf("reset left iqPend=%d", be.iqPend)
+	}
+}

@@ -41,6 +41,19 @@ func newMRC(entries int) *mrc {
 	}
 }
 
+// reset restores post-construction state, keeping allocations.
+//
+//vet:hot
+func (m *mrc) reset() {
+	clear(m.entries)
+	clear(m.valid)
+	clear(m.stamps)
+	m.clock = 0
+	m.fillWindow = 0
+	m.Hits = 0
+	m.Inserts = 0
+}
+
 // contains probes the buffer, refreshing recency on a hit.
 func (m *mrc) contains(line uint64) bool {
 	for i := range m.entries {

@@ -123,5 +123,16 @@ func (p *DCLIP) OnInvalidate(set, way int) {
 // OnPriorityUpdate implements Policy.
 func (p *DCLIP) OnPriorityUpdate(set, way int, view SetView) {}
 
+// ResetState implements Resetter: every RRPV returns to distant and
+// PSEL to its midpoint. The seed is ignored (DCLIP is deterministic).
+//
+//vet:hot
+func (p *DCLIP) ResetState(seed uint64) {
+	p.psel = pselMax / 2
+	for i := range p.rrpv {
+		p.rrpv[i] = maxRRPV
+	}
+}
+
 // PSEL exposes the dueling counter for tests.
 func (p *DCLIP) PSEL() int { return p.psel }

@@ -161,3 +161,17 @@ func (p *GHRP) OnInvalidate(set, way int) {
 
 // OnPriorityUpdate implements Policy.
 func (p *GHRP) OnPriorityUpdate(set, way int, view SetView) {}
+
+// ResetState implements Resetter: history register, per-line
+// signatures and touch bits, the dead-counter table, and the recency
+// stamps all return to their post-construction zeros. The seed is
+// ignored (GHRP is deterministic).
+//
+//vet:hot
+func (p *GHRP) ResetState(seed uint64) {
+	p.history = 0
+	clear(p.sigs)
+	clear(p.touched)
+	clear(p.dead)
+	p.stamps.ResetState(seed)
+}

@@ -66,5 +66,16 @@ func (l *TrueLRU) VictimAmong(set int, mask uint32) int {
 	return best
 }
 
+// ResetState implements Resetter: all stamps and both clocks return to
+// their post-construction zero values. The seed is ignored (true LRU is
+// deterministic).
+//
+//vet:hot
+func (l *TrueLRU) ResetState(seed uint64) {
+	clear(l.stamps)
+	l.mruClock = 0
+	l.lruClock = 0
+}
+
 // Stamp exposes a line's recency stamp for tests.
 func (l *TrueLRU) Stamp(set, way int) int64 { return l.stamps[l.idx(set, way)] }

@@ -35,6 +35,13 @@ func (p *Recency) OnInvalidate(set, way int) {}
 // OnPriorityUpdate implements Policy.
 func (p *Recency) OnPriorityUpdate(set, way int, view SetView) {}
 
+// ResetState implements Resetter by resetting the recency base. Every
+// base constructed in this module implements Resetter; a foreign base
+// that doesn't cannot be warm-pooled and fails loudly here.
+func (p *Recency) ResetState(seed uint64) {
+	p.base.(Resetter).ResetState(seed)
+}
+
 // MInsert is the M-treatment family from Table 2 of the paper:
 // bimodality expressed purely at insertion. High-priority instruction
 // lines are inserted in the MRU position; low-priority instruction
@@ -84,3 +91,9 @@ func (p *MInsert) OnInvalidate(set, way int) {}
 // OnPriorityUpdate implements Policy. Insertion-only bimodality: a
 // priority bit arriving after insertion (L1I eviction) has no effect.
 func (p *MInsert) OnPriorityUpdate(set, way int, view SetView) {}
+
+// ResetState implements Resetter by resetting the recency base (see
+// Recency.ResetState for the base contract).
+func (p *MInsert) ResetState(seed uint64) {
+	p.base.(Resetter).ResetState(seed)
+}

@@ -109,3 +109,13 @@ func (p *PDP) OnInvalidate(set, way int) {
 
 // OnPriorityUpdate implements Policy.
 func (p *PDP) OnPriorityUpdate(set, way int, view SetView) {}
+
+// ResetState implements Resetter: all protecting-distance counters and
+// the tie-break stamps return to their post-construction zeros. The
+// seed is ignored (PDP is deterministic).
+//
+//vet:hot
+func (p *PDP) ResetState(seed uint64) {
+	clear(p.remaining)
+	p.stamps.ResetState(seed)
+}

@@ -116,6 +116,15 @@ type RecencyBase interface {
 	VictimAmong(set int, mask uint32) int
 }
 
+// Resetter is implemented by every policy (and recency base) in this
+// module: ResetState restores the exact post-construction state for
+// the given seed, without allocating, so a warm-pooled cache can reuse
+// a policy instance across simulations with byte-identical results.
+// Policies that never draw randomness ignore the seed.
+type Resetter interface {
+	ResetState(seed uint64)
+}
+
 // maskAll returns a mask with the low `ways` bits set.
 func maskAll(ways int) uint32 { return (1 << uint(ways)) - 1 }
 

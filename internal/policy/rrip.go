@@ -19,7 +19,7 @@ const (
 	// brripProb is the probability BRRIP inserts with a long (rather
 	// than distant) re-reference prediction; the paper uses 1/32.
 	brripProb = 1.0 / 32.0
-	// pselBits sizes DRRIP's policy-selection counter.
+	// pselMax is the saturation cap of DRRIP's policy-selection counter.
 	pselMax = 1023
 	// duelingPeriod spaces leader sets; 32 leader sets per policy in a
 	// 1024-set cache, matching the paper's description (§5.5).
@@ -36,31 +36,36 @@ type RRIP struct {
 	mode       rripMode
 	r          *rng.Xoshiro256
 	psel       int
+	// seeded records whether the constructor received a caller seed
+	// (SRRIP never draws randomness and is built without one), so
+	// ResetState can re-derive the exact construction-time RNG state.
+	seeded bool
 }
 
 // NewSRRIP returns a static RRIP policy.
-func NewSRRIP(sets, ways int) *RRIP { return newRRIP("SRRIP", sets, ways, modeSRRIP, 0) }
+func NewSRRIP(sets, ways int) *RRIP { return newRRIP("SRRIP", sets, ways, modeSRRIP, 0, false) }
 
 // NewBRRIP returns a bimodal RRIP policy seeded for its 1/32 choice.
 func NewBRRIP(sets, ways int, seed uint64) *RRIP {
-	return newRRIP("BRRIP", sets, ways, modeBRRIP, seed)
+	return newRRIP("BRRIP", sets, ways, modeBRRIP, seed, true)
 }
 
 // NewDRRIP returns a dynamic set-dueling RRIP policy.
 func NewDRRIP(sets, ways int, seed uint64) *RRIP {
-	return newRRIP("DRRIP", sets, ways, modeDRRIP, seed)
+	return newRRIP("DRRIP", sets, ways, modeDRRIP, seed, true)
 }
 
-func newRRIP(name string, sets, ways int, mode rripMode, seed uint64) *RRIP {
+func newRRIP(name string, sets, ways int, mode rripMode, seed uint64, seeded bool) *RRIP {
 	checkGeometry(sets, ways)
 	p := &RRIP{
-		name: name,
-		sets: sets,
-		ways: ways,
-		rrpv: make([]uint8, sets*ways),
-		mode: mode,
-		r:    rng.NewXoshiro256(rng.Mix2(seed, 0xbadc0de)),
-		psel: pselMax / 2,
+		name:   name,
+		sets:   sets,
+		ways:   ways,
+		rrpv:   make([]uint8, sets*ways),
+		mode:   mode,
+		r:      rng.NewXoshiro256(rng.Mix2(seed, 0xbadc0de)),
+		psel:   pselMax / 2,
+		seeded: seeded,
 	}
 	// Start every slot distant so cold fills behave like insertions.
 	for i := range p.rrpv {
@@ -161,6 +166,24 @@ func (p *RRIP) OnInvalidate(set, way int) {
 
 // OnPriorityUpdate implements Policy.
 func (p *RRIP) OnPriorityUpdate(set, way int, view SetView) {}
+
+// ResetState implements Resetter: every RRPV returns to distant, PSEL
+// to its midpoint, and the BRRIP/DRRIP insertion RNG to the state a
+// fresh construction with this seed would hold. An unseeded policy
+// (SRRIP, whose constructor takes no seed) re-derives from seed 0 so
+// warm and cold runs stay byte-identical.
+//
+//vet:hot
+func (p *RRIP) ResetState(seed uint64) {
+	if !p.seeded {
+		seed = 0
+	}
+	p.r.Seed(rng.Mix2(seed, 0xbadc0de))
+	p.psel = pselMax / 2
+	for i := range p.rrpv {
+		p.rrpv[i] = maxRRPV
+	}
+}
 
 // PSEL exposes the dueling counter for tests.
 func (p *RRIP) PSEL() int { return p.psel }

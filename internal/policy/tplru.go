@@ -120,5 +120,13 @@ func (t *TPLRU) VictimAmong(set int, mask uint32) int {
 	return way
 }
 
+// ResetState implements Resetter: every tree bit returns to its
+// post-construction zero value. The seed is ignored.
+//
+//vet:hot
+func (t *TPLRU) ResetState(seed uint64) {
+	clear(t.bits)
+}
+
 // Bits exposes the raw tree bits of a set for tests.
 func (t *TPLRU) Bits(set int) uint16 { return t.bits[set] }

@@ -10,8 +10,6 @@
 // length.
 package reuse
 
-import "sort"
-
 // Infinite is returned for a line's first access.
 const Infinite = int64(-1)
 
@@ -56,12 +54,23 @@ func Classify(d int64) Bucket {
 	}
 }
 
+// pair is one line/timestamp entry of the compaction scratch buffer.
+type pair struct {
+	line uint64
+	ts   int64
+}
+
 // Tracker computes exact reuse distances online.
 type Tracker struct {
 	last map[uint64]int64 // line -> timestamp of its latest access
 	tree []int64          // Fenwick tree over timestamps (1-based)
 	time int64            // next timestamp
 	cap  int64
+
+	// scratch is compact's reusable sort buffer. Live timestamps are
+	// unique values in [1, cap], so len(last) never exceeds cap and a
+	// cap-sized buffer always suffices.
+	scratch []pair
 
 	lastLine uint64
 	haveLast bool
@@ -75,11 +84,24 @@ func NewTracker(capacity int) *Tracker {
 		capacity = 16
 	}
 	return &Tracker{
-		last: make(map[uint64]int64),
-		tree: make([]int64, capacity+1),
-		cap:  int64(capacity),
-		time: 1,
+		last:    make(map[uint64]int64),
+		tree:    make([]int64, capacity+1),
+		cap:     int64(capacity),
+		time:    1,
+		scratch: make([]pair, 0, capacity),
 	}
+}
+
+// Reset restores the tracker to its post-construction state, keeping
+// its allocations, so a warm-pooled simulation can reuse it.
+//
+//vet:hot
+func (t *Tracker) Reset() {
+	clear(t.last)
+	clear(t.tree)
+	t.time = 1
+	t.lastLine = 0
+	t.haveLast = false
 }
 
 func (t *Tracker) add(i, delta int64) {
@@ -125,23 +147,20 @@ func (t *Tracker) Access(line uint64) int64 {
 	return dist
 }
 
-// compact renumbers timestamps 1..len(last), preserving order.
+// compact renumbers timestamps 1..len(last), preserving order. It is
+// allocation-free: pairs reuse the tracker-owned scratch buffer
+// (reslicing within its cap-sized capacity, which the uniqueness of
+// live timestamps guarantees is enough) and the sort is a hand-rolled
+// heapsort with no closure. Timestamps are unique, so heapsort's
+// instability cannot reorder equal keys.
 func (t *Tracker) compact() {
-	type pair struct {
-		line uint64
-		ts   int64
-	}
-	//lint:ignore hot-noalloc compact is amortized-rare: it runs once per cap accesses (cap is at least 4x the distinct-line count)
-	pairs := make([]pair, 0, len(t.last))
+	pairs := t.scratch[:0]
 	for l, ts := range t.last {
-		//lint:ignore hot-noalloc cap is preallocated to len(t.last) above, so append never grows
-		pairs = append(pairs, pair{l, ts})
+		pairs = pairs[:len(pairs)+1]
+		pairs[len(pairs)-1] = pair{l, ts}
 	}
-	//lint:ignore hot-noalloc sort.Slice boxing/closure is paid once per amortized-rare compact, not per access
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].ts < pairs[j].ts })
-	for i := range t.tree {
-		t.tree[i] = 0
-	}
+	sortPairsByTS(pairs)
+	clear(t.tree)
 	for i, p := range pairs {
 		ts := int64(i + 1)
 		t.last[p.line] = ts
@@ -150,13 +169,42 @@ func (t *Tracker) compact() {
 	t.time = int64(len(pairs)) + 1
 }
 
+// sortPairsByTS heapsorts pairs ascending by timestamp.
+func sortPairsByTS(p []pair) {
+	n := len(p)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownPair(p, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		p[0], p[i] = p[i], p[0]
+		siftDownPair(p, 0, i)
+	}
+}
+
+// siftDownPair restores the max-heap property for the subtree at root
+// within p[:n].
+func siftDownPair(p []pair, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && p[child+1].ts > p[child].ts {
+			child++
+		}
+		if p[root].ts >= p[child].ts {
+			return
+		}
+		p[root], p[child] = p[child], p[root]
+		root = child
+	}
+}
+
 // Distinct returns the number of distinct lines seen.
 func (t *Tracker) Distinct() int { return len(t.last) }
 
-// LastBucket returns the bucket of the line's *most recent* observed
-// reuse distance; lines seen only once classify Long. It is a cheap
-// approximation used when a consumer needs a per-line class at miss
-// time; callers wanting exact values should record Access results.
+// Seen reports whether the line has been accessed before, i.e. holds
+// a live timestamp in the tracker.
 func (t *Tracker) Seen(line uint64) bool {
 	_, ok := t.last[line]
 	return ok

@@ -52,6 +52,20 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 	return &x
 }
 
+// Seed re-derives the generator's state in place, exactly as
+// NewXoshiro256 would for the same seed. It lets long-lived components
+// (warm-pooled simulation state) restore their post-construction RNG
+// sequence without allocating a new generator.
+func (x *Xoshiro256) Seed(seed uint64) {
+	sm := SplitMix64{state: seed}
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next value in the sequence.

@@ -153,14 +153,14 @@ func (p RetryPolicy) sleep() func(context.Context, time.Duration) error {
 // off (virtual-time duration, real wait) and re-attempt up to
 // MaxAttempts; permanent failures and exhausted budgets return the
 // last attempt's *JobError.
-func attemptJob[T any](ctx context.Context, i int, retry RetryPolicy, fn func(ctx context.Context, i, attempt int) (T, error)) (T, error) {
+func attemptJob[T any](ctx context.Context, i, worker int, retry RetryPolicy, fn func(ctx context.Context, i, attempt, worker int) (T, error)) (T, error) {
 	max := retry.maxAttempts()
 	var (
 		v   T
 		err error
 	)
 	for attempt := 1; ; attempt++ {
-		v, err = runJob(ctx, i, attempt, fn)
+		v, err = runJob(ctx, i, attempt, worker, fn)
 		if err == nil || attempt >= max || ctx.Err() != nil {
 			return v, err
 		}

@@ -109,10 +109,11 @@ func Workers(n int) int {
 	return n
 }
 
-// runJob executes fn(ctx, i, attempt), converting an error return or a
-// panic into a *JobError. The recover here is what keeps one corrupted
-// simulation from destroying every completed result in the process.
-func runJob[T any](ctx context.Context, i, attempt int, fn func(ctx context.Context, i, attempt int) (T, error)) (v T, err error) {
+// runJob executes fn(ctx, i, attempt, worker), converting an error
+// return or a panic into a *JobError. The recover here is what keeps
+// one corrupted simulation from destroying every completed result in
+// the process.
+func runJob[T any](ctx context.Context, i, attempt, worker int, fn func(ctx context.Context, i, attempt, worker int) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			cause, ok := r.(error)
@@ -122,7 +123,7 @@ func runJob[T any](ctx context.Context, i, attempt int, fn func(ctx context.Cont
 			err = &JobError{Job: i, Attempt: attempt, Cause: cause, Stack: debug.Stack()}
 		}
 	}()
-	v, ferr := fn(ctx, i, attempt)
+	v, ferr := fn(ctx, i, attempt, worker)
 	if ferr != nil {
 		return v, &JobError{Job: i, Attempt: attempt, Cause: ferr}
 	}
@@ -157,6 +158,19 @@ func DoPolicy[T any](ctx context.Context, n, workers int, policy FailurePolicy, 
 // the failure policies, and byte-identical output at any worker count
 // are all preserved: retrying job i never reorders or perturbs job j.
 func DoRetryPolicy[T any](ctx context.Context, n, workers int, policy FailurePolicy, retry RetryPolicy, fn func(ctx context.Context, i, attempt int) (T, error)) ([]T, error) {
+	return doRetryPolicyWorker(ctx, n, workers, policy, retry, func(ctx context.Context, i, attempt, _ int) (T, error) {
+		return fn(ctx, i, attempt)
+	})
+}
+
+// doRetryPolicyWorker is DoRetryPolicy where fn also receives the
+// stable index of the worker goroutine executing it (0-based; the
+// sequential fast path is worker 0). Worker indices partition the job
+// stream — no two concurrent jobs share one — which is what lets a
+// caller keep per-worker mutable state (the sweep runner's warm
+// simulation slots) without locks. The index is an execution-mechanics
+// detail: results must never depend on it.
+func doRetryPolicyWorker[T any](ctx context.Context, n, workers int, policy FailurePolicy, retry RetryPolicy, fn func(ctx context.Context, i, attempt, worker int) (T, error)) ([]T, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -179,7 +193,7 @@ func DoRetryPolicy[T any](ctx context.Context, n, workers int, policy FailurePol
 				}
 				return out, errors.Join(append(compact(jobErrs[:i]), err)...)
 			}
-			v, err := attemptJob(ctx, i, retry, fn)
+			v, err := attemptJob(ctx, i, 0, retry, fn)
 			if err != nil {
 				if policy == FailFast {
 					return nil, err
@@ -207,14 +221,14 @@ func DoRetryPolicy[T any](ctx context.Context, n, workers int, policy FailurePol
 		errMu    sync.Mutex
 	)
 	jobErrs := make([]error, n)
-	work := func() {
+	work := func(worker int) {
 		defer wg.Done()
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n || ctx.Err() != nil {
 				return
 			}
-			v, err := attemptJob(ctx, i, retry, fn)
+			v, err := attemptJob(ctx, i, worker, retry, fn)
 			if err != nil {
 				if policy == FailFast {
 					errOnce.Do(func() {
@@ -233,7 +247,7 @@ func DoRetryPolicy[T any](ctx context.Context, n, workers int, policy FailurePol
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go work()
+		go work(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -320,6 +334,22 @@ type SimsConfig struct {
 	// JournalFailure selects how a journal write failure is handled;
 	// the zero value is JournalFatal.
 	JournalFailure JournalFailureMode
+	// ColdStart disables the per-worker warm pool: every job then
+	// constructs its hierarchy, core, and workload engine from scratch.
+	// The pool is on by default because warm runs are byte-identical to
+	// cold ones by contract (pinned by the sim package's warm-vs-cold
+	// lockstep and fuzz suites); ColdStart exists as the throughput
+	// bench's baseline and as a diagnostic escape hatch.
+	ColdStart bool
+	// WarmPool, when non-nil, supplies the per-worker slot rack itself,
+	// so a caller can keep slots alive across RunSimsStats calls — the
+	// throughput bench does this to measure pure steady-state batches
+	// with no construction noise. It must hold at least
+	// Workers(cfg.Workers) entries (nil entries are populated on first
+	// use, and a slot discarded after a failed job leaves nil behind);
+	// the caller must not touch the rack while the sweep runs. Ignored
+	// under ColdStart.
+	WarmPool []*sim.Warm
 	// Warn receives non-fatal degradation notices (currently: the one
 	// journal-disable notice under JournalDegrade). Nil discards them.
 	Warn func(error)
@@ -355,6 +385,15 @@ func RunSims(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]sim.Res
 // reports zero RunStats, and a journal hit recorded under a different
 // NoCycleSkip setting reports the stats of whichever mechanism
 // actually ran (the fingerprint deliberately ignores that flag).
+//
+// Unless cfg.ColdStart is set, each worker owns a sim.Warm slot that
+// is reset between jobs instead of rebuilt — amortizing construction
+// across the sweep without changing a single output byte (warm runs
+// are byte-identical to cold by the sim package's contract). A slot
+// is taken off its worker's rack just before the simulation runs and
+// returned only when the run completes without error, so a job that
+// panics or fails mid-run discards its possibly half-mutated slot and
+// the next job on that worker starts from a fresh one.
 func RunSimsStats(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]SimOutcome, error) {
 	var mu sync.Mutex
 	report := func(r sim.Result) {
@@ -375,7 +414,21 @@ func RunSimsStats(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]Si
 		journalDown atomic.Bool
 		warnOnce    sync.Once
 	)
-	return DoRetryPolicy(ctx, len(jobs), cfg.Workers, cfg.Policy, retry, func(ctx context.Context, i, attempt int) (SimOutcome, error) {
+	// One warm slot rack entry per worker. Worker indices partition
+	// the job stream (doRetryPolicyWorker's contract), so each entry
+	// is only ever touched by its own goroutine — no locks needed.
+	var warm []*sim.Warm
+	if !cfg.ColdStart {
+		if cfg.WarmPool != nil {
+			if need := Workers(cfg.Workers); len(cfg.WarmPool) < need {
+				return nil, fmt.Errorf("runner: WarmPool holds %d slots, need %d for the requested worker count", len(cfg.WarmPool), need)
+			}
+			warm = cfg.WarmPool
+		} else {
+			warm = make([]*sim.Warm, Workers(cfg.Workers))
+		}
+	}
+	return doRetryPolicyWorker(ctx, len(jobs), cfg.Workers, cfg.Policy, retry, func(ctx context.Context, i, attempt, worker int) (SimOutcome, error) {
 		opt := jobs[i]
 		if cfg.Journal != nil {
 			if out, ok := cfg.Journal.LookupStats(opt); ok {
@@ -396,10 +449,26 @@ func RunSimsStats(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]Si
 				return SimOutcome{}, deadline(ctx, runCtx, err)
 			}
 		}
-		res, st, err := sim.RunContextStats(runCtx, opt)
+		// Take this worker's slot; a nil slot runs cold (ColdStart, or
+		// first job on the worker, or predecessor discarded on failure).
+		var slot *sim.Warm
+		if warm != nil {
+			slot = warm[worker]
+			if slot == nil {
+				slot = sim.NewWarm()
+			}
+			warm[worker] = nil
+		}
+		res, st, err := slot.RunContextStats(runCtx, opt)
 		out := SimOutcome{Result: res, Stats: st}
 		if err != nil {
 			return out, deadline(ctx, runCtx, err)
+		}
+		if warm != nil {
+			// Clean completion: the slot's state is sound, rack it for
+			// the worker's next job. (Journal trouble below is I/O, not
+			// simulator corruption, so it does not discard the slot.)
+			warm[worker] = slot
 		}
 		if cfg.Journal != nil && !journalDown.Load() {
 			if jerr := cfg.Journal.RecordStats(opt, res, st); jerr != nil {

@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"emissary/internal/sim"
+)
+
+func warmPoolJobs(t *testing.T) []sim.Options {
+	t.Helper()
+	return []sim.Options{
+		tinyOptions(t, "TPLRU", 1),
+		tinyOptions(t, "P(8):S&E", 2),
+		tinyOptions(t, "P(8):S&E&R(1/32)", 3),
+		tinyOptions(t, "DRRIP", 4),
+		tinyOptions(t, "SRRIP", 5),
+		tinyOptions(t, "GHRP", 6),
+	}
+}
+
+// TestSimsWarmPoolMatchesColdStart is the sweep-level byte-identity
+// contract: the default warm-pooled run must equal a ColdStart run of
+// the same jobs at every worker count, including under the race
+// detector (go test -race covers this file).
+func TestSimsWarmPoolMatchesColdStart(t *testing.T) {
+	jobs := warmPoolJobs(t)
+	ctx := context.Background()
+	cold, err := RunSimsStats(ctx, jobs, SimsConfig{Workers: 1, ColdStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		warm, err := RunSimsStats(ctx, jobs, SimsConfig{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(cold, warm) {
+			t.Errorf("workers=%d: warm-pooled outcomes differ from ColdStart", workers)
+		}
+	}
+}
+
+// TestSimsWarmPoolCallerRack reuses one caller-owned rack across
+// consecutive sweeps: results stay byte-identical to cold, and the
+// rack holds populated slots afterwards (the second sweep ran warm).
+func TestSimsWarmPoolCallerRack(t *testing.T) {
+	jobs := warmPoolJobs(t)
+	ctx := context.Background()
+	cold, err := RunSimsStats(ctx, jobs, SimsConfig{Workers: 1, ColdStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rack := make([]*sim.Warm, Workers(1))
+	for round := 0; round < 3; round++ {
+		got, err := RunSimsStats(ctx, jobs, SimsConfig{Workers: 1, WarmPool: rack})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !reflect.DeepEqual(cold, got) {
+			t.Errorf("round %d: rack-pooled outcomes differ from ColdStart", round)
+		}
+		if rack[0] == nil {
+			t.Fatalf("round %d: clean sweep did not return the slot to the rack", round)
+		}
+	}
+}
+
+// TestSimsWarmPoolTooSmall pins the sizing check: a rack with fewer
+// slots than workers is a caller bug reported up front, not a panic
+// mid-sweep.
+func TestSimsWarmPoolTooSmall(t *testing.T) {
+	jobs := warmPoolJobs(t)
+	_, err := RunSimsStats(context.Background(), jobs, SimsConfig{
+		Workers:  4,
+		WarmPool: make([]*sim.Warm, 2),
+	})
+	if err == nil {
+		t.Fatal("undersized WarmPool accepted")
+	}
+	if !strings.Contains(err.Error(), "WarmPool") {
+		t.Errorf("error does not name WarmPool: %v", err)
+	}
+}

@@ -6,14 +6,9 @@ package sim
 
 import (
 	"context"
-	"fmt"
-	"os"
 
-	"emissary/internal/cache"
 	"emissary/internal/core"
 	"emissary/internal/pipeline"
-	"emissary/internal/rng"
-	"emissary/internal/trace"
 	"emissary/internal/workload"
 )
 
@@ -137,94 +132,12 @@ func RunContext(ctx context.Context, opt Options) (Result, error) {
 }
 
 // RunContextStats is RunContext plus the run's execution mechanics
-// (cycle-skip engagement), for throughput reporting.
+// (cycle-skip engagement), for throughput reporting. It always runs
+// cold — building a fresh hierarchy, core, and workload engine; a
+// sweep worker that wants to amortize construction uses a Warm slot's
+// method of the same name, which is byte-identical by contract.
 func RunContextStats(ctx context.Context, opt Options) (Result, RunStats, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if opt.MeasureInstrs == 0 {
-		return Result{}, RunStats{}, fmt.Errorf("sim: MeasureInstrs must be positive")
-	}
-	var (
-		source    trace.Source
-		footprint int
-		benchName string
-	)
-	if opt.TracePath != "" {
-		f, err := os.Open(opt.TracePath)
-		if err != nil {
-			return Result{}, RunStats{}, fmt.Errorf("sim: %w", err)
-		}
-		defer f.Close()
-		replay, err := trace.NewReplay(f)
-		if err != nil {
-			return Result{}, RunStats{}, err
-		}
-		source = replay
-		footprint = replay.FootprintBytes()
-		benchName = opt.TracePath
-	} else {
-		prog, err := workload.NewProgram(opt.Benchmark)
-		if err != nil {
-			return Result{}, RunStats{}, err
-		}
-		source = workload.NewEngine(prog)
-		footprint = prog.FootprintBytes()
-		benchName = opt.Benchmark.Name
-	}
-
-	spec := opt.Policy
-	if opt.TrueLRU {
-		spec.TrueLRU = true
-	}
-	ccfg := cache.DefaultConfig(spec)
-	ccfg.L1TrueLRU = opt.TrueLRU
-	ccfg.IdealL2I = opt.IdealL2I
-	ccfg.Seed = rng.Mix2(opt.Seed, opt.Benchmark.Seed+1)
-	if !opt.NLP {
-		ccfg.L1I.NLP = false
-		ccfg.L1D.NLP = false
-		ccfg.L2.NLP = false
-		ccfg.L3.NLP = false
-	}
-	hier := cache.NewHierarchy(ccfg)
-
-	pcfg := pipeline.DefaultConfig()
-	pcfg.FDIP = opt.FDIP
-	pcfg.TrackReuse = opt.TrackReuse
-	pcfg.PriorityResetInterval = opt.PriorityResetInterval
-	if opt.FTQEntries > 0 {
-		pcfg.FTQEntries = opt.FTQEntries
-		pcfg.FTQInstrCap = opt.FTQEntries * 8
-	}
-	if opt.MaxMSHRs > 0 {
-		pcfg.MaxMSHRs = opt.MaxMSHRs
-	}
-	pcfg.MRCEntries = opt.MRCEntries
-	pcfg.MaxCycles = opt.MaxCycles
-	pcfg.NoCycleSkip = opt.NoCycleSkip
-	c, err := pipeline.NewCore(pcfg, source, hier, ccfg.Seed)
-	if err != nil {
-		return Result{}, RunStats{}, err
-	}
-
-	if err := runWindow(ctx, c, opt, "warm-up", opt.WarmupInstrs); err != nil {
-		return Result{}, RunStats{}, err
-	}
-	start := c.TakeSnapshot()
-	if err := runWindow(ctx, c, opt, "measurement", opt.MeasureInstrs); err != nil {
-		return Result{}, RunStats{}, err
-	}
-	end := c.TakeSnapshot()
-
-	res := pipeline.Diff(start, end, hier.L2.PriorityCensus())
-	return Result{
-		Result:               res,
-		Benchmark:            benchName,
-		Policy:               spec.String(),
-		FootprintBytes:       footprint,
-		BranchMispredictRate: c.BranchMispredictRate(),
-	}, RunStats{Cycles: c.Cycle(), SkippedCycles: c.SkippedCycles()}, nil
+	return (*Warm)(nil).RunContextStats(ctx, opt)
 }
 
 // runWindow advances the core by n more committed instructions in

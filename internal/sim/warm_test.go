@@ -1,0 +1,135 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+
+	"emissary/internal/core"
+	"emissary/internal/rng"
+	"emissary/internal/sim"
+	"emissary/internal/workload"
+)
+
+// lockstepOptions builds a small-window Options for warm-vs-cold
+// comparisons (the windows are shorter than the golden run's so the
+// lockstep matrix stays fast).
+func lockstepOptions(t *testing.T, bench, policy string, seed uint64) sim.Options {
+	t.Helper()
+	prof, ok := workload.ProfileByName(bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", bench)
+	}
+	opt := sim.DefaultOptions(prof, core.MustParsePolicy(policy))
+	opt.WarmupInstrs = 5_000
+	opt.MeasureInstrs = 20_000
+	opt.Seed = seed
+	return opt
+}
+
+// runBoth executes opt warm (through the shared slot) and cold and
+// fails unless the two runs are byte-identical — Result digest and
+// RunStats both.
+func runBoth(t *testing.T, w *sim.Warm, opt sim.Options, label string) {
+	t.Helper()
+	ctx := context.Background()
+	warmRes, warmStats, err := w.RunContextStats(ctx, opt)
+	if err != nil {
+		t.Fatalf("%s: warm run: %v", label, err)
+	}
+	coldRes, coldStats, err := sim.RunContextStats(ctx, opt)
+	if err != nil {
+		t.Fatalf("%s: cold run: %v", label, err)
+	}
+	if got, want := goldenDigest(warmRes), goldenDigest(coldRes); got != want {
+		t.Errorf("%s: warm result diverged from cold\nwarm: %s\ncold: %s", label, got, want)
+	}
+	if warmStats != coldStats {
+		t.Errorf("%s: warm RunStats %+v differ from cold %+v", label, warmStats, coldStats)
+	}
+}
+
+// TestWarmColdLockstep is the warm pool's correctness contract: one
+// slot is driven through the full policy matrix, and every run must be
+// byte-identical to a cold run of the same Options. Policy changes
+// alter the cache geometry mid-stream, so the slot's reset-or-rebuild
+// decision is exercised on most transitions.
+func TestWarmColdLockstep(t *testing.T) {
+	benches := shortBenches
+	if !testing.Short() {
+		benches = workload.ProfileNames()
+	}
+	w := sim.NewWarm()
+	for _, bench := range benches {
+		for _, pol := range goldenPolicies {
+			runBoth(t, w, lockstepOptions(t, bench, pol, 1), goldenKey(bench, pol))
+		}
+	}
+}
+
+// TestWarmColdLockstepOptionVariants drives every Options toggle
+// through one shared slot: instrumentation flags that reset in place,
+// and sizing overrides that force the fall-back rebuild path.
+func TestWarmColdLockstepOptionVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		mut  func(*sim.Options)
+	}{
+		{"base", func(o *sim.Options) {}},
+		{"track-reuse", func(o *sim.Options) { o.TrackReuse = true }},
+		{"priority-reset", func(o *sim.Options) { o.PriorityResetInterval = 10_000 }},
+		{"no-fdip", func(o *sim.Options) { o.FDIP = false }},
+		{"no-nlp", func(o *sim.Options) { o.NLP = false }},
+		{"true-lru", func(o *sim.Options) { o.TrueLRU = true }},
+		{"ideal-l2i", func(o *sim.Options) { o.IdealL2I = true }},
+		{"ftq-16", func(o *sim.Options) { o.FTQEntries = 16 }},
+		{"mshr-4", func(o *sim.Options) { o.MaxMSHRs = 4 }},
+		{"mrc-64", func(o *sim.Options) { o.MRCEntries = 64 }},
+		{"no-cycle-skip", func(o *sim.Options) { o.NoCycleSkip = true }},
+		{"seed-99", func(o *sim.Options) { o.Seed = 99 }},
+		{"base-again", func(o *sim.Options) {}},
+	}
+	w := sim.NewWarm()
+	for _, v := range variants {
+		opt := lockstepOptions(t, "tomcat", "P(8):S&E&R(1/32)", 3)
+		v.mut(&opt)
+		runBoth(t, w, opt, v.name)
+	}
+}
+
+// TestWarmColdFuzz hammers one slot with a deterministic random stream
+// of Options — benchmark, policy, seed and feature toggles all vary —
+// and requires byte-identity with cold on every draw. Any reset that
+// leaks state from the previous randomized run shows up here.
+func TestWarmColdFuzz(t *testing.T) {
+	iters := 32
+	if testing.Short() {
+		iters = 10
+	}
+	benches := workload.ProfileNames()
+	r := rng.NewSplitMix64(0xf0221)
+	w := sim.NewWarm()
+	for i := 0; i < iters; i++ {
+		bench := benches[r.Uint64()%uint64(len(benches))]
+		pol := goldenPolicies[r.Uint64()%uint64(len(goldenPolicies))]
+		opt := lockstepOptions(t, bench, pol, r.Uint64()%1024)
+		opt.WarmupInstrs = 2_000
+		opt.MeasureInstrs = 8_000
+		bits := r.Uint64()
+		opt.FDIP = bits&1 != 0
+		opt.NLP = bits&2 != 0
+		opt.TrueLRU = bits&4 != 0
+		opt.TrackReuse = bits&8 != 0
+		opt.IdealL2I = bits&16 != 0
+		opt.NoCycleSkip = bits&32 != 0
+		if bits&64 != 0 {
+			opt.PriorityResetInterval = 4_096
+		}
+		if bits&128 != 0 {
+			opt.FTQEntries = 16
+		}
+		if bits&256 != 0 {
+			opt.MRCEntries = 32
+		}
+		runBoth(t, w, opt, goldenKey(bench, pol))
+	}
+}

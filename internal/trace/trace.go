@@ -69,6 +69,13 @@ type MemRef struct {
 	Store bool
 }
 
+// MaxBlockMem bounds len(BlockEvent.Mem): a basic block is at most a
+// handful of instructions (the workload generator caps blocks well
+// below this), so no event carries more memory references. Consumers
+// size per-slot reference buffers to it, and the trace reader rejects
+// events that exceed it.
+const MaxBlockMem = 16
+
 // BlockEvent is one dynamic basic-block execution on the committed
 // path: the oracle record the pipeline validates its predictions
 // against.
@@ -90,7 +97,9 @@ func (e BlockEvent) BranchPC() uint64 { return e.Addr + 4*uint64(e.NumInstrs-1) 
 // classes.
 type Source interface {
 	// NextBlock returns the next committed-path block; ok is false at
-	// end of stream.
+	// end of stream. The returned event's Mem slice is only valid
+	// until the next NextBlock call — sources may reuse its backing
+	// array — so callers keeping references across calls must copy.
 	NextBlock() (BlockEvent, bool)
 	// BlockInfo returns the static descriptor of the block starting at
 	// addr (what a pre-decoder would extract from the raw bytes).
@@ -205,8 +214,8 @@ func (r *Reader) ReadEvent() (BlockEvent, error) {
 	if err != nil {
 		return e, fmt.Errorf("trace: truncated event: %w", err)
 	}
-	if nm > 1<<20 {
-		return e, fmt.Errorf("trace: implausible mem-ref count %d", nm)
+	if nm > MaxBlockMem {
+		return e, fmt.Errorf("trace: mem-ref count %d exceeds the per-block bound %d", nm, MaxBlockMem)
 	}
 	if nm > 0 {
 		e.Mem = make([]MemRef, nm)

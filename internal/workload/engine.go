@@ -40,6 +40,26 @@ func NewEngine(prog *Program) *Engine {
 	return e
 }
 
+// Reset restarts the engine at prog's dispatcher, reusing every
+// allocation: the architectural state afterwards is byte-identical to
+// what NewEngine(prog) would build. prog must come from the same
+// warm-pool slot or be freshly built; the engine never mutates it.
+//
+//vet:hot
+func (e *Engine) Reset(prog *Program) {
+	e.prog = prog
+	e.r.Seed(rng.Mix2(prog.profile.Seed, 0xe4617e))
+	e.cur = prog.index[prog.dispatcher]
+	e.stack = e.stack[:0]
+	clear(e.trips)
+	e.recordBase = 0
+	e.recordCursor = 0
+	e.requests = 0
+	e.instrs = 0
+	e.memBuf = e.memBuf[:0]
+	e.newRecord()
+}
+
 // Instructions returns the committed instruction count so far.
 func (e *Engine) Instructions() uint64 { return e.instrs }
 
@@ -130,7 +150,9 @@ func (e *Engine) NextBlock() (trace.BlockEvent, bool) {
 		}
 	}
 	if len(e.memBuf) > 0 {
-		ev.Mem = append([]trace.MemRef(nil), e.memBuf...)
+		// Hand out the scratch buffer directly; the Source contract
+		// makes Mem valid only until the next NextBlock call.
+		ev.Mem = e.memBuf
 	}
 
 	// Resolve the successor.
