@@ -2,6 +2,9 @@ package hotbench
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -141,5 +144,57 @@ func TestMeasureEndToEndStallHeavy(t *testing.T) {
 	}
 	if r.NLP || r.FDIP || r.MaxMSHRs != 4 {
 		t.Errorf("row not labeled with its config: %+v", r)
+	}
+}
+
+// TestVerifySchema pins the artifact gate: a current-schema report
+// with a measured batched row passes; a stale schema, a missing
+// batched sweep row, and an unmeasured one (allocs_per_job -1, the
+// parallel-row marker) all fail with messages naming the problem.
+func TestVerifySchema(t *testing.T) {
+	write := func(t *testing.T, rep Report) string {
+		t.Helper()
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := Report{
+		Schema: SchemaVersion,
+		Sweep: []SweepResult{
+			{Mode: "cold", Workers: 1, AllocsPerJob: 900},
+			{Mode: "warm", Workers: 1, AllocsPerJob: 0},
+			{Mode: "batched", Workers: 1, AllocsPerJob: 0},
+			{Mode: "batched", Workers: 8, AllocsPerJob: -1},
+		},
+	}
+	if err := VerifySchema(write(t, good)); err != nil {
+		t.Errorf("current artifact rejected: %v", err)
+	}
+
+	stale := good
+	stale.Schema = SchemaVersion - 1
+	if err := VerifySchema(write(t, stale)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("stale schema not rejected usefully: %v", err)
+	}
+
+	unbatched := good
+	unbatched.Sweep = good.Sweep[:2]
+	if err := VerifySchema(write(t, unbatched)); err == nil || !strings.Contains(err.Error(), "batched") {
+		t.Errorf("missing batched section not rejected usefully: %v", err)
+	}
+
+	unmeasured := good
+	unmeasured.Sweep = []SweepResult{
+		good.Sweep[0], good.Sweep[1],
+		{Mode: "batched", Workers: 1, AllocsPerJob: -1},
+	}
+	if err := VerifySchema(write(t, unmeasured)); err == nil || !strings.Contains(err.Error(), "batched") {
+		t.Errorf("unmeasured batched row not rejected usefully: %v", err)
 	}
 }

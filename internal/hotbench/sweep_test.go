@@ -40,7 +40,7 @@ func TestSweepJobStream(t *testing.T) {
 // absorb a stray environmental allocation; any true per-job cost is
 // at least 1.0) and labeled correctly.
 func TestMeasureSweepWarm(t *testing.T) {
-	r, err := MeasureSweep(1, 2*sweepCycle, false)
+	r, err := MeasureSweep(1, 2*sweepCycle, "warm")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +55,25 @@ func TestMeasureSweepWarm(t *testing.T) {
 	}
 }
 
+// TestMeasureSweepBatched is the same gate for the lockstep rows: the
+// batched steady state — shared stream synthesis, per-worker racks,
+// reused grouping scratch — must also be allocation-free per job.
+func TestMeasureSweepBatched(t *testing.T) {
+	r, err := MeasureSweep(1, 4*sweepCycle, "batched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != "batched" || r.Workers != 1 || r.Jobs != 4*sweepCycle {
+		t.Errorf("row mislabeled: %+v", r)
+	}
+	if r.WallMS <= 0 || r.JobsPerSec <= 0 {
+		t.Errorf("degenerate sweep row: %+v", r)
+	}
+	if r.AllocsPerJob >= 0.5 {
+		t.Errorf("batched sweep allocates %v allocs/job, want < 0.5 (zero steady-state)", r.AllocsPerJob)
+	}
+}
+
 // TestMeasureSweepCold checks the baseline row's labeling; the
 // throughput comparison against warm lives in the committed artifact,
 // not here (relative speed is machine-dependent).
@@ -62,7 +81,7 @@ func TestMeasureSweepCold(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cold sweeps rebuild every job; skipped in -short")
 	}
-	r, err := MeasureSweep(1, sweepCycle, true)
+	r, err := MeasureSweep(1, sweepCycle, "cold")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,14 +93,25 @@ func TestMeasureSweepCold(t *testing.T) {
 	}
 }
 
-// TestSweepConfigs pins the matrix Collect measures: serial cold and
-// warm rows always, parallel rows only on multi-core machines.
+// TestSweepConfigs pins the matrix Collect measures: serial cold,
+// warm, and batched rows always, parallel rows only on multi-core
+// machines.
 func TestSweepConfigs(t *testing.T) {
 	cfgs := SweepConfigs()
-	if len(cfgs) < 2 {
-		t.Fatalf("SweepConfigs() = %v, want at least serial cold+warm", cfgs)
+	if len(cfgs) < 3 {
+		t.Fatalf("SweepConfigs() = %v, want at least serial cold+warm+batched", cfgs)
 	}
-	if cfgs[0] != (SweepConfig{Workers: 1, Cold: true}) || cfgs[1] != (SweepConfig{Workers: 1, Cold: false}) {
-		t.Errorf("serial rows missing or misordered: %v", cfgs)
+	want := []SweepConfig{{1, "cold"}, {1, "warm"}, {1, "batched"}}
+	for i, w := range want {
+		if cfgs[i] != w {
+			t.Errorf("serial row %d = %v, want %v", i, cfgs[i], w)
+		}
+	}
+}
+
+// TestMeasureSweepUnknownMode pins the mode validation.
+func TestMeasureSweepUnknownMode(t *testing.T) {
+	if _, err := MeasureSweep(1, sweepCycle, "tepid"); err == nil {
+		t.Fatal("unknown sweep mode accepted")
 	}
 }

@@ -329,7 +329,10 @@ type SimsConfig struct {
 	// Inject, when non-nil, runs before each attempt's simulation with
 	// the attempt's (deadline-bounded) context. A non-nil return or a
 	// panic stands in for the simulation's failure — the fault-
-	// injection hook the chaos suite drives.
+	// injection hook the chaos suite drives. A non-nil Inject also
+	// disables batched execution: the hook's per-job sequential
+	// semantics (a stall blocks exactly its own job) cannot survive
+	// lockstep grouping.
 	Inject func(ctx context.Context, job, attempt int) error
 	// JournalFailure selects how a journal write failure is handled;
 	// the zero value is JournalFatal.
@@ -350,6 +353,28 @@ type SimsConfig struct {
 	// the caller must not touch the rack while the sweep runs. Ignored
 	// under ColdStart.
 	WarmPool []*sim.Warm
+	// NoBatch disables batched lockstep execution: jobs then run one at
+	// a time on their worker's warm slot even when several share an
+	// architectural stream. Batching is on by default because batched
+	// runs are byte-identical to sequential ones by contract (pinned by
+	// the sim package's batch differential and fuzz suites); NoBatch
+	// exists as the throughput bench's warm-only baseline and as a
+	// diagnostic escape hatch. Batching also stands down on its own
+	// whenever grouping cannot apply: under ColdStart, with a positive
+	// JobTimeout (a whole-batch deadline would change per-job timeout
+	// semantics), with a fault injector (see Inject), for trace
+	// replays and zero-measurement jobs, for journal hits, and for
+	// groups of one.
+	NoBatch bool
+	// MaxBatch caps the members of one lockstep batch (0 means
+	// DefaultMaxBatch). Larger groups split into consecutive batches.
+	MaxBatch int
+	// Batch, when non-nil, supplies the batched path's reusable state
+	// (per-worker executors and grouping scratch) so a caller can keep
+	// it alive across RunSimsStats calls — the throughput bench does,
+	// to measure steady-state batched sweeps at zero allocations. The
+	// caller must not use one BatchPool from two concurrent sweeps.
+	Batch *BatchPool
 	// Warn receives non-fatal degradation notices (currently: the one
 	// journal-disable notice under JournalDegrade). Nil discards them.
 	Warn func(error)
@@ -394,6 +419,15 @@ func RunSims(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]sim.Res
 // returned only when the run completes without error, so a job that
 // panics or fails mid-run discards its possibly half-mutated slot and
 // the next job on that worker starts from a fresh one.
+//
+// On top of the warm pool, jobs sharing an architectural stream
+// (sim.BatchKey: same workload profile, synthesis seed, and warm-up/
+// measurement horizon — policy and machine knobs may differ) execute
+// in lockstep batches that synthesize the block stream once per group
+// instead of once per job. Batching is scheduling only: results stay
+// in job order and byte-identical to the non-batched path (batched ≡
+// sequential ≡ warm ≡ cold, at any worker count). See SimsConfig.
+// NoBatch for when the runner stands the batched path down.
 func RunSimsStats(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]SimOutcome, error) {
 	var mu sync.Mutex
 	report := func(r sim.Result) {
@@ -414,6 +448,30 @@ func RunSimsStats(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]Si
 		journalDown atomic.Bool
 		warnOnce    sync.Once
 	)
+	// record checkpoints one finished job, applying the configured
+	// journal-failure mode. A non-nil return is the job's failure.
+	// Shared by the per-job path and the batched path so the two cannot
+	// diverge on journal semantics.
+	record := func(opt sim.Options, res sim.Result, st sim.RunStats) error {
+		if cfg.Journal == nil || journalDown.Load() {
+			return nil
+		}
+		if jerr := cfg.Journal.RecordStats(opt, res, st); jerr != nil {
+			if cfg.JournalFailure == JournalFatal {
+				return fmt.Errorf("journal: %w", jerr)
+			}
+			// Degrade: results keep flowing, checkpointing stops.
+			// Lookup still serves records loaded at open, so resume
+			// semantics for earlier runs are unaffected.
+			journalDown.Store(true)
+			warnOnce.Do(func() {
+				if cfg.Warn != nil {
+					cfg.Warn(fmt.Errorf("journal degraded, checkpointing disabled for the rest of the sweep: %w", jerr))
+				}
+			})
+		}
+		return nil
+	}
 	// One warm slot rack entry per worker. Worker indices partition
 	// the job stream (doRetryPolicyWorker's contract), so each entry
 	// is only ever touched by its own goroutine — no locks needed.
@@ -428,7 +486,7 @@ func RunSimsStats(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]Si
 			warm = make([]*sim.Warm, Workers(cfg.Workers))
 		}
 	}
-	return doRetryPolicyWorker(ctx, len(jobs), cfg.Workers, cfg.Policy, retry, func(ctx context.Context, i, attempt, worker int) (SimOutcome, error) {
+	jobFn := func(ctx context.Context, i, attempt, worker int) (SimOutcome, error) {
 		opt := jobs[i]
 		if cfg.Journal != nil {
 			if out, ok := cfg.Journal.LookupStats(opt); ok {
@@ -470,25 +528,32 @@ func RunSimsStats(ctx context.Context, jobs []sim.Options, cfg SimsConfig) ([]Si
 			// simulator corruption, so it does not discard the slot.)
 			warm[worker] = slot
 		}
-		if cfg.Journal != nil && !journalDown.Load() {
-			if jerr := cfg.Journal.RecordStats(opt, res, st); jerr != nil {
-				if cfg.JournalFailure == JournalFatal {
-					return out, fmt.Errorf("journal: %w", jerr)
-				}
-				// Degrade: results keep flowing, checkpointing stops.
-				// Lookup still serves records loaded at open, so resume
-				// semantics for earlier runs are unaffected.
-				journalDown.Store(true)
-				warnOnce.Do(func() {
-					if cfg.Warn != nil {
-						cfg.Warn(fmt.Errorf("journal degraded, checkpointing disabled for the rest of the sweep: %w", jerr))
-					}
-				})
-			}
+		if jerr := record(opt, res, st); jerr != nil {
+			return out, jerr
 		}
 		report(res)
 		return out, nil
-	})
+	}
+	// Fault-injected sweeps never batch: an injector's contract is
+	// per-job sequential semantics (a stall blocks exactly its own
+	// job, and already-completed jobs are journaled before it fires),
+	// which lockstep execution cannot honor — the members of a batch
+	// would have to run their injectors before any member simulates,
+	// so one stalling injector would starve the whole group. Injection
+	// is a torture-test mechanism; batched-vs-sequential byte identity
+	// keeps the fallback observably equivalent on the result side.
+	if cfg.ColdStart || cfg.NoBatch || cfg.JobTimeout > 0 || cfg.Inject != nil {
+		return doRetryPolicyWorker(ctx, len(jobs), cfg.Workers, cfg.Policy, retry, jobFn)
+	}
+	b := &batchedSims{
+		jobs:   jobs,
+		cfg:    cfg,
+		retry:  retry,
+		report: report,
+		record: record,
+		jobFn:  jobFn,
+	}
+	return b.run(ctx)
 }
 
 // deadline annotates err when the per-job deadline (not the sweep's

@@ -46,6 +46,9 @@ func TestSimsWarmPoolMatchesColdStart(t *testing.T) {
 // TestSimsWarmPoolCallerRack reuses one caller-owned rack across
 // consecutive sweeps: results stay byte-identical to cold, and the
 // rack holds populated slots afterwards (the second sweep ran warm).
+// NoBatch pins the single-job slot path specifically — these jobs all
+// share one stream, so the default batched path would never touch the
+// rack (TestSimsBatchPoolReuse covers the batched equivalent).
 func TestSimsWarmPoolCallerRack(t *testing.T) {
 	jobs := warmPoolJobs(t)
 	ctx := context.Background()
@@ -55,7 +58,7 @@ func TestSimsWarmPoolCallerRack(t *testing.T) {
 	}
 	rack := make([]*sim.Warm, Workers(1))
 	for round := 0; round < 3; round++ {
-		got, err := RunSimsStats(ctx, jobs, SimsConfig{Workers: 1, WarmPool: rack})
+		got, err := RunSimsStats(ctx, jobs, SimsConfig{Workers: 1, WarmPool: rack, NoBatch: true})
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}

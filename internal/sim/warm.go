@@ -37,9 +37,9 @@ type Warm struct {
 	core *pipeline.Core
 	eng  *workload.Engine
 
-	// progs caches built programs by profile (profiles are comparable
-	// value types); polNames caches Spec.String renderings.
-	progs    map[workload.Profile]*workload.Program
+	// polNames caches Spec.String renderings. (Programs come from the
+	// process-wide workload.SharedPrograms cache — content-addressed by
+	// the full profile — so slots across workers share one synthesis.)
 	polNames map[core.Spec]string
 
 	// censusArena parcels out per-run PriorityCensus storage. Results
@@ -52,7 +52,6 @@ type Warm struct {
 // NewWarm returns an empty slot; the first run populates it.
 func NewWarm() *Warm {
 	return &Warm{
-		progs:    make(map[workload.Profile]*workload.Program),
 		polNames: make(map[core.Spec]string),
 	}
 }
@@ -71,14 +70,9 @@ func (w *Warm) RunContextStats(ctx context.Context, opt Options) (Result, RunSta
 		return runCold(ctx, opt)
 	}
 
-	prog, ok := w.progs[opt.Benchmark]
-	if !ok {
-		p, err := workload.NewProgram(opt.Benchmark)
-		if err != nil {
-			return Result{}, RunStats{}, err
-		}
-		w.progs[opt.Benchmark] = p
-		prog = p
+	prog, err := workload.SharedPrograms.Get(opt.Benchmark)
+	if err != nil {
+		return Result{}, RunStats{}, err
 	}
 	if w.eng == nil {
 		w.eng = workload.NewEngine(prog)
@@ -86,14 +80,27 @@ func (w *Warm) RunContextStats(ctx context.Context, opt Options) (Result, RunSta
 		w.eng.Reset(prog)
 	}
 
+	polName, err := w.prepare(opt, w.eng)
+	if err != nil {
+		return Result{}, RunStats{}, err
+	}
+	return finishRun(ctx, w.core, opt, w.hier, opt.Benchmark.Name, polName, prog.FootprintBytes(), w)
+}
+
+// prepare wires the slot's hierarchy and core — reset in place when the
+// geometry allows, rebuilt otherwise — around src for opt, and returns
+// the cached policy name. Shared by the single-job warm path (src is
+// the slot's own engine) and the batch path (src is a lockstep reader),
+// so the two cannot diverge on reset-or-rebuild decisions.
+func (w *Warm) prepare(opt Options, src trace.Source) (string, error) {
 	spec, ccfg, pcfg := deriveConfigs(opt)
 	if w.hier == nil || !w.hier.Reset(ccfg) {
 		w.hier = cache.NewHierarchy(ccfg)
 	}
-	if w.core == nil || !w.core.Reset(pcfg, w.eng, w.hier, ccfg.Seed) {
-		c, err := pipeline.NewCore(pcfg, w.eng, w.hier, ccfg.Seed)
+	if w.core == nil || !w.core.Reset(pcfg, src, w.hier, ccfg.Seed) {
+		c, err := pipeline.NewCore(pcfg, src, w.hier, ccfg.Seed)
 		if err != nil {
-			return Result{}, RunStats{}, err
+			return "", err
 		}
 		w.core = c
 	}
@@ -103,7 +110,7 @@ func (w *Warm) RunContextStats(ctx context.Context, opt Options) (Result, RunSta
 		polName = spec.String()
 		w.polNames[spec] = polName
 	}
-	return finishRun(ctx, w.core, opt, w.hier, opt.Benchmark.Name, polName, prog.FootprintBytes(), w)
+	return polName, nil
 }
 
 // runCold is the un-pooled construction path: build everything fresh,

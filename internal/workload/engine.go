@@ -144,8 +144,10 @@ func (e *Engine) NextBlock() (trace.BlockEvent, bool) {
 		pc := b.Addr + instrBytes*uint64(i)
 		switch e.prog.InstrClass(pc) {
 		case trace.ClassLoad:
+			//lint:ignore hot-noalloc memBuf is rewound to [:0] per block and capped by MaxBlockMem refs, so capacity is reached within the first few blocks and never grows again
 			e.memBuf = append(e.memBuf, trace.MemRef{Index: i, Addr: e.dataAddr(pc)})
 		case trace.ClassStore:
+			//lint:ignore hot-noalloc same MaxBlockMem-bounded scratch as the load arm above
 			e.memBuf = append(e.memBuf, trace.MemRef{Index: i, Addr: e.dataAddr(pc), Store: true})
 		}
 	}
@@ -187,11 +189,13 @@ func (e *Engine) NextBlock() (trace.BlockEvent, bool) {
 			next = b.FallThrough()
 		}
 	case branch.KindCall:
+		//lint:ignore hot-noalloc the return stack starts at capacity 64 and doubles to the program's maximum call depth, a static property of the generated call tree
 		e.stack = append(e.stack, b.FallThrough())
 		next = b.Target
 		ev.Taken = true
 	case branch.KindIndirectCall, branch.KindIndirect:
 		if b.End == branch.KindIndirectCall {
+			//lint:ignore hot-noalloc same call-depth-bounded stack as the direct-call arm above
 			e.stack = append(e.stack, b.FallThrough())
 		}
 		if b.Addr == e.prog.dispatcher {

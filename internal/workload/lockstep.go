@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"emissary/internal/branch"
+	"emissary/internal/trace"
+)
+
+// lockstepRing is the initial ring capacity in block events (a power
+// of two). Batch members are stepped round-robin in bounded turns, so
+// the fast-to-slow cursor spread is roughly one turn of blocks plus the
+// in-flight front-end window; the ring doubles on demand when a batch's
+// spread exceeds it and then stays at its high-water mark for the
+// executor's lifetime.
+const lockstepRing = 2048
+
+// lockstepMemPerEvent sizes the initial packed ref arena relative to
+// the ring: basic blocks average one or two memory references, so a few
+// refs of arena per buffered event covers the live window without the
+// MaxBlockMem-stride waste a fixed-slot arena would carry (16 slots per
+// event would inflate the arena ~8x past its live data and evict the
+// host caches the simulation itself needs).
+const lockstepMemPerEvent = 4
+
+// Lockstep fans one Engine's committed-path block stream out to R
+// readers, so R simulations whose architectural stream is identical
+// (same workload profile and seed, differing only in policy, geometry,
+// or core knobs) pay for workload generation once instead of R times.
+//
+// Events live in a ring buffer addressed by absolute sequence number.
+// Each reader consumes at its own pace — cycle skipping and stall
+// behaviour make core rates differ — and the window advances past the
+// slowest still-active reader: producing into a full ring first
+// recomputes the minimum live cursor, and only grows the ring when the
+// slowest reader genuinely still needs the oldest buffered event.
+//
+// Memory references are packed into a shared arena ring (each event's
+// refs are one contiguous run; the run wraps to the arena start rather
+// than splitting), which narrows the trace.Source Mem contract
+// slightly: a returned event's Mem is valid only until the next
+// NextBlock call on ANY reader of the same Lockstep, not just its own.
+// The pipeline front-end copies Mem synchronously inside the call that
+// consumes the event, and the batch driver steps cores one at a time
+// from a single goroutine, so the narrowed contract holds by
+// construction. A Lockstep is NOT safe for concurrent use.
+type Lockstep struct {
+	eng  *Engine
+	prog *Program // engine's program, cached for static queries
+
+	buf    []trace.BlockEvent // ring storage, power-of-two length
+	memPos []int32            // per-slot: arena cursor at the event's production
+	mask   uint64
+	head   uint64 // oldest absolute sequence number still buffered
+	next   uint64 // absolute sequence number of the next event produced
+
+	mem     []trace.MemRef // packed ref arena, ring with tail padding
+	memNext int            // next free arena index
+
+	readers []LockstepReader
+	n       int
+}
+
+// LockstepReader is one member's view of the shared stream; it
+// implements trace.Source. Readers are owned by their Lockstep and
+// reset by Start — callers must not retain them across Start calls.
+type LockstepReader struct {
+	ls   *Lockstep
+	pos  uint64
+	done bool
+}
+
+// NewLockstep returns an empty fan-out; Start arms it.
+func NewLockstep() *Lockstep {
+	return &Lockstep{}
+}
+
+// Start (re)arms the fan-out over eng for n readers, reusing the ring
+// and reader storage from previous batches. eng must be positioned at
+// the start of the desired stream (freshly built or Reset) and is
+// driven exclusively by the Lockstep until the batch ends.
+func (ls *Lockstep) Start(eng *Engine, n int) {
+	ls.eng = eng
+	ls.prog = eng.prog
+	if ls.buf == nil {
+		ls.buf = make([]trace.BlockEvent, lockstepRing)
+		ls.memPos = make([]int32, lockstepRing)
+		ls.mem = make([]trace.MemRef, lockstepRing*lockstepMemPerEvent)
+		ls.mask = lockstepRing - 1
+	}
+	ls.head, ls.next = 0, 0
+	ls.memNext = 0
+	if cap(ls.readers) < n {
+		ls.readers = make([]LockstepReader, n)
+	}
+	ls.readers = ls.readers[:n]
+	ls.n = n
+	for i := range ls.readers {
+		ls.readers[i] = LockstepReader{ls: ls}
+	}
+}
+
+// Reader returns the i'th reader of the current batch. The pointer is
+// valid until the next Start call.
+func (ls *Lockstep) Reader(i int) *LockstepReader {
+	return &ls.readers[i]
+}
+
+// Produced reports how many events the shared engine has emitted so
+// far (observability and tests).
+func (ls *Lockstep) Produced() uint64 { return ls.next }
+
+// Buffered reports the current live window size in events.
+func (ls *Lockstep) Buffered() uint64 { return ls.next - ls.head }
+
+// RingSize reports the current ring capacity in events.
+func (ls *Lockstep) RingSize() int { return len(ls.buf) }
+
+// Release marks the reader done — its member failed or finished its
+// run — so the window stops waiting on its cursor. Further NextBlock
+// calls on a released reader report end of stream.
+func (r *LockstepReader) Release() {
+	if r.done {
+		return
+	}
+	r.done = true
+	// Let the window advance immediately past a straggler that just
+	// dropped out; nothing references its cursor anymore.
+	r.ls.advance()
+}
+
+// Consumed reports how many events the reader has taken.
+func (r *LockstepReader) Consumed() uint64 { return r.pos }
+
+// NextBlock implements trace.Source. It is the batch stepping path's
+// inner loop: a buffered event is one ring load, and producing a new
+// one delegates to the shared Engine plus a bounded arena copy — both
+// allocation-free in steady state (the ring growth below is the
+// amortized exception).
+//
+//vet:hot
+func (r *LockstepReader) NextBlock() (trace.BlockEvent, bool) {
+	if r.done {
+		return trace.BlockEvent{}, false
+	}
+	ls := r.ls
+	if r.pos == ls.next && !ls.produce() {
+		return trace.BlockEvent{}, false
+	}
+	ev := ls.buf[r.pos&ls.mask]
+	r.pos++
+	return ev, true
+}
+
+// BlockInfo implements trace.Source (static query, shared program).
+func (r *LockstepReader) BlockInfo(addr uint64) (branch.BTBEntry, bool) {
+	return r.ls.prog.BlockInfo(addr)
+}
+
+// InstrClass implements trace.Source.
+func (r *LockstepReader) InstrClass(pc uint64) trace.Class {
+	return r.ls.prog.InstrClass(pc)
+}
+
+// BlocksInLine implements trace.Source.
+func (r *LockstepReader) BlocksInLine(line uint64, out []branch.BTBEntry) []branch.BTBEntry {
+	return r.ls.prog.BlocksInLine(line, out)
+}
+
+// produce appends one engine event to the ring, advancing the window
+// (and growing the ring only as a last resort) when full.
+func (ls *Lockstep) produce() bool {
+	if ls.next-ls.head == uint64(len(ls.buf)) {
+		ls.advance()
+		if ls.next-ls.head == uint64(len(ls.buf)) {
+			ls.grow()
+		}
+	}
+	ev, ok := ls.eng.NextBlock()
+	if !ok {
+		return false
+	}
+	slot := ls.next & ls.mask
+	k := len(ev.Mem)
+	start := ls.reserveMem(k)
+	ls.memPos[slot] = int32(start)
+	if k > 0 {
+		copy(ls.mem[start:start+k], ev.Mem)
+		ev.Mem = ls.mem[start : start+k : start+k]
+		ls.memNext = start + k
+	}
+	ls.buf[slot] = ev
+	ls.next++
+	return true
+}
+
+// reserveMem finds a contiguous arena run of k refs that does not
+// overlap any buffered event's refs. A run never splits across the
+// arena end: when the tail is too short it wraps to index zero, leaving
+// the tail as dead padding until the window passes it.
+func (ls *Lockstep) reserveMem(k int) int {
+	if k == 0 {
+		return ls.memNext
+	}
+	for {
+		start := ls.memNext
+		if start+k > len(ls.mem) {
+			start = 0
+		}
+		if ls.memFits(start, k) {
+			return start
+		}
+		// The candidate run still holds live refs: first try advancing
+		// the window past drained events, then grow as a last resort.
+		head := ls.head
+		ls.advance()
+		if ls.head != head && ls.memFits(start, k) {
+			return start
+		}
+		ls.growMem()
+	}
+}
+
+// memFits reports whether the run [start, start+k) avoids the live
+// arena region — the ring-ordered span from the oldest buffered event's
+// cursor to memNext.
+func (ls *Lockstep) memFits(start, k int) bool {
+	if ls.head == ls.next {
+		return true // no buffered events, nothing live
+	}
+	lo := int(ls.memPos[ls.head&ls.mask])
+	hi := ls.memNext
+	end := start + k
+	if lo <= hi {
+		// Live span is [lo, hi) without wrap; an empty span (all
+		// buffered events carry zero refs) conflicts with nothing.
+		return end <= lo || start >= hi
+	}
+	// Live span wraps: [lo, len) and [0, hi). The strict bound keeps
+	// the gap from filling completely: memNext landing exactly on lo
+	// would make the full arena indistinguishable from an empty one.
+	return start >= hi && end < lo
+}
+
+// growMem doubles the packed arena and repacks every buffered event's
+// refs contiguously from index zero.
+func (ls *Lockstep) growMem() {
+	old := ls.mem
+	//lint:ignore hot-noalloc arena growth doubles to the live window's high-water ref count and then never recurs for this executor
+	ls.mem = make([]trace.MemRef, 2*len(old))
+	cursor := 0
+	for seq := ls.head; seq < ls.next; seq++ {
+		slot := seq & ls.mask
+		ev := &ls.buf[slot]
+		k := len(ev.Mem)
+		ls.memPos[slot] = int32(cursor)
+		if k > 0 {
+			copy(ls.mem[cursor:cursor+k], ev.Mem)
+			ev.Mem = ls.mem[cursor : cursor+k : cursor+k]
+			cursor += k
+		}
+	}
+	ls.memNext = cursor
+}
+
+// advance moves the window head up to the slowest still-active
+// reader's cursor (or to the production point when none remain).
+func (ls *Lockstep) advance() {
+	min := ls.next
+	for i := range ls.readers {
+		r := &ls.readers[i]
+		if !r.done && r.pos < min {
+			min = r.pos
+		}
+	}
+	ls.head = min
+}
+
+// grow doubles the event ring, re-homing every live event and its
+// arena cursor; the refs themselves stay where they are. Capacity
+// never shrinks, so growth is amortized over the executor's lifetime.
+func (ls *Lockstep) grow() {
+	oldBuf, oldPos, oldMask := ls.buf, ls.memPos, ls.mask
+	size := uint64(len(oldBuf)) * 2
+	//lint:ignore hot-noalloc ring growth doubles to the batch's high-water cursor spread and then never recurs for this executor
+	ls.buf = make([]trace.BlockEvent, size)
+	//lint:ignore hot-noalloc cursor table growth mirrors the ring doubling above; both are one-time high-water events, not per-event costs
+	ls.memPos = make([]int32, size)
+	ls.mask = size - 1
+	for seq := ls.head; seq < ls.next; seq++ {
+		ls.buf[seq&ls.mask] = oldBuf[seq&oldMask]
+		ls.memPos[seq&ls.mask] = oldPos[seq&oldMask]
+	}
+}

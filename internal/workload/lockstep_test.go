@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"emissary/internal/trace"
+)
+
+func testProfile(t *testing.T) Profile {
+	t.Helper()
+	prof, ok := ProfileByName("tomcat")
+	if !ok {
+		t.Fatal("tomcat profile missing")
+	}
+	return prof
+}
+
+// collectRef walks a fresh engine for n events, deep-copying Mem (the
+// engine reuses its scratch buffer).
+func collectRef(t *testing.T, prof Profile, n int) []trace.BlockEvent {
+	t.Helper()
+	prog, err := NewProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(prog)
+	out := make([]trace.BlockEvent, 0, n)
+	for i := 0; i < n; i++ {
+		ev, ok := eng.NextBlock()
+		if !ok {
+			t.Fatalf("engine dried up at event %d", i)
+		}
+		if ev.Mem != nil {
+			ev.Mem = append([]trace.MemRef(nil), ev.Mem...)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestLockstepReadersMatchEngine drives three readers at deliberately
+// different paces and requires each to observe exactly the stream a
+// standalone engine produces — event for event, Mem refs included.
+func TestLockstepReadersMatchEngine(t *testing.T) {
+	const n = 6000
+	prof := testProfile(t)
+	want := collectRef(t, prof, n)
+
+	prog, err := NewProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := NewLockstep()
+	ls.Start(NewEngine(prog), 3)
+
+	// Interleave: reader 0 takes 3 events per round, reader 1 takes 2,
+	// reader 2 takes 1, until each has n. The pace spread forces window
+	// advances with live stragglers.
+	got := make([][]trace.BlockEvent, 3)
+	pace := []int{3, 2, 1}
+	for !(len(got[0]) == n && len(got[1]) == n && len(got[2]) == n) {
+		for ri := 0; ri < 3; ri++ {
+			r := ls.Reader(ri)
+			for k := 0; k < pace[ri] && len(got[ri]) < n; k++ {
+				ev, ok := r.NextBlock()
+				if !ok {
+					t.Fatalf("reader %d: stream ended at event %d", ri, len(got[ri]))
+				}
+				if ev.Mem != nil {
+					ev.Mem = append([]trace.MemRef(nil), ev.Mem...)
+				}
+				got[ri] = append(got[ri], ev)
+			}
+		}
+	}
+	for ri := range got {
+		if !reflect.DeepEqual(got[ri], want) {
+			t.Errorf("reader %d stream diverged from standalone engine", ri)
+		}
+	}
+	if p := ls.Produced(); p != n {
+		t.Errorf("engine produced %d events for %d consumed per reader (want exactly %d: shared production)", p, n, n)
+	}
+}
+
+// TestLockstepWindowAdvance pins the window-advance rule: the buffered
+// span tracks the slowest active reader, and releasing the straggler
+// lets the head catch up to the remaining minimum.
+func TestLockstepWindowAdvance(t *testing.T) {
+	prog, err := NewProgram(testProfile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := NewLockstep()
+	ls.Start(NewEngine(prog), 2)
+	fast, slow := ls.Reader(0), ls.Reader(1)
+
+	// The fast reader pulls 3 rings' worth while the slow one sits at
+	// zero: the ring must grow to keep every unconsumed event.
+	total := 3 * lockstepRing
+	for i := 0; i < total; i++ {
+		if _, ok := fast.NextBlock(); !ok {
+			t.Fatalf("fast reader dried up at %d", i)
+		}
+	}
+	if ls.Buffered() != uint64(total) {
+		t.Fatalf("buffered %d events, want %d (slow reader at 0 must hold the window open)", ls.Buffered(), total)
+	}
+	if ls.RingSize() < total {
+		t.Fatalf("ring size %d cannot hold %d buffered events", ls.RingSize(), total)
+	}
+
+	// The slow reader catches up halfway; the next produce-side advance
+	// may only drop events both readers have passed.
+	for i := 0; i < total/2; i++ {
+		if _, ok := slow.NextBlock(); !ok {
+			t.Fatalf("slow reader dried up at %d", i)
+		}
+	}
+	ls.advance()
+	if ls.Buffered() != uint64(total-total/2) {
+		t.Errorf("buffered %d after slow reader reached %d/%d", ls.Buffered(), total/2, total)
+	}
+
+	// Releasing the straggler collapses the window to the fast cursor.
+	slow.Release()
+	if ls.Buffered() != 0 {
+		t.Errorf("buffered %d after releasing the only straggler, want 0", ls.Buffered())
+	}
+	if _, ok := slow.NextBlock(); ok {
+		t.Error("released reader still yields events")
+	}
+}
+
+// TestLockstepStartReuse re-arms one Lockstep across batches (different
+// reader counts, same and different programs) and requires streams
+// identical to standalone engines every time — the executor-reuse
+// contract the warm batch path relies on.
+func TestLockstepStartReuse(t *testing.T) {
+	profA := testProfile(t)
+	profB, ok := ProfileByName("xapian")
+	if !ok {
+		t.Fatal("xapian profile missing")
+	}
+	const n = 1500
+	wantA := collectRef(t, profA, n)
+	wantB := collectRef(t, profB, n)
+
+	progA, err := NewProgram(profA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progB, err := NewProgram(profB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := NewLockstep()
+	eng := NewEngine(progA)
+	for round, tc := range []struct {
+		prog *Program
+		want []trace.BlockEvent
+		n    int
+	}{
+		{progA, wantA, 4},
+		{progB, wantB, 2},
+		{progA, wantA, 1},
+	} {
+		eng.Reset(tc.prog)
+		ls.Start(eng, tc.n)
+		for ri := 0; ri < tc.n; ri++ {
+			r := ls.Reader(ri)
+			for i := 0; i < n; i++ {
+				ev, ok := r.NextBlock()
+				if !ok {
+					t.Fatalf("round %d reader %d: dried up at %d", round, ri, i)
+				}
+				want := tc.want[i]
+				if ev.Addr != want.Addr || ev.NextAddr != want.NextAddr || ev.Taken != want.Taken || len(ev.Mem) != len(want.Mem) {
+					t.Fatalf("round %d reader %d event %d: got %+v want %+v", round, ri, i, ev, want)
+				}
+			}
+		}
+	}
+}
+
+// TestProgramCacheSingleflight hammers one missing key from many
+// goroutines: all callers must get the same *Program and synthesis
+// must have run exactly once.
+func TestProgramCacheSingleflight(t *testing.T) {
+	c := NewProgramCache(4)
+	prof := testProfile(t)
+	const callers = 16
+	progs := make([]*Program, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Get(prof)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("caller %d got a different program instance", i)
+		}
+	}
+	if hits, misses, _ := c.Stats(); misses != 1 {
+		t.Errorf("misses = %d (hits %d), want exactly 1 synthesis", misses, hits)
+	}
+}
+
+// TestProgramCacheLRU fills past capacity and checks eviction order
+// (least recently used goes first) plus the full-profile keying that
+// keeps distinct parameterizations of one name apart.
+func TestProgramCacheLRU(t *testing.T) {
+	c := NewProgramCache(2)
+	a := testProfile(t)
+	b := a
+	b.Seed ^= 0x1234
+	d := a
+	d.FootprintMB *= 0.5 // same name+seed, different params: own entry
+
+	pa, err := c.Get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so b is now least recent; inserting d evicts b.
+	if got, err := c.Get(a); err != nil || got != pa {
+		t.Fatalf("hit on a returned (%p, %v), want (%p, nil)", got, err, pa)
+	}
+	pd, err := c.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd == pa {
+		t.Fatal("distinct parameterization of the same name shared a program")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	hits, misses, evictions := c.Stats()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	// a must still be resident (it was most recent when d arrived).
+	if got, err := c.Get(a); err != nil || got != pa {
+		t.Fatalf("a was evicted instead of b (hits %d misses %d)", hits, misses)
+	}
+	// b was evicted: refetching it re-synthesizes.
+	_, preMiss, _ := c.Stats()
+	if _, err := c.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, postMiss, _ := c.Stats(); postMiss != preMiss+1 {
+		t.Error("evicted entry served without re-synthesis")
+	}
+}
+
+// TestProgramCacheError pins the failure path: invalid profiles
+// propagate the synthesis error and are not cached.
+func TestProgramCacheError(t *testing.T) {
+	c := NewProgramCache(2)
+	bad := testProfile(t)
+	bad.FootprintMB = -1
+	if _, err := c.Get(bad); err == nil {
+		t.Fatal("invalid profile synthesized")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed synthesis left %d entries resident", c.Len())
+	}
+}

@@ -69,6 +69,12 @@ type Program struct {
 
 	totalInstrs int
 	classSeed   uint64
+	// classes caches InstrClass for every PC in the code span, indexed
+	// by (pc-codeBase)/instrBytes; nil until buildClassTable runs. The
+	// class is a pure function of the PC, so the table is exactly the
+	// hash's output precomputed (one byte per instruction, ~footprint/4
+	// extra).
+	classes []trace.Class
 }
 
 // Profile returns the generating profile.
@@ -137,8 +143,25 @@ func (p *Program) BlocksInLine(line uint64, out []branch.BTBEntry) []branch.BTBE
 // InstrClass returns the static class of the instruction at pc. Block
 // terminators are classified by the front-end from the block
 // descriptor; for body instructions the class is a deterministic hash
-// of the PC thresholded by the profile's instruction mix.
+// of the PC thresholded by the profile's instruction mix. When the
+// per-PC table is built (cache-resident programs; see
+// buildClassTable), in-span PCs — every PC the engine ever emits —
+// are served from it; anything else falls back to the hash, so both
+// paths return identical values by construction.
+//
+//vet:hot
 func (p *Program) InstrClass(pc uint64) trace.Class {
+	if off := pc - codeBase; off&(instrBytes-1) == 0 {
+		if i := off / instrBytes; i < uint64(len(p.classes)) {
+			return p.classes[i]
+		}
+	}
+	return p.classOf(pc)
+}
+
+// classOf is the hash behind InstrClass; NewProgram evaluates it once
+// per PC to fill the table.
+func (p *Program) classOf(pc uint64) trace.Class {
 	h := rng.Mix2(p.classSeed, pc)
 	u := float64(h>>11) / (1 << 53)
 	switch {
@@ -261,6 +284,26 @@ func NewProgram(profile Profile) (*Program, error) {
 		return nil, fmt.Errorf("workload %s: generated empty program", profile.Name)
 	}
 	return prog, nil
+}
+
+// buildClassTable precomputes the class of every instruction in the
+// code span (blocks are laid out contiguously from codeBase, so index
+// i maps to PC codeBase + instrBytes*i). The front-end classifies
+// every body instruction of every fetched block, making the class
+// hash one of the hottest pure functions in the simulator; the table
+// turns it into a byte load. Building costs one hash pass over the
+// static footprint, so it runs only when a program enters the shared
+// cache — where many jobs amortize it — and not in NewProgram, which
+// one-shot cold runs pay per job. Idempotent; must complete before
+// the program is published to concurrent readers.
+func (p *Program) buildClassTable() {
+	if p.classes != nil {
+		return
+	}
+	p.classes = make([]trace.Class, p.totalInstrs)
+	for i := range p.classes {
+		p.classes[i] = p.classOf(codeBase + instrBytes*uint64(i))
+	}
 }
 
 // zipfWeight gives rank i (0-based) weight 1/(i+1)^s.
